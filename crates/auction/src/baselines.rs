@@ -1,0 +1,313 @@
+//! Auction baselines: greedy heuristics, a one-pass threshold
+//! primal–dual (the BKV-style comparator), and exact LP-based rounding.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ufp_lp::simplex::{solve, LpOutcome, LpProblem, Relation};
+
+use crate::instance::{AuctionInstance, AuctionSolution, BidId};
+use crate::weights::ItemWeights;
+
+/// Greedy ordering for [`greedy_auction`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AuctionGreedyOrder {
+    /// Descending value.
+    ByValue,
+    /// Descending value per bundle item (`v_r/|U_r|`).
+    ByDensity,
+    /// Descending `v_r/√|U_r|` — the Lehmann–O'Callaghan–Shoham rule.
+    BySqrtDensity,
+}
+
+/// One-pass greedy allocation in the chosen order.
+pub fn greedy_auction(instance: &AuctionInstance, order: AuctionGreedyOrder) -> AuctionSolution {
+    let mut ids: Vec<BidId> = instance.bid_ids().collect();
+    let key = |id: &BidId| -> f64 {
+        let b = instance.bid(*id);
+        match order {
+            AuctionGreedyOrder::ByValue => b.value,
+            AuctionGreedyOrder::ByDensity => b.value / b.size() as f64,
+            AuctionGreedyOrder::BySqrtDensity => b.value / (b.size() as f64).sqrt(),
+        }
+    };
+    ids.sort_by(|a, b| key(b).partial_cmp(&key(a)).unwrap().then_with(|| a.cmp(b)));
+
+    let mut residual: Vec<f64> = instance.multiplicities().to_vec();
+    let mut solution = AuctionSolution::empty();
+    for id in ids {
+        let bid = instance.bid(id);
+        if bid.bundle.iter().all(|u| residual[u.index()] >= 1.0 - 1e-9) {
+            for u in &bid.bundle {
+                residual[u.index()] -= 1.0;
+            }
+            solution.winners.push(id);
+        }
+    }
+    solution
+}
+
+/// One-pass threshold primal–dual (BKV-style, ratio → e): process bids in
+/// declaration order, accept when the dual constraint is violated at the
+/// current prices (`v_r ≥ Σ_{u∈U_r} y_u`), with the same guard as
+/// Algorithm 2.
+pub fn bkv_auction(instance: &AuctionInstance, epsilon: f64) -> AuctionSolution {
+    assert!(epsilon > 0.0 && epsilon <= 1.0);
+    let b = instance.bound_b();
+    let ln_guard = epsilon * (b - 1.0);
+    let mut weights = ItemWeights::new(instance.multiplicities());
+    let mut solution = AuctionSolution::empty();
+    for id in instance.bid_ids() {
+        if weights.ln_dual_sum() > ln_guard {
+            break;
+        }
+        let bid = instance.bid(id);
+        let w = weights.weights();
+        let sum: f64 = bid.bundle.iter().map(|u| w[u.index()]).sum();
+        let score = sum / bid.value;
+        let accept = if score <= 0.0 {
+            true
+        } else {
+            score.ln() + weights.shift() <= 0.0
+        };
+        if !accept {
+            continue;
+        }
+        for u in &bid.bundle {
+            let c = instance.multiplicity(*u);
+            weights.bump(*u, epsilon * b / c);
+        }
+        solution.winners.push(id);
+    }
+    solution
+}
+
+/// Exact LP relaxation of the auction (`max Σ v_r x_r`, `Σ_{r∋u} x_r ≤
+/// c_u`, `0 ≤ x_r ≤ 1`) solved with the simplex. Returns `(objective,
+/// x)`.
+pub fn auction_lp(instance: &AuctionInstance) -> (f64, Vec<f64>) {
+    let n = instance.num_bids();
+    let mut lp = LpProblem::new(n);
+    for (j, b) in instance.bids().iter().enumerate() {
+        lp.objective[j] = b.value;
+    }
+    for u in 0..instance.num_items() {
+        let terms: Vec<(usize, f64)> = instance
+            .bids()
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.bundle.iter().any(|it| it.index() == u))
+            .map(|(j, _)| (j, 1.0))
+            .collect();
+        if !terms.is_empty() {
+            lp.add_constraint(terms, Relation::Le, instance.multiplicities()[u]);
+        }
+    }
+    for j in 0..n {
+        lp.add_constraint(vec![(j, 1.0)], Relation::Le, 1.0);
+    }
+    match solve(&lp) {
+        LpOutcome::Optimal(s) => (s.objective, s.x),
+        other => panic!("auction LP must be solvable, got {other:?}"),
+    }
+}
+
+/// Randomized rounding with alteration on the exact LP solution — the
+/// non-monotone near-optimal comparator for the auction experiments.
+pub fn rounding_auction(instance: &AuctionInstance, epsilon: f64, seed: u64) -> AuctionSolution {
+    let (_, x) = auction_lp(instance);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sampled: Vec<BidId> = Vec::new();
+    for (j, &xj) in x.iter().enumerate() {
+        let p = ((1.0 - epsilon) * xj).clamp(0.0, 1.0);
+        if p > 0.0 && rng.random_range(0.0..1.0) < p {
+            sampled.push(BidId(j as u32));
+        }
+    }
+    // Alteration: keep greedily by value density.
+    sampled.sort_by(|a, b| {
+        let (ba, bb) = (instance.bid(*a), instance.bid(*b));
+        (bb.value / bb.size() as f64)
+            .partial_cmp(&(ba.value / ba.size() as f64))
+            .unwrap()
+            .then_with(|| a.cmp(b))
+    });
+    let mut residual: Vec<f64> = instance.multiplicities().to_vec();
+    let mut solution = AuctionSolution::empty();
+    for id in sampled {
+        let bid = instance.bid(id);
+        if bid.bundle.iter().all(|u| residual[u.index()] >= 1.0 - 1e-9) {
+            for u in &bid.bundle {
+                residual[u.index()] -= 1.0;
+            }
+            solution.winners.push(id);
+        }
+    }
+    solution
+}
+
+/// Exact integral optimum by branch-and-bound (small instances only).
+pub fn exact_auction_optimum(instance: &AuctionInstance) -> (f64, AuctionSolution) {
+    // Order by descending value for pruning.
+    let mut order: Vec<BidId> = instance.bid_ids().collect();
+    order.sort_by(|a, b| {
+        instance
+            .bid(*b)
+            .value
+            .partial_cmp(&instance.bid(*a).value)
+            .unwrap()
+            .then_with(|| a.cmp(b))
+    });
+    let mut suffix = vec![0.0; order.len() + 1];
+    for i in (0..order.len()).rev() {
+        suffix[i] = suffix[i + 1] + instance.bid(order[i]).value;
+    }
+
+    struct Search<'a> {
+        instance: &'a AuctionInstance,
+        order: &'a [BidId],
+        suffix: &'a [f64],
+        residual: Vec<f64>,
+        chosen: Vec<BidId>,
+        best_value: f64,
+        best: Vec<BidId>,
+    }
+    impl Search<'_> {
+        fn go(&mut self, depth: usize, value: f64) {
+            if value > self.best_value {
+                self.best_value = value;
+                self.best = self.chosen.clone();
+            }
+            if depth == self.order.len() || value + self.suffix[depth] <= self.best_value + 1e-12
+            {
+                return;
+            }
+            let id = self.order[depth];
+            let bundle = &self.instance.bid(id).bundle;
+            let fits = bundle
+                .iter()
+                .all(|u| self.residual[u.index()] >= 1.0 - 1e-9);
+            if fits {
+                for u in bundle {
+                    self.residual[u.index()] -= 1.0;
+                }
+                self.chosen.push(id);
+                self.go(depth + 1, value + self.instance.bid(id).value);
+                self.chosen.pop();
+                for u in bundle {
+                    self.residual[u.index()] += 1.0;
+                }
+            }
+            self.go(depth + 1, value);
+        }
+    }
+    let mut s = Search {
+        instance,
+        order: &order,
+        suffix: &suffix,
+        residual: instance.multiplicities().to_vec(),
+        chosen: Vec::new(),
+        best_value: 0.0,
+        best: Vec::new(),
+    };
+    s.go(0, 0.0);
+    let sol = AuctionSolution { winners: s.best };
+    (s.best_value, sol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounded_muca::{bounded_muca, BoundedMucaConfig};
+    use crate::instance::{Bid, ItemId};
+
+    fn u(i: u32) -> ItemId {
+        ItemId(i)
+    }
+
+    fn sample_auction() -> AuctionInstance {
+        AuctionInstance::new(
+            vec![2.0, 2.0, 2.0],
+            vec![
+                Bid::new(vec![u(0), u(1)], 4.0),
+                Bid::new(vec![u(1), u(2)], 3.0),
+                Bid::new(vec![u(0)], 2.0),
+                Bid::new(vec![u(2)], 2.5),
+                Bid::new(vec![u(0), u(1), u(2)], 5.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn greedy_variants_feasible() {
+        let a = sample_auction();
+        for order in [
+            AuctionGreedyOrder::ByValue,
+            AuctionGreedyOrder::ByDensity,
+            AuctionGreedyOrder::BySqrtDensity,
+        ] {
+            let sol = greedy_auction(&a, order);
+            assert!(sol.check_feasible(&a).is_ok(), "{order:?}");
+            assert!(!sol.is_empty());
+        }
+    }
+
+    #[test]
+    fn exact_dominates_heuristics() {
+        let a = sample_auction();
+        let (opt, sol) = exact_auction_optimum(&a);
+        assert!(sol.check_feasible(&a).is_ok());
+        assert!((sol.value(&a) - opt).abs() < 1e-9);
+        for order in [
+            AuctionGreedyOrder::ByValue,
+            AuctionGreedyOrder::ByDensity,
+            AuctionGreedyOrder::BySqrtDensity,
+        ] {
+            assert!(greedy_auction(&a, order).value(&a) <= opt + 1e-9);
+        }
+        let muca = bounded_muca(&a, &BoundedMucaConfig::with_epsilon(0.5));
+        assert!(muca.solution.value(&a) <= opt + 1e-9);
+    }
+
+    #[test]
+    fn lp_upper_bounds_integral_optimum() {
+        let a = sample_auction();
+        let (lp_opt, x) = auction_lp(&a);
+        let (int_opt, _) = exact_auction_optimum(&a);
+        assert!(lp_opt >= int_opt - 1e-7);
+        assert!(x.iter().all(|&v| (-1e-9..=1.0 + 1e-9).contains(&v)));
+    }
+
+    #[test]
+    fn exact_value_hand_checked() {
+        // multiplicities 2 each: optimum takes bids 0,1,2,3 = 11.5
+        // (bid 4 overlaps everything and only displaces value).
+        let a = sample_auction();
+        let (opt, _) = exact_auction_optimum(&a);
+        assert!((opt - 11.5).abs() < 1e-9, "opt {opt}");
+    }
+
+    #[test]
+    fn bkv_auction_feasible_and_monotone_spotcheck() {
+        let a = sample_auction();
+        let sol = bkv_auction(&a, 0.4);
+        assert!(sol.check_feasible(&a).is_ok());
+        for id in a.bid_ids() {
+            if !sol.contains(id) {
+                continue;
+            }
+            let probe = a.with_declared_value(id, a.bid(id).value * 3.0);
+            let sol2 = bkv_auction(&probe, 0.4);
+            assert!(sol2.contains(id));
+        }
+    }
+
+    #[test]
+    fn rounding_feasible_across_seeds() {
+        let a = sample_auction();
+        for seed in 0..8 {
+            let sol = rounding_auction(&a, 0.1, seed);
+            assert!(sol.check_feasible(&a).is_ok(), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Algorithm 2 — `Bounded-MUCA(ε)`: the monotone deterministic
+//! `((1+ε)·e/(e−1))`-approximation for the `Ω(ln m / ε²)`-bounded
+//! multi-unit combinatorial auction (Theorem 4.1).
+//!
+//! This is Algorithm 1 with the path-selection step collapsed: bundles are
+//! fixed, so the "shortest path" of a request is just its bundle, and the
+//! selection rule is `min_r (1/v_r)·Σ_{u∈U_r} y_u`. The same log-space
+//! weight treatment and the same Claim 3.6 dual certificate apply (the
+//! auction LP is the special case of Figure 1 with `S_r = {U_r}` and unit
+//! demands).
+
+use crate::instance::{AuctionInstance, AuctionSolution, BidId};
+use crate::weights::ItemWeights;
+
+/// Why the auction loop ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum McaStopReason {
+    /// All bids were satisfied — the outcome is optimal.
+    Exhausted,
+    /// The dual guard `Σ c_u y_u > e^{ε(B−1)}` tripped.
+    Guard,
+}
+
+/// Per-iteration analysis record (the auction analog of the UFP trace).
+#[derive(Clone, Copy, Debug)]
+pub struct McaIterationRecord {
+    /// Selected bid.
+    pub selected: BidId,
+    /// `ln α(i)` — log of the winning normalized bundle weight.
+    pub ln_alpha: f64,
+    /// `ln D₁(i)` before the update.
+    pub ln_d1: f64,
+    /// Value allocated before this iteration (`D₂(i)`).
+    pub allocated_value_before: f64,
+}
+
+impl McaIterationRecord {
+    /// Claim 3.6-style bound: `D₁(i)/α(i) + D₂(i)`.
+    pub fn dual_candidate(&self) -> f64 {
+        (self.ln_d1 - self.ln_alpha).exp() + self.allocated_value_before
+    }
+}
+
+/// Configuration for [`bounded_muca`].
+#[derive(Clone, Copy, Debug)]
+pub struct BoundedMucaConfig {
+    /// Accuracy parameter ε ∈ (0, 1]; Theorem 4.1 calls the algorithm
+    /// with ε/6.
+    pub epsilon: f64,
+}
+
+impl Default for BoundedMucaConfig {
+    fn default() -> Self {
+        BoundedMucaConfig { epsilon: 0.1 }
+    }
+}
+
+impl BoundedMucaConfig {
+    /// Configuration with the given ε.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon <= 1.0, "epsilon must lie in (0,1]");
+        BoundedMucaConfig { epsilon }
+    }
+}
+
+/// Result of a [`bounded_muca`] run.
+#[derive(Clone, Debug)]
+pub struct MucaRunResult {
+    /// Winning bids.
+    pub solution: AuctionSolution,
+    /// Per-iteration records.
+    pub records: Vec<McaIterationRecord>,
+    /// Stop reason.
+    pub stop_reason: McaStopReason,
+}
+
+impl MucaRunResult {
+    /// Certified upper bound on the optimal allocation value.
+    pub fn dual_upper_bound(&self) -> Option<f64> {
+        let best = self
+            .records
+            .iter()
+            .map(McaIterationRecord::dual_candidate)
+            .fold(f64::INFINITY, f64::min);
+        best.is_finite().then_some(best)
+    }
+
+    /// Certified upper bound tightened with the trivial `OPT ≤ Σ v_r`
+    /// (exhausted runs certify ratio 1 — the paper's `L = ∅` case).
+    pub fn tight_upper_bound(&self, instance: &AuctionInstance) -> Option<f64> {
+        self.dual_upper_bound()
+            .map(|d| d.min(instance.total_value()))
+    }
+
+    /// Certified ratio `bound / value`.
+    pub fn certified_ratio(&self, instance: &AuctionInstance) -> Option<f64> {
+        let v = self.solution.value(instance);
+        if v <= 0.0 {
+            return None;
+        }
+        self.tight_upper_bound(instance).map(|d| d / v)
+    }
+}
+
+/// Run Algorithm 2.
+pub fn bounded_muca(instance: &AuctionInstance, config: &BoundedMucaConfig) -> MucaRunResult {
+    assert!(
+        config.epsilon > 0.0 && config.epsilon <= 1.0,
+        "epsilon must lie in (0, 1]"
+    );
+    let eps = config.epsilon;
+    let b = instance.bound_b();
+    let ln_guard = eps * (b - 1.0);
+
+    let mut weights = ItemWeights::new(instance.multiplicities());
+    let mut remaining: Vec<BidId> = instance.bid_ids().collect();
+    let mut solution = AuctionSolution::empty();
+    let mut allocated_value = 0.0f64;
+    let mut records = Vec::with_capacity(remaining.len());
+
+    let stop_reason = loop {
+        if remaining.is_empty() {
+            break McaStopReason::Exhausted;
+        }
+        let ln_d1 = weights.ln_dual_sum();
+        if ln_d1 > ln_guard {
+            break McaStopReason::Guard;
+        }
+
+        // Line 4: r̂ = argmin (1/v_r)·Σ_{u∈U_r} y_u, ties to lowest id
+        // (remaining is kept sorted ascending).
+        let w = weights.weights();
+        let mut best: Option<(f64, usize)> = None;
+        for (i, &bid) in remaining.iter().enumerate() {
+            let br = instance.bid(bid);
+            let sum: f64 = br.bundle.iter().map(|u| w[u.index()]).sum();
+            let score = sum / br.value;
+            let better = match best {
+                None => true,
+                Some((bs, _)) => score < bs,
+            };
+            if better {
+                best = Some((score, i));
+            }
+        }
+        let (score, idx) = best.expect("remaining is non-empty");
+        let chosen = remaining.remove(idx);
+
+        let ln_alpha = if score > 0.0 {
+            score.ln() + weights.shift()
+        } else {
+            f64::NEG_INFINITY
+        };
+        records.push(McaIterationRecord {
+            selected: chosen,
+            ln_alpha,
+            ln_d1,
+            allocated_value_before: allocated_value,
+        });
+
+        // Line 5: y_u ← y_u · e^{εB/c_u} over the bundle.
+        for u in &instance.bid(chosen).bundle {
+            let c = instance.multiplicity(*u);
+            weights.bump(*u, eps * b / c);
+        }
+        allocated_value += instance.bid(chosen).value;
+        solution.winners.push(chosen);
+    };
+
+    MucaRunResult {
+        solution,
+        records,
+        stop_reason,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{Bid, ItemId};
+
+    fn u(i: u32) -> ItemId {
+        ItemId(i)
+    }
+
+    #[test]
+    fn allocates_everything_with_abundant_multiplicity() {
+        let a = AuctionInstance::new(
+            vec![100.0, 100.0],
+            (0..10).map(|_| Bid::new(vec![u(0), u(1)], 1.0)).collect(),
+        );
+        let res = bounded_muca(&a, &BoundedMucaConfig::with_epsilon(0.3));
+        assert_eq!(res.solution.len(), 10);
+        assert_eq!(res.stop_reason, McaStopReason::Exhausted);
+        assert!(res.solution.check_feasible(&a).is_ok());
+    }
+
+    #[test]
+    fn output_is_always_feasible_under_pressure() {
+        // 40 bids on an item with multiplicity 8: Lemma 3.3's argument.
+        let a = AuctionInstance::new(
+            vec![8.0],
+            (0..40)
+                .map(|i| Bid::new(vec![u(0)], 1.0 + (i % 5) as f64))
+                .collect(),
+        );
+        for eps in [0.1, 0.3, 0.5, 1.0] {
+            let res = bounded_muca(&a, &BoundedMucaConfig::with_epsilon(eps));
+            assert!(res.solution.check_feasible(&a).is_ok(), "eps={eps}");
+            assert!(res.solution.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn prefers_high_value_per_bundle_weight() {
+        // B must clear ln(m)/eps^2 or the guard trips before iteration 1.
+        let a = AuctionInstance::new(
+            vec![4.0, 4.0],
+            vec![
+                Bid::new(vec![u(0), u(1)], 1.0),
+                Bid::new(vec![u(0), u(1)], 10.0),
+                Bid::new(vec![u(0)], 3.0),
+            ],
+        );
+        let res = bounded_muca(&a, &BoundedMucaConfig::with_epsilon(0.5));
+        assert_eq!(res.solution.winners[0], BidId(1));
+    }
+
+    #[test]
+    fn dual_certificate_bounds_opt() {
+        // multiplicity 10, unit bids on a single item: OPT = 10.
+        let a = AuctionInstance::new(
+            vec![10.0],
+            (0..30).map(|_| Bid::new(vec![u(0)], 1.0)).collect(),
+        );
+        let res = bounded_muca(&a, &BoundedMucaConfig::with_epsilon(0.4));
+        let bound = res.dual_upper_bound().expect("certificate");
+        assert!(bound >= 10.0 - 1e-6, "bound {bound} under OPT 10");
+        assert!(res.certified_ratio(&a).unwrap() >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn theorem41_ratio_on_large_b() {
+        // B = 200, m = 4: comfortably in the large-multiplicity regime for
+        // eps = 0.3. Certified ratio must be within (1+6ε)·e/(e−1).
+        let a = AuctionInstance::new(
+            vec![200.0, 200.0, 200.0, 200.0],
+            (0..600)
+                .map(|i| {
+                    let items = match i % 3 {
+                        0 => vec![u(0), u(1)],
+                        1 => vec![u(1), u(2)],
+                        _ => vec![u(2), u(3)],
+                    };
+                    Bid::new(items, 1.0 + (i % 4) as f64)
+                })
+                .collect(),
+        );
+        let eps = 0.3;
+        assert!(a.meets_large_multiplicity_bound(eps));
+        let res = bounded_muca(&a, &BoundedMucaConfig::with_epsilon(eps / 6.0));
+        let ratio = res.certified_ratio(&a).expect("ratio");
+        let e = std::f64::consts::E;
+        let target = (1.0 + 6.0 * (eps / 6.0)) * e / (e - 1.0);
+        assert!(
+            ratio <= target + 0.05,
+            "certified ratio {ratio} above theorem bound {target}"
+        );
+    }
+
+    #[test]
+    fn monotone_in_value_spot_check() {
+        let a = AuctionInstance::new(
+            vec![3.0, 3.0],
+            vec![
+                Bid::new(vec![u(0)], 2.0),
+                Bid::new(vec![u(0), u(1)], 3.0),
+                Bid::new(vec![u(1)], 1.0),
+                Bid::new(vec![u(0)], 2.5),
+            ],
+        );
+        let cfg = BoundedMucaConfig::with_epsilon(0.4);
+        let base = bounded_muca(&a, &cfg);
+        for bid in a.bid_ids() {
+            if !base.solution.contains(bid) {
+                continue;
+            }
+            for factor in [1.5, 4.0] {
+                let probe = a.with_declared_value(bid, a.bid(bid).value * factor);
+                let res = bounded_muca(&probe, &cfg);
+                assert!(res.solution.contains(bid), "raising {bid} dropped it");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_single_minded_bundle_shrink_monotone() {
+        // Corollary 4.2: shrinking the bundle (subset) keeps a winner
+        // winning, since Σ_{u∈Ũ} y_u ≤ Σ_{u∈U} y_u.
+        let a = AuctionInstance::new(
+            vec![5.0, 5.0, 5.0],
+            vec![
+                Bid::new(vec![u(0), u(1), u(2)], 3.0),
+                Bid::new(vec![u(0), u(1)], 2.0),
+                Bid::new(vec![u(2)], 1.0),
+            ],
+        );
+        let cfg = BoundedMucaConfig::with_epsilon(0.5);
+        let base = bounded_muca(&a, &cfg);
+        assert!(base.solution.contains(BidId(0)));
+        let probe = a.with_declared_bundle(BidId(0), vec![u(0), u(2)]);
+        let res = bounded_muca(&probe, &cfg);
+        assert!(res.solution.contains(BidId(0)));
+    }
+
+    #[test]
+    fn empty_auction() {
+        let a = AuctionInstance::new(vec![5.0], vec![]);
+        let res = bounded_muca(&a, &BoundedMucaConfig::default());
+        assert!(res.solution.is_empty());
+        assert_eq!(res.stop_reason, McaStopReason::Exhausted);
+    }
+}

@@ -1,0 +1,381 @@
+//! Single-minded multi-unit combinatorial auction instances.
+//!
+//! `m` non-identical items with multiplicities `c_u`; each bid names a
+//! bundle `U_r ⊆ U` and a value `v_r`. A feasible allocation selects bids
+//! so that no item is allocated beyond its multiplicity. The paper's
+//! bound parameter is `B = min_u c_u`.
+
+use std::fmt;
+
+/// Identifier of an item (index into the multiplicity vector).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ItemId(pub u32);
+
+/// Identifier of a bid (index into the bid vector).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BidId(pub u32);
+
+impl ItemId {
+    /// Index for `Vec` access.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl BidId {
+    /// Index for `Vec` access.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Debug for BidId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+impl fmt::Display for BidId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// A single-minded bid `(U_r, v_r)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Bid {
+    /// The desired bundle, kept sorted and duplicate-free.
+    pub bundle: Vec<ItemId>,
+    /// The declared value `v_r > 0`.
+    pub value: f64,
+}
+
+impl Bid {
+    /// Construct a bid; the bundle is sorted and deduplicated.
+    pub fn new(mut bundle: Vec<ItemId>, value: f64) -> Self {
+        assert!(!bundle.is_empty(), "bundles must be non-empty");
+        assert!(
+            value.is_finite() && value > 0.0,
+            "bid value must be positive and finite, got {value}"
+        );
+        bundle.sort_unstable();
+        bundle.dedup();
+        Bid { bundle, value }
+    }
+
+    /// Bundle size `|U_r|`.
+    pub fn size(&self) -> usize {
+        self.bundle.len()
+    }
+}
+
+/// An auction instance.
+#[derive(Clone, Debug)]
+pub struct AuctionInstance {
+    multiplicities: Vec<f64>,
+    bids: Vec<Bid>,
+}
+
+impl AuctionInstance {
+    /// Build an instance, validating item references and multiplicities.
+    pub fn new(multiplicities: Vec<f64>, bids: Vec<Bid>) -> Self {
+        for (u, &c) in multiplicities.iter().enumerate() {
+            assert!(
+                c.is_finite() && c >= 1.0,
+                "item {u} multiplicity must be >= 1, got {c}"
+            );
+        }
+        for (i, b) in bids.iter().enumerate() {
+            for u in &b.bundle {
+                assert!(
+                    u.index() < multiplicities.len(),
+                    "bid {i} references item {u:?} out of range"
+                );
+            }
+        }
+        AuctionInstance {
+            multiplicities,
+            bids,
+        }
+    }
+
+    /// Number of distinct items `m`.
+    pub fn num_items(&self) -> usize {
+        self.multiplicities.len()
+    }
+
+    /// Number of bids `|R|`.
+    pub fn num_bids(&self) -> usize {
+        self.bids.len()
+    }
+
+    /// Multiplicity `c_u`.
+    #[inline]
+    pub fn multiplicity(&self, u: ItemId) -> f64 {
+        self.multiplicities[u.index()]
+    }
+
+    /// All multiplicities.
+    pub fn multiplicities(&self) -> &[f64] {
+        &self.multiplicities
+    }
+
+    /// All bids, indexed by [`BidId`].
+    pub fn bids(&self) -> &[Bid] {
+        &self.bids
+    }
+
+    /// The bid behind `id`.
+    #[inline]
+    pub fn bid(&self, id: BidId) -> &Bid {
+        &self.bids[id.index()]
+    }
+
+    /// Iterator over bid ids.
+    pub fn bid_ids(&self) -> impl Iterator<Item = BidId> + '_ {
+        (0..self.bids.len() as u32).map(BidId)
+    }
+
+    /// The paper's bound `B = min_u c_u`.
+    pub fn bound_b(&self) -> f64 {
+        self.multiplicities
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Whether `B ≥ ln(m)/ε²` holds for the given ε.
+    pub fn meets_large_multiplicity_bound(&self, epsilon: f64) -> bool {
+        let m = self.num_items().max(2) as f64;
+        self.bound_b() >= m.ln() / (epsilon * epsilon)
+    }
+
+    /// Sum of all bid values.
+    pub fn total_value(&self) -> f64 {
+        self.bids.iter().map(|b| b.value).sum()
+    }
+
+    /// Clone with bid `id` declaring a different value (mechanism probes).
+    pub fn with_declared_value(&self, id: BidId, value: f64) -> AuctionInstance {
+        let mut bids = self.bids.clone();
+        bids[id.index()] = Bid::new(bids[id.index()].bundle.clone(), value);
+        AuctionInstance {
+            multiplicities: self.multiplicities.clone(),
+            bids,
+        }
+    }
+
+    /// Clone with bid `id` declaring a different bundle (the *unknown
+    /// single-minded* setting of Corollary 4.2, where agents may lie about
+    /// the bundle too).
+    pub fn with_declared_bundle(&self, id: BidId, bundle: Vec<ItemId>) -> AuctionInstance {
+        let mut bids = self.bids.clone();
+        bids[id.index()] = Bid::new(bundle, bids[id.index()].value);
+        AuctionInstance {
+            multiplicities: self.multiplicities.clone(),
+            bids,
+        }
+    }
+}
+
+/// An allocation: the set of winning bids.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AuctionSolution {
+    /// Winning bids in selection order.
+    pub winners: Vec<BidId>,
+}
+
+/// Feasibility violations for auction allocations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AuctionFeasibilityError {
+    /// The same bid appears twice.
+    DuplicateWinner(BidId),
+    /// An item is allocated beyond its multiplicity.
+    MultiplicityExceeded {
+        /// The overloaded item.
+        item: ItemId,
+        /// Copies allocated.
+        load: f64,
+        /// Its multiplicity.
+        multiplicity: f64,
+    },
+}
+
+impl AuctionSolution {
+    /// Empty allocation.
+    pub fn empty() -> Self {
+        AuctionSolution::default()
+    }
+
+    /// Total value of the winners.
+    pub fn value(&self, instance: &AuctionInstance) -> f64 {
+        self.winners
+            .iter()
+            .map(|w| instance.bid(*w).value)
+            .sum()
+    }
+
+    /// Number of winners.
+    pub fn len(&self) -> usize {
+        self.winners.len()
+    }
+
+    /// True when no bid won.
+    pub fn is_empty(&self) -> bool {
+        self.winners.is_empty()
+    }
+
+    /// Whether `id` won.
+    pub fn contains(&self, id: BidId) -> bool {
+        self.winners.contains(&id)
+    }
+
+    /// Copies of each item allocated.
+    pub fn item_loads(&self, instance: &AuctionInstance) -> Vec<f64> {
+        let mut loads = vec![0.0; instance.num_items()];
+        for w in &self.winners {
+            for u in &instance.bid(*w).bundle {
+                loads[u.index()] += 1.0;
+            }
+        }
+        loads
+    }
+
+    /// Full feasibility check.
+    pub fn check_feasible(
+        &self,
+        instance: &AuctionInstance,
+    ) -> Result<(), AuctionFeasibilityError> {
+        let mut seen = vec![false; instance.num_bids()];
+        for w in &self.winners {
+            if seen[w.index()] {
+                return Err(AuctionFeasibilityError::DuplicateWinner(*w));
+            }
+            seen[w.index()] = true;
+        }
+        let loads = self.item_loads(instance);
+        for (u, &load) in loads.iter().enumerate() {
+            let multiplicity = instance.multiplicities[u];
+            if load > multiplicity + 1e-9 {
+                return Err(AuctionFeasibilityError::MultiplicityExceeded {
+                    item: ItemId(u as u32),
+                    load,
+                    multiplicity,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(i: u32) -> ItemId {
+        ItemId(i)
+    }
+
+    fn small_auction() -> AuctionInstance {
+        AuctionInstance::new(
+            vec![2.0, 3.0, 2.0],
+            vec![
+                Bid::new(vec![u(0), u(1)], 4.0),
+                Bid::new(vec![u(1), u(2)], 3.0),
+                Bid::new(vec![u(0)], 1.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let a = small_auction();
+        assert_eq!(a.num_items(), 3);
+        assert_eq!(a.num_bids(), 3);
+        assert_eq!(a.bound_b(), 2.0);
+        assert_eq!(a.total_value(), 8.0);
+        assert_eq!(a.bid(BidId(0)).size(), 2);
+    }
+
+    #[test]
+    fn bundles_are_sorted_and_deduped() {
+        let b = Bid::new(vec![u(2), u(0), u(2), u(1)], 1.0);
+        assert_eq!(b.bundle, vec![u(0), u(1), u(2)]);
+    }
+
+    #[test]
+    fn solution_value_and_loads() {
+        let a = small_auction();
+        let sol = AuctionSolution {
+            winners: vec![BidId(0), BidId(1)],
+        };
+        assert_eq!(sol.value(&a), 7.0);
+        assert_eq!(sol.item_loads(&a), vec![1.0, 2.0, 1.0]);
+        assert!(sol.check_feasible(&a).is_ok());
+    }
+
+    #[test]
+    fn multiplicity_violation_detected() {
+        let a = AuctionInstance::new(vec![1.0], vec![
+            Bid::new(vec![u(0)], 1.0),
+            Bid::new(vec![u(0)], 1.0),
+        ]);
+        let sol = AuctionSolution {
+            winners: vec![BidId(0), BidId(1)],
+        };
+        assert!(matches!(
+            sol.check_feasible(&a),
+            Err(AuctionFeasibilityError::MultiplicityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_winner_detected() {
+        let a = small_auction();
+        let sol = AuctionSolution {
+            winners: vec![BidId(0), BidId(0)],
+        };
+        assert_eq!(
+            sol.check_feasible(&a),
+            Err(AuctionFeasibilityError::DuplicateWinner(BidId(0)))
+        );
+    }
+
+    #[test]
+    fn declaration_probes() {
+        let a = small_auction();
+        let a2 = a.with_declared_value(BidId(1), 99.0);
+        assert_eq!(a2.bid(BidId(1)).value, 99.0);
+        assert_eq!(a.bid(BidId(1)).value, 3.0);
+        let a3 = a.with_declared_bundle(BidId(1), vec![u(2)]);
+        assert_eq!(a3.bid(BidId(1)).bundle, vec![u(2)]);
+        assert_eq!(a3.bid(BidId(1)).value, 3.0);
+    }
+
+    #[test]
+    fn large_multiplicity_bound() {
+        let a = AuctionInstance::new(vec![50.0, 60.0], vec![Bid::new(vec![u(0)], 1.0)]);
+        assert!(a.meets_large_multiplicity_bound(0.2)); // needs ln(2)/0.04 ≈ 17.3
+        assert!(!a.meets_large_multiplicity_bound(0.1)); // needs 69.3
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_bundle_rejected() {
+        Bid::new(vec![], 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_item_rejected() {
+        AuctionInstance::new(vec![1.0], vec![Bid::new(vec![u(5)], 1.0)]);
+    }
+}

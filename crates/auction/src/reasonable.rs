@@ -1,0 +1,243 @@
+//! Reasonable iterative *bundle*-minimizing algorithms (Definitions
+//! 4.3/4.4) — the auction analog of the path-minimizing family, used to
+//! reproduce the 4/3 lower bound of Theorem 4.5.
+//!
+//! An algorithm in this family repeatedly selects, among unsatisfied bids
+//! whose bundles still fit in the residual multiplicities, one minimizing
+//! a reasonable priority of the current allocation counts, and allocates
+//! it. Like the flow version, the lower bound is tie-break-adversarial:
+//! on the Figure 4 instance all bundles have identical size and value, so
+//! the tie-break alone dictates the schedule; listing the type-1 requests
+//! first and breaking ties toward lower bid ids realizes the adversary.
+
+use crate::instance::{AuctionInstance, AuctionSolution, Bid, BidId};
+
+/// Allocation-state context for bundle scores.
+pub struct BundleCtx<'a> {
+    /// The auction.
+    pub instance: &'a AuctionInstance,
+    /// Copies of each item allocated so far (`f_u`).
+    pub allocated: &'a [f64],
+    /// ε for exponential scores.
+    pub epsilon: f64,
+    /// `B = min_u c_u`.
+    pub b: f64,
+}
+
+/// A reasonable bundle priority (Definition 4.3). Lower is better.
+pub trait BundleScore: Sync {
+    /// Name for tables.
+    fn name(&self) -> &'static str;
+    /// Score the bundle; the engine minimizes.
+    fn score(&self, ctx: &BundleCtx<'_>, bid: &Bid) -> f64;
+}
+
+/// `h(s) = (1/v_s)·Σ_{u∈s} (1/c_u)·e^{εB f_u/c_u}` — Algorithm 2's
+/// function (shown reasonable in §4.2).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MucaPrimalDualScore;
+
+impl BundleScore for MucaPrimalDualScore {
+    fn name(&self) -> &'static str {
+        "h (primal-dual)"
+    }
+    fn score(&self, ctx: &BundleCtx<'_>, bid: &Bid) -> f64 {
+        let sum: f64 = bid
+            .bundle
+            .iter()
+            .map(|u| {
+                let c = ctx.instance.multiplicity(*u);
+                (ctx.epsilon * ctx.b * ctx.allocated[u.index()] / c).exp() / c
+            })
+            .sum();
+        sum / bid.value
+    }
+}
+
+/// `(1/v)·|U_r|` — congestion-blind bundle size.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BundleSizeScore;
+
+impl BundleScore for BundleSizeScore {
+    fn name(&self) -> &'static str {
+        "bundle size"
+    }
+    fn score(&self, _ctx: &BundleCtx<'_>, bid: &Bid) -> f64 {
+        bid.size() as f64 / bid.value
+    }
+}
+
+/// `(1/v)·Σ_u f_u/c_u` — linear congestion (also reasonable).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LinearCongestionScore;
+
+impl BundleScore for LinearCongestionScore {
+    fn name(&self) -> &'static str {
+        "linear congestion"
+    }
+    fn score(&self, ctx: &BundleCtx<'_>, bid: &Bid) -> f64 {
+        let sum: f64 = bid
+            .bundle
+            .iter()
+            .map(|u| ctx.allocated[u.index()] / ctx.instance.multiplicity(*u))
+            .sum();
+        (sum + bid.size() as f64 * 1e-12) / bid.value
+    }
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BundleEngineConfig {
+    /// ε for exponential scores.
+    pub epsilon: f64,
+}
+
+impl Default for BundleEngineConfig {
+    fn default() -> Self {
+        BundleEngineConfig { epsilon: 0.5 }
+    }
+}
+
+/// Result of a bundle-engine run.
+#[derive(Clone, Debug)]
+pub struct BundleEngineResult {
+    /// The allocation.
+    pub solution: AuctionSolution,
+}
+
+/// Run a reasonable iterative bundle-minimizing algorithm: allocate until
+/// no unsatisfied bid fits in the residual multiplicities. Ties break to
+/// the lowest bid id (the Figure 4 adversary's schedule when type-1
+/// requests are listed first).
+pub fn iterative_bundle_minimizer(
+    instance: &AuctionInstance,
+    score: &dyn BundleScore,
+    config: &BundleEngineConfig,
+) -> BundleEngineResult {
+    let b = instance.bound_b();
+    let mut allocated = vec![0.0f64; instance.num_items()];
+    let mut remaining: Vec<BidId> = instance.bid_ids().collect();
+    let mut solution = AuctionSolution::empty();
+
+    loop {
+        let ctx = BundleCtx {
+            instance,
+            allocated: &allocated,
+            epsilon: config.epsilon,
+            b,
+        };
+        // Feasible candidates under residual multiplicities.
+        let mut best: Option<(f64, usize)> = None;
+        for (i, &bid) in remaining.iter().enumerate() {
+            let br = instance.bid(bid);
+            let fits = br
+                .bundle
+                .iter()
+                .all(|u| allocated[u.index()] + 1.0 <= instance.multiplicity(*u) + 1e-9);
+            if !fits {
+                continue;
+            }
+            let s = score.score(&ctx, br);
+            let better = match best {
+                None => true,
+                Some((bs, _)) => s < bs,
+            };
+            if better {
+                best = Some((s, i));
+            }
+        }
+        let Some((_, idx)) = best else {
+            break;
+        };
+        let chosen = remaining.remove(idx);
+        for u in &instance.bid(chosen).bundle {
+            allocated[u.index()] += 1.0;
+        }
+        solution.winners.push(chosen);
+    }
+    BundleEngineResult { solution }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::ItemId;
+
+    fn u(i: u32) -> ItemId {
+        ItemId(i)
+    }
+
+    #[test]
+    fn fills_to_multiplicity() {
+        let a = AuctionInstance::new(
+            vec![3.0],
+            (0..5).map(|_| Bid::new(vec![u(0)], 1.0)).collect(),
+        );
+        let res =
+            iterative_bundle_minimizer(&a, &MucaPrimalDualScore, &BundleEngineConfig::default());
+        assert_eq!(res.solution.len(), 3);
+        assert!(res.solution.check_feasible(&a).is_ok());
+    }
+
+    #[test]
+    fn ties_break_to_lowest_bid() {
+        let a = AuctionInstance::new(
+            vec![1.0, 1.0],
+            vec![
+                Bid::new(vec![u(0)], 1.0),
+                Bid::new(vec![u(1)], 1.0),
+            ],
+        );
+        let res =
+            iterative_bundle_minimizer(&a, &MucaPrimalDualScore, &BundleEngineConfig::default());
+        assert_eq!(res.solution.winners[0], BidId(0));
+        assert_eq!(res.solution.len(), 2);
+    }
+
+    #[test]
+    fn all_scores_feasible_and_saturating() {
+        let a = AuctionInstance::new(
+            vec![2.0, 2.0, 2.0],
+            vec![
+                Bid::new(vec![u(0), u(1)], 2.0),
+                Bid::new(vec![u(1), u(2)], 1.0),
+                Bid::new(vec![u(0)], 1.0),
+                Bid::new(vec![u(2)], 3.0),
+                Bid::new(vec![u(0), u(1), u(2)], 2.0),
+            ],
+        );
+        let scores: Vec<Box<dyn BundleScore>> = vec![
+            Box::new(MucaPrimalDualScore),
+            Box::new(BundleSizeScore),
+            Box::new(LinearCongestionScore),
+        ];
+        for s in &scores {
+            let res = iterative_bundle_minimizer(&a, s.as_ref(), &BundleEngineConfig::default());
+            assert!(res.solution.check_feasible(&a).is_ok(), "{}", s.name());
+            // engine must be maximal: no remaining bid fits afterwards
+            let loads = res.solution.item_loads(&a);
+            for bid in a.bid_ids() {
+                if res.solution.contains(bid) {
+                    continue;
+                }
+                let fits = a
+                    .bid(bid)
+                    .bundle
+                    .iter()
+                    .all(|it| loads[it.index()] + 1.0 <= a.multiplicity(*it) + 1e-9);
+                assert!(!fits, "score {} left {bid} unallocated but feasible", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn prefers_value_density() {
+        let a = AuctionInstance::new(
+            vec![1.0],
+            vec![Bid::new(vec![u(0)], 1.0), Bid::new(vec![u(0)], 5.0)],
+        );
+        let res =
+            iterative_bundle_minimizer(&a, &MucaPrimalDualScore, &BundleEngineConfig::default());
+        assert_eq!(res.solution.winners, vec![BidId(1)]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Log-space item weights `y_u` — the auction analog of the UFP dual
+//! weights, with the same overflow-proof representation (see the
+//! `ufp-core::weights` docs for the full rationale; the auction guard
+//! `e^{ε(B−1)}` overflows `f64` just as easily).
+
+use crate::instance::ItemId;
+
+const RECENTER_AT: f64 = 600.0;
+
+/// Dual item weights for Algorithm 2, kept in log space.
+#[derive(Clone, Debug)]
+pub struct ItemWeights {
+    ln_y: Vec<f64>,
+    w: Vec<f64>,
+    shift: f64,
+    max_ln_y: f64,
+    mults: Vec<f64>,
+}
+
+impl ItemWeights {
+    /// Initialize `y_u = 1/c_u` (line 2 of Algorithm 2).
+    pub fn new(multiplicities: &[f64]) -> Self {
+        let mults = multiplicities.to_vec();
+        let ln_y: Vec<f64> = mults.iter().map(|c| -(c.ln())).collect();
+        let max_ln_y = ln_y.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let shift = if max_ln_y.is_finite() { max_ln_y } else { 0.0 };
+        let w = ln_y.iter().map(|l| (l - shift).exp()).collect();
+        ItemWeights {
+            ln_y,
+            w,
+            shift,
+            max_ln_y,
+            mults,
+        }
+    }
+
+    /// Materialized weights (`∝ y_u`), for bundle scoring.
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// Scale: `y_u = weights()[u] · e^{shift}`.
+    #[inline]
+    pub fn shift(&self) -> f64 {
+        self.shift
+    }
+
+    /// `y_u ← y_u · e^{exponent}` (line 5: `exponent = εB/c_u`).
+    pub fn bump(&mut self, u: ItemId, exponent: f64) {
+        debug_assert!(exponent >= 0.0);
+        let i = u.index();
+        self.ln_y[i] += exponent;
+        if self.ln_y[i] > self.max_ln_y {
+            self.max_ln_y = self.ln_y[i];
+        }
+        if self.max_ln_y - self.shift > RECENTER_AT {
+            self.shift = self.max_ln_y;
+            for (w, l) in self.w.iter_mut().zip(&self.ln_y) {
+                *w = (l - self.shift).exp();
+            }
+        } else {
+            self.w[i] = (self.ln_y[i] - self.shift).exp();
+        }
+    }
+
+    /// `ln Σ_u c_u y_u` — the guard quantity, via stable log-sum-exp.
+    pub fn ln_dual_sum(&self) -> f64 {
+        let sum: f64 = self.w.iter().zip(&self.mults).map(|(w, c)| w * c).sum();
+        sum.ln() + self.shift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_dual_sum_is_item_count() {
+        let w = ItemWeights::new(&[2.0, 5.0, 9.0]);
+        assert!((w.ln_dual_sum() - (3.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bump_and_ratio() {
+        let mut w = ItemWeights::new(&[1.0, 1.0]);
+        w.bump(ItemId(0), 2.0);
+        let r = w.weights()[0] / w.weights()[1];
+        assert!((r - (2.0f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn survives_huge_exponents() {
+        let mut w = ItemWeights::new(&[1.0, 1.0]);
+        for _ in 0..50 {
+            w.bump(ItemId(0), 200.0);
+        }
+        assert!((w.ln_dual_sum() - 10_000.0).abs() < 1e-6);
+        assert!(w.weights()[0].is_finite());
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the auction stack.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ufp_auction::{
+    auction_lp, bkv_auction, bounded_muca, exact_auction_optimum, greedy_auction,
+    iterative_bundle_minimizer, AuctionGreedyOrder, AuctionInstance, Bid, BoundedMucaConfig,
+    BundleEngineConfig, ItemId, MucaPrimalDualScore,
+};
+
+fn arb_auction() -> impl Strategy<Value = (AuctionInstance, f64)> {
+    (2usize..8, 1usize..12, any::<u64>(), 1usize..10).prop_map(
+        |(items, bids, seed, eps_decile)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mults: Vec<f64> = (0..items)
+                .map(|_| rng.random_range(1.0..8.0f64).floor())
+                .collect();
+            let bid_list: Vec<Bid> = (0..bids)
+                .map(|_| {
+                    let size = rng.random_range(1..=items);
+                    let mut bundle: Vec<u32> = (0..items as u32).collect();
+                    for i in (1..bundle.len()).rev() {
+                        bundle.swap(i, rng.random_range(0..=i));
+                    }
+                    let bundle = bundle[..size].iter().map(|&u| ItemId(u)).collect();
+                    Bid::new(bundle, rng.random_range(0.1..5.0))
+                })
+                .collect();
+            let eps = eps_decile as f64 / 10.0;
+            (AuctionInstance::new(mults, bid_list), eps)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn muca_always_feasible((a, eps) in arb_auction()) {
+        let run = bounded_muca(&a, &BoundedMucaConfig::with_epsilon(eps));
+        prop_assert!(run.solution.check_feasible(&a).is_ok());
+    }
+
+    #[test]
+    fn sandwich_alg_exact_lp((a, eps) in arb_auction()) {
+        let run = bounded_muca(&a, &BoundedMucaConfig::with_epsilon(eps));
+        let alg = run.solution.value(&a);
+        let (opt, sol) = exact_auction_optimum(&a);
+        prop_assert!(sol.check_feasible(&a).is_ok());
+        prop_assert!(alg <= opt + 1e-9, "ALG {alg} beats optimum {opt}");
+        let (lp_opt, _) = auction_lp(&a);
+        prop_assert!(opt <= lp_opt + 1e-6, "integral {opt} above LP {lp_opt}");
+        if let Some(bound) = run.dual_upper_bound() {
+            prop_assert!(bound >= lp_opt - 1e-6,
+                "dual certificate {bound} below LP {lp_opt}");
+        }
+    }
+
+    #[test]
+    fn all_heuristics_below_exact((a, eps) in arb_auction()) {
+        let (opt, _) = exact_auction_optimum(&a);
+        for order in [AuctionGreedyOrder::ByValue, AuctionGreedyOrder::ByDensity,
+                      AuctionGreedyOrder::BySqrtDensity] {
+            let g = greedy_auction(&a, order);
+            prop_assert!(g.check_feasible(&a).is_ok());
+            prop_assert!(g.value(&a) <= opt + 1e-9);
+        }
+        let b = bkv_auction(&a, eps);
+        prop_assert!(b.check_feasible(&a).is_ok());
+        prop_assert!(b.value(&a) <= opt + 1e-9);
+        let e = iterative_bundle_minimizer(&a, &MucaPrimalDualScore,
+                                           &BundleEngineConfig::default());
+        prop_assert!(e.solution.check_feasible(&a).is_ok());
+        prop_assert!(e.solution.value(&a) <= opt + 1e-9);
+    }
+
+    #[test]
+    fn muca_value_monotone((a, eps) in arb_auction()) {
+        let cfg = BoundedMucaConfig::with_epsilon(eps);
+        let base = bounded_muca(&a, &cfg);
+        for bid in a.bid_ids() {
+            if !base.solution.contains(bid) {
+                continue;
+            }
+            let probe = a.with_declared_value(bid, a.bid(bid).value * 3.0);
+            let run = bounded_muca(&probe, &cfg);
+            prop_assert!(run.solution.contains(bid),
+                "winner {bid} evicted after tripling its value");
+        }
+    }
+
+    #[test]
+    fn muca_bundle_shrink_monotone((a, eps) in arb_auction()) {
+        // Corollary 4.2 (unknown single-minded): dropping items from a
+        // winning bundle keeps it winning.
+        let cfg = BoundedMucaConfig::with_epsilon(eps);
+        let base = bounded_muca(&a, &cfg);
+        for bid in a.bid_ids() {
+            if !base.solution.contains(bid) || a.bid(bid).bundle.len() < 2 {
+                continue;
+            }
+            let shrunk = a.bid(bid).bundle[1..].to_vec();
+            let probe = a.with_declared_bundle(bid, shrunk);
+            let run = bounded_muca(&probe, &cfg);
+            prop_assert!(run.solution.contains(bid),
+                "winner {bid} evicted after shrinking its bundle");
+        }
+    }
+
+    #[test]
+    fn bundle_engine_is_maximal((a, _eps) in arb_auction()) {
+        let run = iterative_bundle_minimizer(&a, &MucaPrimalDualScore,
+                                             &BundleEngineConfig::default());
+        let loads = run.solution.item_loads(&a);
+        for bid in a.bid_ids() {
+            if run.solution.contains(bid) {
+                continue;
+            }
+            let fits = a.bid(bid).bundle.iter()
+                .all(|u| loads[u.index()] + 1.0 <= a.multiplicity(*u) + 1e-9);
+            prop_assert!(!fits, "engine stopped while {bid} still fit");
+        }
+    }
+}

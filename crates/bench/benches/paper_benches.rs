@@ -1,0 +1,156 @@
+//! Criterion timing benches, one per reproduced table/figure — these
+//! measure the *cost* of regenerating each paper claim (the claims
+//! themselves are checked by the `experiments` binary and the test
+//! suite). Sizes are scaled down so `cargo bench` completes in minutes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ufp_auction::{
+    bounded_muca, iterative_bundle_minimizer, BoundedMucaConfig, BundleEngineConfig,
+    MucaPrimalDualScore,
+};
+use ufp_core::baselines::{bkv, greedy, BkvConfig, GreedyOrder};
+use ufp_core::{
+    bounded_ufp, bounded_ufp_repeat, iterative_path_minimizer, BoundedUfpConfig, EngineConfig,
+    PrimalDualScore, RepeatConfig, TieBreak,
+};
+use ufp_workloads as w;
+use ufp_workloads::{random_auction, random_ufp, RandomAuctionConfig, RandomUfpConfig};
+
+/// E1/Theorem 3.1: one Bounded-UFP run on a contended random instance.
+fn thm31_bounded_ufp(c: &mut Criterion) {
+    let b = w::required_b(120, 0.3);
+    let inst = random_ufp(&RandomUfpConfig {
+        nodes: 40,
+        edges: 120,
+        requests: (5.0 * b).ceil() as usize,
+        epsilon_target: 0.3,
+        hotspot_pairs: Some(2),
+        seed: 23,
+        ..Default::default()
+    });
+    let cfg = BoundedUfpConfig::with_epsilon(0.3);
+    c.bench_function("thm31_bounded_ufp", |bench| {
+        bench.iter(|| black_box(bounded_ufp(&inst, &cfg)))
+    });
+}
+
+/// E2/Figure 2: the adversarial schedule (fast simulator + engine).
+fn fig2_lower_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_lower_bound");
+    for &(b, ell) in &[(4usize, 64usize), (8, 128)] {
+        group.bench_with_input(
+            BenchmarkId::new("simulator", format!("B{b}_l{ell}")),
+            &(b, ell),
+            |bench, &(b, ell)| {
+                bench.iter(|| black_box(w::figure2::simulate_figure2_adversary(ell, b, 0.5)))
+            },
+        );
+    }
+    let inst = w::figure2(16, 2);
+    let mut cfg = EngineConfig::default();
+    cfg.tie = TieBreak::HighestSecondNode;
+    group.bench_function("generic_engine_B2_l16", |bench| {
+        bench.iter(|| black_box(iterative_path_minimizer(&inst, &PrimalDualScore, &cfg)))
+    });
+    group.finish();
+}
+
+/// E3/Figure 3: the hub-adversarial engine run.
+fn fig3_lower_bound(c: &mut Criterion) {
+    let inst = w::figure3(32);
+    let mut cfg = EngineConfig::default();
+    cfg.tie = TieBreak::ViaHub(w::figure3_hub());
+    c.bench_function("fig3_lower_bound_B32", |bench| {
+        bench.iter(|| black_box(iterative_path_minimizer(&inst, &PrimalDualScore, &cfg)))
+    });
+}
+
+/// E4/Figure 4: the bundle-engine run.
+fn fig4_muca_lower_bound(c: &mut Criterion) {
+    let a = w::figure4(15, 4, 240);
+    c.bench_function("fig4_muca_lower_bound_p15", |bench| {
+        bench.iter(|| {
+            black_box(iterative_bundle_minimizer(
+                &a,
+                &MucaPrimalDualScore,
+                &BundleEngineConfig::default(),
+            ))
+        })
+    });
+}
+
+/// E5/Theorem 4.1: Bounded-MUCA on a contended auction.
+fn thm41_bounded_muca(c: &mut Criterion) {
+    let b = w::required_multiplicity(40, 0.3);
+    let a = random_auction(&RandomAuctionConfig {
+        items: 40,
+        bids: (10.0 * b).ceil() as usize,
+        bundle_size: (2, 6),
+        epsilon_target: 0.3,
+        seed: 7,
+        ..Default::default()
+    });
+    let cfg = BoundedMucaConfig::with_epsilon(0.3);
+    c.bench_function("thm41_bounded_muca", |bench| {
+        bench.iter(|| black_box(bounded_muca(&a, &cfg)))
+    });
+}
+
+/// E6/Theorem 5.1: the repetitions variant.
+fn thm51_repeat(c: &mut Criterion) {
+    let inst = random_ufp(&RandomUfpConfig {
+        nodes: 10,
+        edges: 30,
+        requests: 20,
+        epsilon_target: 0.4,
+        demand_range: (0.5, 1.0),
+        hotspot_pairs: Some(4),
+        seed: 31,
+        ..Default::default()
+    });
+    let cfg = RepeatConfig::with_epsilon(0.4);
+    c.bench_function("thm51_repeat", |bench| {
+        bench.iter(|| black_box(bounded_ufp_repeat(&inst, &cfg)))
+    });
+}
+
+/// E7: each baseline on the same contended instance.
+fn baseline_comparison(c: &mut Criterion) {
+    let b = w::required_b(120, 0.3);
+    let inst = random_ufp(&RandomUfpConfig {
+        nodes: 30,
+        edges: 120,
+        requests: (5.0 * b).ceil() as usize,
+        epsilon_target: 0.3,
+        hotspot_pairs: Some(2),
+        seed: 1,
+        ..Default::default()
+    });
+    let mut group = c.benchmark_group("baseline_comparison");
+    let agg_cfg = BoundedUfpConfig::with_epsilon(0.3);
+    group.bench_function("bounded_ufp", |bench| {
+        bench.iter(|| black_box(bounded_ufp(&inst, &agg_cfg)))
+    });
+    let bkv_cfg = BkvConfig { epsilon: 0.3 };
+    group.bench_function("bkv_one_pass", |bench| {
+        bench.iter(|| black_box(bkv(&inst, &bkv_cfg)))
+    });
+    group.bench_function("greedy_by_density", |bench| {
+        bench.iter(|| black_box(greedy(&inst, GreedyOrder::ByDensity)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    paper,
+    thm31_bounded_ufp,
+    fig2_lower_bound,
+    fig3_lower_bound,
+    fig4_muca_lower_bound,
+    thm41_bounded_muca,
+    thm51_repeat,
+    baseline_comparison
+);
+criterion_main!(paper);

@@ -1,0 +1,132 @@
+//! Scaling and substrate benches (experiment E9's timing companion):
+//! Bounded-UFP vs request count and thread count, the Dijkstra hot path,
+//! the LP substrate, and critical-value payment computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ufp_core::{bounded_ufp, BoundedUfpConfig};
+use ufp_lp::{solve_fractional_ufp, solve_ufp_lp_exact};
+use ufp_mechanism::{critical_value, PaymentConfig, SingleParamAllocator, UfpAllocator};
+use ufp_netgraph::dijkstra::Dijkstra;
+use ufp_netgraph::generators;
+use ufp_netgraph::ids::NodeId;
+use ufp_par::Pool;
+use ufp_workloads::{random_ufp, RandomUfpConfig};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Bounded-UFP wall time vs |R|.
+fn scaling_requests(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_requests");
+    group.sample_size(10);
+    for &requests in &[100usize, 200, 400] {
+        let inst = random_ufp(&RandomUfpConfig {
+            nodes: 60,
+            edges: 400,
+            requests,
+            epsilon_target: 0.3,
+            seed: 17,
+            ..Default::default()
+        });
+        let cfg = BoundedUfpConfig::with_epsilon(0.3);
+        group.bench_with_input(BenchmarkId::from_parameter(requests), &inst, |b, inst| {
+            b.iter(|| black_box(bounded_ufp(inst, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+/// Bounded-UFP wall time vs thread count (the E9 speedup series).
+/// The fan-out parallelizes per-source Dijkstra trees, so the tasks must
+/// be coarse (large graph) before threading pays — same caveat as E9.
+fn scaling_threads(c: &mut Criterion) {
+    let inst = random_ufp(&RandomUfpConfig {
+        nodes: 300,
+        edges: 3000,
+        requests: 150,
+        epsilon_target: 0.3,
+        seed: 17,
+        ..Default::default()
+    });
+    let mut group = c.benchmark_group("scaling_threads");
+    group.sample_size(10);
+    for &threads in &[1usize, 2] {
+        let cfg = BoundedUfpConfig::with_epsilon(0.3).parallel(Pool::new(threads));
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &cfg, |b, cfg| {
+            b.iter(|| black_box(bounded_ufp(&inst, cfg)))
+        });
+    }
+    group.finish();
+}
+
+/// The Dijkstra hot path in isolation (workspace reuse).
+fn dijkstra_hot_path(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = generators::gnm_digraph(200, 2000, (1.0, 2.0), &mut rng);
+    let weights: Vec<f64> = (0..g.num_edges()).map(|i| 1.0 + (i % 13) as f64).collect();
+    let mut dij = Dijkstra::new(g.num_nodes());
+    c.bench_function("dijkstra_200n_2000m", |b| {
+        b.iter(|| {
+            let r = dij.shortest_path(&g, &weights, NodeId(0), NodeId(199), |_| true);
+            black_box(r)
+        })
+    });
+}
+
+/// LP substrate: exact simplex vs Garg–Könemann on the same instance.
+fn lp_substrate(c: &mut Criterion) {
+    let inst = random_ufp(&RandomUfpConfig {
+        nodes: 8,
+        edges: 24,
+        requests: 8,
+        epsilon_target: 0.5,
+        seed: 3,
+        ..Default::default()
+    });
+    let commodities = inst.to_commodities();
+    let mut group = c.benchmark_group("lp_substrate");
+    group.sample_size(10);
+    group.bench_function("simplex_exact", |b| {
+        b.iter(|| black_box(solve_ufp_lp_exact(inst.graph(), &commodities)))
+    });
+    group.bench_function("garg_konemann", |b| {
+        b.iter(|| black_box(solve_fractional_ufp(inst.graph(), &commodities, 0.1, 50_000)))
+    });
+    group.finish();
+}
+
+/// Critical-value payment for one winner (bisection cost).
+fn payment_bisection(c: &mut Criterion) {
+    let inst = random_ufp(&RandomUfpConfig {
+        nodes: 10,
+        edges: 40,
+        requests: 15,
+        epsilon_target: 0.4,
+        hotspot_pairs: Some(2),
+        seed: 44,
+        ..Default::default()
+    });
+    let alloc = UfpAllocator {
+        config: BoundedUfpConfig::with_epsilon(0.4),
+    };
+    let selected = alloc.selected(&inst);
+    let winner = (0..inst.num_requests())
+        .find(|&a| selected[a])
+        .expect("some winner");
+    let cfg = PaymentConfig::default();
+    c.bench_function("payment_bisection", |b| {
+        b.iter(|| black_box(critical_value(&alloc, &inst, winner, &cfg)))
+    });
+}
+
+criterion_group!(
+    scaling,
+    scaling_requests,
+    scaling_threads,
+    dijkstra_hot_path,
+    lp_substrate,
+    payment_bisection
+);
+criterion_main!(scaling);

@@ -1,0 +1,243 @@
+//! Comparison experiments: AGG vs prior art (E7) and the motivation
+//! experiments — integrality gap and rounding non-monotonicity (E12).
+
+use ufp_core::baselines::{bkv, greedy, randomized_rounding, BkvConfig, GreedyOrder, RoundingConfig};
+use ufp_core::{
+    bounded_ufp, exact_optimum, BoundedUfpConfig, ExactConfig, Request, RequestId, UfpInstance,
+};
+use ufp_lp::solve_ufp_lp_exact;
+use ufp_netgraph::graph::GraphBuilder;
+use ufp_netgraph::ids::NodeId;
+use ufp_workloads::{figure2, random_ufp, RandomUfpConfig, ValueModel};
+
+use crate::table::{f, Table};
+
+/// E7 — the headline comparison: Bounded-UFP (ratio → e/(e−1)) against
+/// the previous best truthful algorithm (BKV, ratio → e), greedy
+/// heuristics, and non-truthful randomized rounding.
+pub fn e7_baseline_comparison() -> Table {
+    let mut t = Table::new(
+        "E7",
+        "Bounded-UFP vs prior art: who wins, by what factor",
+        &["instance", "AGG", "BKV", "grd-val", "grd-dens", "rounding", "OPT bound", "AGG/BKV"],
+    );
+
+    let mut run_row = |name: String, inst: &UfpInstance, eps: f64| {
+        let agg_run = bounded_ufp(inst, &BoundedUfpConfig::with_epsilon(eps));
+        assert!(agg_run.solution.check_feasible(inst, false).is_ok());
+        let agg = agg_run.solution.value(inst);
+        let bkv_run = bkv(inst, &BkvConfig { epsilon: eps });
+        assert!(bkv_run.solution.check_feasible(inst, false).is_ok());
+        let bkv_v = bkv_run.solution.value(inst);
+        let gv = greedy(inst, GreedyOrder::ByValue).value(inst);
+        let gd = greedy(inst, GreedyOrder::ByDensity).value(inst);
+        let rr = randomized_rounding(
+            inst,
+            &RoundingConfig {
+                epsilon: 0.1,
+                lp_epsilon: 0.15,
+                lp_max_iterations: 30_000,
+                seed: 99,
+            },
+        )
+        .value(inst);
+        let bound = agg_run
+            .dual_upper_bound()
+            .map(f)
+            .unwrap_or_else(|| "-".into());
+        t.row(vec![
+            name,
+            f(agg),
+            f(bkv_v),
+            f(gv),
+            f(gd),
+            f(rr),
+            bound,
+            f(agg / bkv_v.max(1e-12)),
+        ]);
+    };
+
+    // Adversarial family (large capacity so the guard admits eps = 0.5).
+    run_row("figure2(64,32)".into(), &figure2(64, 32), 0.5);
+
+    // Random contended instances (hotspot demand ≫ hotspot cuts).
+    for seed in [1u64, 2, 3] {
+        let b_req = ufp_workloads::required_b(120, 0.3);
+        let inst = random_ufp(&RandomUfpConfig {
+            nodes: 30,
+            edges: 120,
+            requests: (25.0 * b_req).ceil() as usize,
+            epsilon_target: 0.3,
+            demand_range: (0.2, 1.0),
+            values: ValueModel::HeavyTail { lo: 0.5, s: 1.0 },
+            hotspot_pairs: Some(2),
+            seed,
+        });
+        run_row(format!("random(seed={seed})"), &inst, 0.3);
+    }
+
+    t.note("AGG = this paper's Algorithm 1; BKV = one-pass reconstruction of Briest et");
+    t.note("al. [7] (previous best truthful, ratio → e). AGG/BKV > 1 is the paper's");
+    t.note("improvement; rounding is near-optimal but not truthful (see E12).");
+    t.note("Caveat on figure2: greedy's hop-shortest tie-break happens to route s_i via");
+    t.note("v_i (the optimal matching) — the lower bound binds the *worst-case* member");
+    t.note("of the reasonable family (E2), not every heuristic on every tie-break.");
+    t
+}
+
+/// A tiny two-request fixture whose LP optimum changes structure as one
+/// request's value moves — the hunting ground for a rounding
+/// non-monotonicity witness.
+fn witness_instance(seed: u64) -> UfpInstance {
+    // Contended on purpose (hotspots): the LP must be fractional and the
+    // alteration pass active, otherwise raising a bid perturbs nothing.
+    random_ufp(&RandomUfpConfig {
+        nodes: 8,
+        edges: 24,
+        requests: 24,
+        epsilon_target: 0.6,
+        demand_range: (0.4, 1.0),
+        values: ValueModel::Uniform(0.5, 2.0),
+        hotspot_pairs: Some(2),
+        seed,
+    })
+}
+
+/// E12 — the paper's motivation, in two parts. (a) The integrality gap of
+/// the Figure 1 program tends to 1 as B grows, which is why the
+/// large-capacity regime is where (1+ε) is possible at all. (b) With the
+/// coins fixed, randomized rounding is *not* monotone: we exhibit a
+/// concrete witness where raising a bid flips an agent from selected to
+/// rejected — the precise failure that rules it out for truthfulness.
+pub fn e12_integrality_gap_and_rounding() -> Table {
+    let mut t = Table::new(
+        "E12",
+        "§1 motivation: integrality gap → 1+ε for large B; randomized rounding is non-monotone",
+        &["series", "B", "OPT_frac", "OPT_int", "gap"],
+    );
+
+    // (a) Integrality gap on a bottleneck edge of capacity 1.5·B with 3B
+    // unit requests. OPT_int = ⌊1.5B⌋ in closed form (one edge, unit
+    // demands); branch-and-bound on equal-value instances is exponential,
+    // so we verify the formula with BnB only at B ≤ 2.
+    for &b in &[1usize, 3, 5, 9, 17, 33] {
+        // Odd B keeps 1.5B fractional, so the gap decays visibly to 1.
+        let cap = 1.5 * b as f64;
+        let mut gb = GraphBuilder::directed(2);
+        gb.add_edge(NodeId(0), NodeId(1), cap);
+        let requests: Vec<Request> = (0..3 * b)
+            .map(|_| Request::new(NodeId(0), NodeId(1), 1.0, 1.0))
+            .collect();
+        let inst = UfpInstance::new(gb.build(), requests);
+        let frac = solve_ufp_lp_exact(inst.graph(), &inst.to_commodities());
+        let int_value = cap.floor();
+        if b <= 2 {
+            let bnb = exact_optimum(&inst, &ExactConfig::default());
+            assert!((bnb.value - int_value).abs() < 1e-9, "closed form wrong");
+        }
+        t.row(vec![
+            "bottleneck".into(),
+            b.to_string(),
+            f(frac.objective),
+            f(int_value),
+            f(frac.objective / int_value),
+        ]);
+    }
+
+    // (a') Same trend on a diamond (two disjoint 2-hop paths of capacity
+    // 1.25·B each): OPT_int = 2·⌊1.25B⌋, OPT_frac = min(4B, 2.5B).
+    for &b in &[1usize, 2, 4, 8, 16] {
+        let cap = 1.25 * b as f64;
+        let mut gb = GraphBuilder::directed(4);
+        gb.add_edge(NodeId(0), NodeId(1), cap);
+        gb.add_edge(NodeId(1), NodeId(3), cap);
+        gb.add_edge(NodeId(0), NodeId(2), cap);
+        gb.add_edge(NodeId(2), NodeId(3), cap);
+        let requests: Vec<Request> = (0..4 * b)
+            .map(|_| Request::new(NodeId(0), NodeId(3), 1.0, 1.0))
+            .collect();
+        let inst = UfpInstance::new(gb.build(), requests);
+        let frac = solve_ufp_lp_exact(inst.graph(), &inst.to_commodities());
+        let int_value = 2.0 * cap.floor();
+        if b <= 2 {
+            let bnb = exact_optimum(&inst, &ExactConfig::default());
+            assert!((bnb.value - int_value).abs() < 1e-9, "closed form wrong");
+        }
+        t.row(vec![
+            "diamond".into(),
+            b.to_string(),
+            f(frac.objective),
+            f(int_value),
+            f(frac.objective / int_value),
+        ]);
+    }
+
+    // (b) Non-monotonicity witness for randomized rounding.
+    let mut witness: Option<String> = None;
+    'search: for seed in 0..60u64 {
+        let inst = witness_instance(seed);
+        let cfg = RoundingConfig {
+            epsilon: 0.1,
+            seed: 1234,
+            ..Default::default()
+        };
+        let base = randomized_rounding(&inst, &cfg);
+        for agent in inst.request_ids() {
+            if !base.contains(agent) {
+                continue;
+            }
+            for factor in [1.2, 1.5, 2.0, 4.0] {
+                let raised = inst.with_declared_type(
+                    agent,
+                    inst.request(agent).demand,
+                    inst.request(agent).value * factor,
+                );
+                let res = randomized_rounding(&raised, &cfg);
+                if !res.contains(agent) {
+                    witness = Some(format!(
+                        "instance seed {seed}, agent {agent}: selected at value {v:.3}, \
+                         REJECTED after raising to {v2:.3} (coins fixed)",
+                        v = inst.request(agent).value,
+                        v2 = inst.request(agent).value * factor,
+                    ));
+                    break 'search;
+                }
+            }
+        }
+    }
+    match witness {
+        Some(w) => {
+            t.note(format!("rounding non-monotonicity witness: {w}"));
+            t.note("this is exactly why randomized rounding 'cannot be employed' (paper §1).");
+        }
+        None => t.note("no rounding monotonicity witness found in the search budget (unexpected)"),
+    }
+    t.note("gap column: OPT_frac/OPT_int → 1 as B grows (the 1+ε integrality-gap regime).");
+
+    // A sanity check the bounded algorithms pass trivially but rounding's
+    // witness makes vivid: Bounded-UFP never drops an agent who raises.
+    let inst = witness_instance(0);
+    let cfg = BoundedUfpConfig::with_epsilon(0.6);
+    let base = bounded_ufp(&inst, &cfg);
+    let mut monotone_ok = true;
+    for agent in inst.request_ids() {
+        if !base.solution.contains(agent) {
+            continue;
+        }
+        for factor in [1.2, 2.0, 4.0] {
+            let raised = inst.with_declared_type(
+                agent,
+                inst.request(agent).demand,
+                inst.request(agent).value * factor,
+            );
+            if !bounded_ufp(&raised, &cfg).solution.contains(agent) {
+                monotone_ok = false;
+            }
+        }
+    }
+    t.note(format!(
+        "Bounded-UFP under the same probes: monotone = {monotone_ok} (Lemma 3.4)"
+    ));
+    let _ = RequestId(0); // keep the import used even if probes shrink
+    t
+}

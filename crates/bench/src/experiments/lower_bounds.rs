@@ -1,0 +1,234 @@
+//! Lower-bound experiments: Theorem 3.11 / Figure 2 (E2), Theorem 3.12 /
+//! Figure 3 (E3), Theorem 4.5 / Figure 4 (E4), and the reasonable-score
+//! ablation (E11).
+
+use ufp_core::{
+    iterative_path_minimizer, EngineConfig, HopScore, LengthBiasedScore, PathScore,
+    PrimalDualScore, ProductScore, TieBreak,
+};
+use ufp_auction::{
+    iterative_bundle_minimizer, BundleEngineConfig, BundleSizeScore, LinearCongestionScore,
+    MucaPrimalDualScore,
+};
+use ufp_par::Pool;
+use ufp_workloads::{
+    figure2, figure2_optimum, figure2_predicted_ratio, figure2_subdivided, figure3,
+    figure3_algorithm_bound, figure3_hub, figure3_optimum, figure4, figure4_algorithm_bound,
+    figure4_optimum, figure4_predicted_ratio,
+};
+
+use crate::table::{f, Table};
+
+const E: f64 = std::f64::consts::E;
+
+/// E2 — Theorem 3.11 / Figure 2: the adversarial schedule drives any
+/// reasonable iterative path minimizer to ratio → e/(e−1).
+pub fn e2_figure2_lower_bound() -> Table {
+    let limit = E / (E - 1.0);
+    let mut t = Table::new(
+        "E2",
+        "Theorem 3.11 / Figure 2: reasonable path minimizers cannot beat e/(e−1) ≈ 1.5820",
+        &["variant", "B", "ell", "ALG", "OPT", "ratio", "predicted", "e/(e-1)"],
+    );
+
+    // Main series: the O(ℓ²)-per-iteration simulator (pinned to the
+    // generic engine by a workloads test), ℓ ≫ B so the +O(B²) slack is
+    // small.
+    for &(b, ell) in &[(2usize, 64usize), (4, 128), (8, 256), (16, 512), (32, 512)] {
+        let alg = ufp_workloads::figure2::simulate_figure2_adversary(ell, b, 0.5);
+        let opt = figure2_optimum(ell, b);
+        t.row(vec![
+            "plain".into(),
+            b.to_string(),
+            ell.to_string(),
+            f(alg),
+            f(opt),
+            f(opt / alg),
+            f(figure2_predicted_ratio(b)),
+            f(limit),
+        ]);
+    }
+
+    // Tie-break-free series: the subdivided variant forces the schedule
+    // under the neutral lowest-request tie-break, on the generic engine.
+    for &(b, ell) in &[(2usize, 8usize), (3, 8), (4, 8)] {
+        let inst = figure2_subdivided(ell, b);
+        let mut cfg = EngineConfig::default();
+        cfg.tie = TieBreak::LowestRequest;
+        cfg.pool = Pool::auto();
+        let run = iterative_path_minimizer(&inst, &PrimalDualScore, &cfg);
+        assert!(run.solution.check_feasible(&inst, false).is_ok());
+        let alg = run.solution.value(&inst);
+        let opt = figure2_optimum(ell, b);
+        t.row(vec![
+            "subdivided".into(),
+            b.to_string(),
+            ell.to_string(),
+            f(alg),
+            f(opt),
+            f(opt / alg),
+            f(figure2_predicted_ratio(b)),
+            f(limit),
+        ]);
+    }
+
+    t.note("predicted = 1/(1−(B/(B+1))^B) → e/(e−1); the plain series (ℓ = 16–32·B)");
+    t.note("tracks it from just below (+O(B²) slack) and converges as B grows. The");
+    t.note("subdivided series uses small ℓ (the graph is Θ(ℓ⁴)), where the finite-ℓ");
+    t.note("schedule is even worse than the asymptotic prediction — still ≥ the bound.");
+    t.note("The subdivided variant needs no adversarial tie-break: shorter paths are");
+    t.note("strictly preferred, forcing the same 'minimal i, maximal j' schedule.");
+    t
+}
+
+/// E3 — Theorem 3.12 / Figure 3: 4/3 lower bound, any B, undirected.
+pub fn e3_figure3_lower_bound() -> Table {
+    let mut t = Table::new(
+        "E3",
+        "Theorem 3.12 / Figure 3: 4/3 lower bound for any B (undirected, hub-adversarial ties)",
+        &["B", "ALG", "3B (proof)", "OPT", "ratio", "4/3"],
+    );
+    for &b in &[2usize, 8, 32, 128] {
+        let inst = figure3(b);
+        let mut cfg = EngineConfig::default();
+        cfg.tie = TieBreak::ViaHub(figure3_hub());
+        cfg.pool = Pool::auto();
+        let run = iterative_path_minimizer(&inst, &PrimalDualScore, &cfg);
+        assert!(run.solution.check_feasible(&inst, false).is_ok());
+        let alg = run.solution.value(&inst);
+        let opt = figure3_optimum(b);
+        t.row(vec![
+            b.to_string(),
+            f(alg),
+            f(figure3_algorithm_bound(b)),
+            f(opt),
+            f(opt / alg),
+            f(4.0 / 3.0),
+        ]);
+    }
+    t.note("ALG must equal the proof's 3B ceiling exactly: the hub tie-break burns the");
+    t.note("{v1–v7, v3–v7} cut during the first two request blocks, capping the rest at B.");
+    t
+}
+
+/// E4 — Theorem 4.5 / Figure 4: 4/3 lower bound for reasonable bundle
+/// minimizers.
+pub fn e4_figure4_lower_bound() -> Table {
+    let mut t = Table::new(
+        "E4",
+        "Theorem 4.5 / Figure 4: reasonable bundle minimizers cannot beat 4/3 (ratio = 4p/(3p+1))",
+        &["p", "B", "m", "ALG", "(3p+1)B/4", "OPT", "ratio", "predicted", "4/3"],
+    );
+    for &p in &[3usize, 7, 15, 31] {
+        let b = 4usize;
+        let m = p * (p + 1);
+        let a = figure4(p, b, m);
+        let run = iterative_bundle_minimizer(&a, &MucaPrimalDualScore, &BundleEngineConfig::default());
+        assert!(run.solution.check_feasible(&a).is_ok());
+        let alg = run.solution.value(&a);
+        let opt = figure4_optimum(p, b);
+        t.row(vec![
+            p.to_string(),
+            b.to_string(),
+            m.to_string(),
+            f(alg),
+            f(figure4_algorithm_bound(p, b)),
+            f(opt),
+            f(opt / alg),
+            f(figure4_predicted_ratio(p)),
+            f(4.0 / 3.0),
+        ]);
+    }
+    t.note("All bundles have |U|/p items and unit value, so the engine is tie-bound;");
+    t.note("lowest-id ties (type-1 bids listed first) realize the adversary. ALG must");
+    t.note("match (3p+1)B/4 exactly and the ratio 4p/(3p+1) → 4/3.");
+    t
+}
+
+/// E11 — ablation over the reasonable functions of §3.3 (h, h₁, h₂,
+/// hop count) and their auction analogs: every member of the family obeys
+/// the lower bounds; none beats them.
+pub fn e11_score_ablation() -> Table {
+    let mut t = Table::new(
+        "E11",
+        "Definition 3.9 ablation: every reasonable score obeys the lower bounds",
+        &["family", "score", "instance", "ALG", "OPT", "ratio", "floor"],
+    );
+
+    // UFP scores on Figure 2 (B=4, ℓ=64, adversarial ties).
+    let inst2 = figure2(64, 4);
+    let scores: Vec<Box<dyn PathScore>> = vec![
+        Box::new(PrimalDualScore),
+        Box::new(LengthBiasedScore),
+        Box::new(ProductScore),
+        Box::new(HopScore),
+    ];
+    for s in &scores {
+        let mut cfg = EngineConfig::default();
+        cfg.tie = TieBreak::HighestSecondNode;
+        cfg.pool = Pool::auto();
+        let run = iterative_path_minimizer(&inst2, s.as_ref(), &cfg);
+        assert!(run.solution.check_feasible(&inst2, false).is_ok());
+        let alg = run.solution.value(&inst2);
+        let opt = figure2_optimum(64, 4);
+        t.row(vec![
+            "path".into(),
+            s.name().into(),
+            "figure2(64,4)".into(),
+            f(alg),
+            f(opt),
+            f(opt / alg),
+            "~1.58 (E2)".into(),
+        ]);
+    }
+
+    // UFP scores on Figure 3 (B=16, hub ties).
+    let inst3 = figure3(16);
+    for s in &scores {
+        let mut cfg = EngineConfig::default();
+        cfg.tie = TieBreak::ViaHub(figure3_hub());
+        cfg.pool = Pool::auto();
+        let run = iterative_path_minimizer(&inst3, s.as_ref(), &cfg);
+        assert!(run.solution.check_feasible(&inst3, false).is_ok());
+        let alg = run.solution.value(&inst3);
+        let opt = figure3_optimum(16);
+        t.row(vec![
+            "path".into(),
+            s.name().into(),
+            "figure3(16)".into(),
+            f(alg),
+            f(opt),
+            f(opt / alg),
+            "4/3".into(),
+        ]);
+    }
+
+    // Auction scores on Figure 4 (p=7, B=4).
+    let a4 = figure4(7, 4, 56);
+    let bscores: Vec<Box<dyn ufp_auction::BundleScore>> = vec![
+        Box::new(MucaPrimalDualScore),
+        Box::new(BundleSizeScore),
+        Box::new(LinearCongestionScore),
+    ];
+    for s in &bscores {
+        let run = iterative_bundle_minimizer(&a4, s.as_ref(), &BundleEngineConfig::default());
+        assert!(run.solution.check_feasible(&a4).is_ok());
+        let alg = run.solution.value(&a4);
+        let opt = figure4_optimum(7, 4);
+        t.row(vec![
+            "bundle".into(),
+            s.name().into(),
+            "figure4(7,4)".into(),
+            f(alg),
+            f(opt),
+            f(opt / alg),
+            "4/3 (asym.)".into(),
+        ]);
+    }
+
+    t.note("The theorems quantify over the whole family: swapping the paper's h for h₁,");
+    t.note("h₂ or plain hop count never beats the adversarial floors. (On Figure 3 some");
+    t.note("scores may do better than 4/3 — the adversary targets worst-case members;");
+    t.note("none does better on both constructions.)");
+    t
+}

@@ -1,0 +1,50 @@
+//! The experiment suite: one function per quantitative claim of the
+//! paper. See DESIGN.md §3 for the experiment ↔ theorem index.
+
+pub mod approx;
+pub mod comparison;
+pub mod lower_bounds;
+pub mod mechanism;
+pub mod systems;
+
+use crate::table::Table;
+
+pub use approx::{e1_thm31_bounded_ufp, e5_thm41_bounded_muca, e6_thm51_repetitions};
+pub use comparison::{e12_integrality_gap_and_rounding, e7_baseline_comparison};
+pub use lower_bounds::{
+    e11_score_ablation, e2_figure2_lower_bound, e3_figure3_lower_bound, e4_figure4_lower_bound,
+};
+pub use mechanism::e8_truthfulness;
+pub use systems::{e10_guard_geometry, e9_scaling};
+
+/// All experiment ids, in order.
+pub const ALL_IDS: [&str; 12] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+];
+
+/// Run one experiment by id (case-insensitive).
+pub fn run_experiment(id: &str) -> Option<Table> {
+    Some(match id.to_ascii_lowercase().as_str() {
+        "e1" => e1_thm31_bounded_ufp(),
+        "e2" => e2_figure2_lower_bound(),
+        "e3" => e3_figure3_lower_bound(),
+        "e4" => e4_figure4_lower_bound(),
+        "e5" => e5_thm41_bounded_muca(),
+        "e6" => e6_thm51_repetitions(),
+        "e7" => e7_baseline_comparison(),
+        "e8" => e8_truthfulness(),
+        "e9" => e9_scaling(),
+        "e10" => e10_guard_geometry(),
+        "e11" => e11_score_ablation(),
+        "e12" => e12_integrality_gap_and_rounding(),
+        _ => return None,
+    })
+}
+
+/// Run the full suite.
+pub fn run_all() -> Vec<Table> {
+    ALL_IDS
+        .iter()
+        .map(|id| run_experiment(id).expect("known id"))
+        .collect()
+}

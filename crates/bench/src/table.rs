@@ -1,0 +1,143 @@
+//! Plain-text result tables — the "rows the paper would report".
+
+use std::fmt::Write as _;
+
+/// One experiment's result table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id (e.g. "E2").
+    pub id: &'static str,
+    /// Human title, naming the theorem/figure being reproduced.
+    pub title: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table (verdicts, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(id: &'static str, title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            id,
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = *w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "  * {note}");
+        }
+        out
+    }
+
+    /// Render as CSV (machine-readable companion to EXPERIMENTS.md).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Format a float with 4 significant decimals (table cells).
+pub fn f(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("E0", "smoke", &["a", "bbbb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "2000".into()]);
+        t.note("fine");
+        let s = t.render();
+        assert!(s.contains("E0"));
+        assert!(s.contains("bbbb"));
+        assert!(s.contains("* fine"));
+        // all data lines same width
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new("E0", "smoke", &["a,b", "c"]);
+        t.row(vec!["x\"y".into(), "z".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("\"a,b\",c"));
+        assert!(csv.contains("\"x\"\"y\""));
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_checked() {
+        let mut t = Table::new("E0", "smoke", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Greedy baselines: sort once, route on the hop-shortest residual path.
+//!
+//! These are the classic non-primal-dual comparators for experiment E7.
+//! Neither carries an approximation guarantee in the large-capacity
+//! regime; they calibrate how much the paper's machinery buys.
+
+use ufp_netgraph::dijkstra::Dijkstra;
+
+use crate::instance::UfpInstance;
+use crate::request::RequestId;
+use crate::solution::UfpSolution;
+
+/// Greedy ordering rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GreedyOrder {
+    /// Descending value `v_r`.
+    ByValue,
+    /// Descending value density `v_r / d_r`.
+    ByDensity,
+}
+
+/// One-pass greedy: process requests in the chosen order, routing each on
+/// its hop-shortest residual-feasible path if one exists.
+pub fn greedy(instance: &UfpInstance, order: GreedyOrder) -> UfpSolution {
+    let graph = instance.graph();
+    let mut ids: Vec<RequestId> = instance.request_ids().collect();
+    // Deterministic: sort by the key, ties by request id.
+    match order {
+        GreedyOrder::ByValue => ids.sort_by(|a, b| {
+            let (ra, rb) = (instance.request(*a), instance.request(*b));
+            rb.value
+                .partial_cmp(&ra.value)
+                .unwrap()
+                .then_with(|| a.cmp(b))
+        }),
+        GreedyOrder::ByDensity => ids.sort_by(|a, b| {
+            let (ra, rb) = (instance.request(*a), instance.request(*b));
+            (rb.value / rb.demand)
+                .partial_cmp(&(ra.value / ra.demand))
+                .unwrap()
+                .then_with(|| a.cmp(b))
+        }),
+    }
+
+    let unit = vec![1.0f64; graph.num_edges()];
+    let mut residual: Vec<f64> = graph.edges().iter().map(|e| e.capacity).collect();
+    let mut dij = Dijkstra::new(graph.num_nodes());
+    let mut solution = UfpSolution::empty();
+    for rid in ids {
+        let req = instance.request(rid);
+        let found = dij.shortest_path(graph, &unit, req.src, req.dst, |e| {
+            residual[e.index()] >= req.demand - 1e-12
+        });
+        if let Some(res) = found {
+            for &e in res.path.edges() {
+                residual[e.index()] -= req.demand;
+            }
+            solution.routed.push((rid, res.path));
+        }
+    }
+    solution
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Request;
+    use ufp_netgraph::graph::GraphBuilder;
+    use ufp_netgraph::ids::NodeId;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn by_value_takes_the_big_request() {
+        let mut gb = GraphBuilder::directed(2);
+        gb.add_edge(n(0), n(1), 1.0);
+        let inst = UfpInstance::new(
+            gb.build(),
+            vec![
+                Request::new(n(0), n(1), 1.0, 1.0),
+                Request::new(n(0), n(1), 1.0, 7.0),
+            ],
+        );
+        let sol = greedy(&inst, GreedyOrder::ByValue);
+        assert_eq!(sol.len(), 1);
+        assert!(sol.contains(RequestId(1)));
+        assert!(sol.check_feasible(&inst, false).is_ok());
+    }
+
+    #[test]
+    fn by_density_prefers_small_demands() {
+        // value 2 / demand 0.2 (density 10) vs value 3 / demand 1 (density 3)
+        let mut gb = GraphBuilder::directed(2);
+        gb.add_edge(n(0), n(1), 1.0);
+        let inst = UfpInstance::new(
+            gb.build(),
+            vec![
+                Request::new(n(0), n(1), 1.0, 3.0),
+                Request::new(n(0), n(1), 0.2, 2.0),
+            ],
+        );
+        let sol = greedy(&inst, GreedyOrder::ByDensity);
+        assert!(sol.contains(RequestId(1)));
+        // after routing the small one, residual 0.8 < 1: big one rejected
+        assert_eq!(sol.len(), 1);
+    }
+
+    #[test]
+    fn reroutes_around_saturation() {
+        let mut gb = GraphBuilder::directed(4);
+        gb.add_edge(n(0), n(1), 1.0);
+        gb.add_edge(n(1), n(3), 1.0);
+        gb.add_edge(n(0), n(2), 1.0);
+        gb.add_edge(n(2), n(3), 1.0);
+        let inst = UfpInstance::new(
+            gb.build(),
+            vec![
+                Request::new(n(0), n(3), 1.0, 2.0),
+                Request::new(n(0), n(3), 1.0, 1.0),
+            ],
+        );
+        let sol = greedy(&inst, GreedyOrder::ByValue);
+        assert_eq!(sol.len(), 2);
+        assert!(sol.check_feasible(&inst, false).is_ok());
+    }
+
+    #[test]
+    fn ties_broken_by_request_id() {
+        let mut gb = GraphBuilder::directed(2);
+        gb.add_edge(n(0), n(1), 1.0);
+        let inst = UfpInstance::new(
+            gb.build(),
+            vec![
+                Request::new(n(0), n(1), 1.0, 5.0),
+                Request::new(n(0), n(1), 1.0, 5.0),
+            ],
+        );
+        let sol = greedy(&inst, GreedyOrder::ByValue);
+        assert!(sol.contains(RequestId(0)));
+    }
+}

@@ -1,0 +1,15 @@
+//! Comparator algorithms for the benchmark suite (experiment E7/E12):
+//!
+//! * [`bkv()`] — reconstruction of the previous best truthful algorithm
+//!   (Briest–Krysta–Vöcking, ratio → e);
+//! * [`greedy()`] — value- and density-ordered greedy;
+//! * [`rounding`] — randomized rounding with alteration, the near-optimal
+//!   but non-monotone technique the paper's introduction rules out.
+
+pub mod bkv;
+pub mod greedy;
+pub mod rounding;
+
+pub use bkv::{bkv, BkvConfig, BkvResult};
+pub use greedy::{greedy, GreedyOrder};
+pub use rounding::{randomized_rounding, RoundingConfig};

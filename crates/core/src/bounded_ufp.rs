@@ -1,0 +1,530 @@
+//! Algorithm 1 — `Bounded-UFP(ε)`: the paper's monotone deterministic
+//! primal–dual algorithm for the `Ω(ln m / ε²)`-bounded unsplittable flow
+//! problem, with approximation ratio approaching `e/(e−1)` (Theorem 3.1).
+//!
+//! Faithful to the paper's pseudocode:
+//!
+//! 1. `y_e ← 1/c_e` for every edge.
+//! 2. While requests remain and `Σ c_e y_e ≤ e^{ε(B−1)}`:
+//!    a. for every unrouted request `r`, find the shortest `s_r → t_r`
+//!       path `p_r` under weights `y`;
+//!    b. select `r̂` minimizing the *normalized length*
+//!       `(d_r / v_r)·|p_r|` (ties broken by request id — any fixed rule
+//!       preserves monotonicity);
+//!    c. multiply `y_e ← y_e · e^{εB d_{r̂} / c_e}` along `p_{r̂}`;
+//!    d. route `r̂` on `p_{r̂}`.
+//!
+//! Production details beyond the pseudocode (see DESIGN.md §4):
+//! log-space weights so small ε cannot overflow, per-iteration parallel
+//! shortest-path fan-out grouped by source vertex, and the Claim 3.6 dual
+//! certificate recorded per iteration so every run carries a certified
+//! bound on its own approximation ratio.
+
+use ufp_netgraph::dijkstra::{Dijkstra, Targets};
+use ufp_netgraph::ids::NodeId;
+use ufp_netgraph::path::Path;
+use ufp_par::Pool;
+
+use crate::instance::UfpInstance;
+use crate::request::RequestId;
+use crate::solution::UfpSolution;
+use crate::trace::{Certificate, IterationRecord, RunTrace, StopReason};
+use crate::weights::DualWeights;
+
+/// Configuration for [`bounded_ufp`].
+#[derive(Clone, Debug)]
+pub struct BoundedUfpConfig {
+    /// Accuracy parameter ε ∈ (0, 1]. Theorem 3.1 calls the algorithm
+    /// with `ε/6` to obtain a `(1+ε)·e/(e−1)` guarantee when
+    /// `B ≥ ln(m)/ε²`.
+    pub epsilon: f64,
+    /// Parallelism for the per-iteration shortest-path fan-out.
+    pub pool: Pool,
+    /// Extension (not in the paper): restrict path search to edges with
+    /// residual capacity ≥ the request's demand. Feasibility then holds
+    /// by construction instead of by the guard, but the Claim 3.6 dual
+    /// certificate no longer applies (`α` may be inflated). Monotonicity
+    /// is preserved: lowering one's demand only enlarges one's own path
+    /// set. Used by the E10/E11 ablations.
+    pub respect_residual: bool,
+}
+
+impl Default for BoundedUfpConfig {
+    fn default() -> Self {
+        BoundedUfpConfig {
+            epsilon: 0.1,
+            pool: Pool::sequential(),
+            respect_residual: false,
+        }
+    }
+}
+
+impl BoundedUfpConfig {
+    /// Paper-faithful configuration with the given ε.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "epsilon must lie in (0, 1], got {epsilon}"
+        );
+        BoundedUfpConfig {
+            epsilon,
+            ..Default::default()
+        }
+    }
+
+    /// Same configuration with a parallel pool.
+    pub fn parallel(mut self, pool: Pool) -> Self {
+        self.pool = pool;
+        self
+    }
+}
+
+/// Result of a [`bounded_ufp`] run.
+#[derive(Clone, Debug)]
+pub struct UfpRunResult {
+    /// The allocation `W`.
+    pub solution: UfpSolution,
+    /// Analysis trace (α, D₁, P per iteration) and stop reason.
+    pub trace: RunTrace,
+}
+
+impl UfpRunResult {
+    /// Certified upper bound on OPT via Claim 3.6, if applicable.
+    pub fn dual_upper_bound(&self) -> Option<f64> {
+        self.trace.dual_upper_bound()
+    }
+
+    /// Certified upper bound on OPT, tightened with the trivial bound
+    /// `OPT ≤ Σ_r v_r` (which is what makes exhausted runs — the paper's
+    /// "if L = ∅ the output is optimal" case — certify ratio 1).
+    pub fn tight_upper_bound(&self, instance: &UfpInstance) -> Option<f64> {
+        self.dual_upper_bound()
+            .map(|d| d.min(instance.total_value()))
+    }
+
+    /// Certified approximation ratio `bound / value` (≥ 1 up to fp noise).
+    pub fn certified_ratio(&self, instance: &UfpInstance) -> Option<f64> {
+        let v = self.solution.value(instance);
+        if v <= 0.0 {
+            return None;
+        }
+        self.tight_upper_bound(instance).map(|d| d / v)
+    }
+}
+
+/// Per-request shortest-path query result within one iteration.
+struct PathFinding {
+    request: RequestId,
+    /// Distance in *materialized* (shifted) weight scale.
+    dist: f64,
+    path: Path,
+}
+
+/// Run Algorithm 1. The instance must be normalized (`d_r ∈ (0,1]`).
+pub fn bounded_ufp(instance: &UfpInstance, config: &BoundedUfpConfig) -> UfpRunResult {
+    assert!(
+        instance.is_normalized(),
+        "Bounded-UFP requires a normalized instance (demands in (0,1]); \
+         call UfpInstance::normalized() first"
+    );
+    assert!(
+        config.epsilon > 0.0 && config.epsilon <= 1.0,
+        "epsilon must lie in (0, 1]"
+    );
+    let graph = instance.graph();
+    let eps = config.epsilon;
+    let b = graph.min_capacity();
+    let ln_guard = eps * (b - 1.0);
+
+    let mut weights = DualWeights::new(graph);
+    let mut remaining: Vec<RequestId> = instance.request_ids().collect();
+    let mut residual: Vec<f64> = graph.edges().iter().map(|e| e.capacity).collect();
+    let mut solution = UfpSolution::empty();
+    let mut routed_value = 0.0f64;
+    let mut records: Vec<IterationRecord> = Vec::with_capacity(remaining.len());
+
+    let stop_reason = loop {
+        if remaining.is_empty() {
+            break StopReason::Exhausted;
+        }
+        let ln_d1 = weights.ln_dual_sum();
+        if ln_d1 > ln_guard {
+            break StopReason::Guard;
+        }
+
+        let findings = if config.respect_residual {
+            shortest_paths_residual(instance, &remaining, &weights, &residual, &config.pool)
+        } else {
+            shortest_paths_grouped(instance, &remaining, &weights, &config.pool)
+        };
+
+        // Select r̂ minimizing (d/v)·|p| — deterministic tie-break on
+        // request id (findings are in ascending id order within each
+        // group and groups are sorted, and `<` keeps the first minimum).
+        let mut best: Option<(f64, usize)> = None;
+        for (i, f) in findings.iter().enumerate() {
+            let score = instance.request(f.request).density() * f.dist;
+            let better = match best {
+                None => true,
+                Some((bs, bi)) => {
+                    score < bs || (score == bs && f.request < findings[bi].request)
+                }
+            };
+            if better {
+                best = Some((score, i));
+            }
+        }
+        let Some((score, idx)) = best else {
+            break StopReason::NoPath;
+        };
+        let chosen = &findings[idx];
+        let req = *instance.request(chosen.request);
+
+        // Claim 3.6 bookkeeping: α(i) in log space (shift restores the
+        // true scale of the materialized distance).
+        let ln_alpha = if score > 0.0 {
+            score.ln() + weights.shift()
+        } else {
+            f64::NEG_INFINITY
+        };
+        records.push(IterationRecord {
+            selected: chosen.request,
+            ln_alpha,
+            ln_d1,
+            routed_value_before: routed_value,
+        });
+
+        // Line 10: y_e ← y_e · e^{εB d / c_e} along the chosen path.
+        for &e in chosen.path.edges() {
+            let c = weights.capacity(e);
+            weights.bump(e, eps * b * req.demand / c);
+            residual[e.index()] -= req.demand;
+        }
+
+        routed_value += req.value;
+        solution.routed.push((chosen.request, chosen.path.clone()));
+        remaining.retain(|r| *r != chosen.request);
+    };
+
+    let trace = RunTrace {
+        records,
+        ln_guard_threshold: ln_guard,
+        stop_reason,
+        certificate: if config.respect_residual {
+            Certificate::None
+        } else {
+            Certificate::Claim36
+        },
+    };
+    UfpRunResult { solution, trace }
+}
+
+/// Shortest paths for all remaining requests, one Dijkstra per *distinct
+/// source* (requests sharing a source reuse the tree), fanned out over the
+/// pool. Results are flattened in (source-group, request) order, which is
+/// ascending request id within groups.
+fn shortest_paths_grouped(
+    instance: &UfpInstance,
+    remaining: &[RequestId],
+    weights: &DualWeights,
+    pool: &Pool,
+) -> Vec<PathFinding> {
+    let graph = instance.graph();
+    // Group by source, deterministically.
+    let mut sorted: Vec<RequestId> = remaining.to_vec();
+    sorted.sort_unstable_by_key(|r| (instance.request(*r).src, *r));
+    let mut groups: Vec<(NodeId, Vec<RequestId>)> = Vec::new();
+    for r in sorted {
+        let src = instance.request(r).src;
+        match groups.last_mut() {
+            Some((s, members)) if *s == src => members.push(r),
+            _ => groups.push((src, vec![r])),
+        }
+    }
+
+    let w = weights.weights();
+    let per_group: Vec<Vec<PathFinding>> = pool.map_with(
+        &groups,
+        || Dijkstra::new(graph.num_nodes()),
+        |dij, _, (src, members)| {
+            let targets: Vec<NodeId> =
+                members.iter().map(|r| instance.request(*r).dst).collect();
+            dij.run(graph, w, *src, Targets::Set(&targets), |_| true);
+            members
+                .iter()
+                .filter_map(|&r| {
+                    let dst = instance.request(r).dst;
+                    let dist = dij.distance(dst)?;
+                    let path = dij.path_to(dst)?;
+                    Some(PathFinding {
+                        request: r,
+                        dist,
+                        path,
+                    })
+                })
+                .collect()
+        },
+    );
+    per_group.into_iter().flatten().collect()
+}
+
+/// Tuple-shaped variant of [`shortest_paths_grouped`] shared with the
+/// repetitions algorithm (which keeps every request in the pool forever).
+pub(crate) fn shortest_paths_grouped_for_repeat(
+    instance: &UfpInstance,
+    remaining: &[RequestId],
+    weights: &DualWeights,
+    pool: &Pool,
+) -> Vec<(RequestId, f64, Path)> {
+    shortest_paths_grouped(instance, remaining, weights, pool)
+        .into_iter()
+        .map(|f| (f.request, f.dist, f.path))
+        .collect()
+}
+
+/// Residual-capacity variant: the edge filter depends on each request's
+/// demand, so requests are queried individually.
+fn shortest_paths_residual(
+    instance: &UfpInstance,
+    remaining: &[RequestId],
+    weights: &DualWeights,
+    residual: &[f64],
+    pool: &Pool,
+) -> Vec<PathFinding> {
+    let graph = instance.graph();
+    let w = weights.weights();
+    let mut sorted: Vec<RequestId> = remaining.to_vec();
+    sorted.sort_unstable();
+    let results: Vec<Option<PathFinding>> = pool.map_with(
+        &sorted,
+        || Dijkstra::new(graph.num_nodes()),
+        |dij, _, &r| {
+            let req = instance.request(r);
+            let res = dij.shortest_path(graph, w, req.src, req.dst, |e| {
+                residual[e.index()] >= req.demand - 1e-12
+            })?;
+            Some(PathFinding {
+                request: r,
+                dist: res.distance,
+                path: res.path,
+            })
+        },
+    );
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Request;
+    use ufp_netgraph::graph::GraphBuilder;
+    use ufp_netgraph::ids::NodeId;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// A wide single edge easily fits everything.
+    #[test]
+    fn routes_everything_when_capacity_abounds() {
+        let mut gb = GraphBuilder::directed(2);
+        gb.add_edge(n(0), n(1), 100.0);
+        let inst = UfpInstance::new(
+            gb.build(),
+            (0..10)
+                .map(|_| Request::new(n(0), n(1), 1.0, 1.0))
+                .collect(),
+        );
+        let res = bounded_ufp(&inst, &BoundedUfpConfig::with_epsilon(0.5));
+        assert_eq!(res.solution.len(), 10);
+        assert_eq!(res.trace.stop_reason, StopReason::Exhausted);
+        assert!(res.solution.check_feasible(&inst, false).is_ok());
+    }
+
+    #[test]
+    fn output_is_always_capacity_feasible() {
+        // Lemma 3.3: the guard alone keeps the output feasible, even with
+        // far more demand than capacity.
+        let mut gb = GraphBuilder::directed(2);
+        gb.add_edge(n(0), n(1), 10.0);
+        let inst = UfpInstance::new(
+            gb.build(),
+            (0..100)
+                .map(|i| Request::new(n(0), n(1), 1.0, 1.0 + (i % 7) as f64))
+                .collect(),
+        );
+        for eps in [0.1, 0.3, 0.5, 1.0] {
+            let res = bounded_ufp(&inst, &BoundedUfpConfig::with_epsilon(eps));
+            assert!(
+                res.solution.check_feasible(&inst, false).is_ok(),
+                "eps={eps}: infeasible output"
+            );
+            assert!(res.solution.len() <= 10, "eps={eps}: capacity is 10");
+        }
+    }
+
+    #[test]
+    fn prefers_high_value_per_demand() {
+        // One slot: capacity exactly fits one unit-demand request. The
+        // request with the lowest d/v (= highest value) must win.
+        let mut gb = GraphBuilder::directed(2);
+        gb.add_edge(n(0), n(1), 2.0);
+        let inst = UfpInstance::new(
+            gb.build(),
+            vec![
+                Request::new(n(0), n(1), 1.0, 1.0),
+                Request::new(n(0), n(1), 1.0, 10.0),
+                Request::new(n(0), n(1), 1.0, 3.0),
+            ],
+        );
+        let res = bounded_ufp(&inst, &BoundedUfpConfig::with_epsilon(0.5));
+        assert!(res.solution.contains(crate::request::RequestId(1)));
+        // first pick is the most valuable request
+        assert_eq!(res.solution.routed[0].0, crate::request::RequestId(1));
+    }
+
+    #[test]
+    fn avoids_congested_edges() {
+        // Diamond: after loading the top path, the algorithm should route
+        // via the bottom.
+        let mut gb = GraphBuilder::directed(4);
+        gb.add_edge(n(0), n(1), 20.0); // top
+        gb.add_edge(n(1), n(3), 20.0);
+        gb.add_edge(n(0), n(2), 20.0); // bottom
+        gb.add_edge(n(2), n(3), 20.0);
+        let inst = UfpInstance::new(
+            gb.build(),
+            (0..30).map(|_| Request::new(n(0), n(3), 1.0, 1.0)).collect(),
+        );
+        let res = bounded_ufp(&inst, &BoundedUfpConfig::with_epsilon(0.5));
+        assert!(res.solution.check_feasible(&inst, false).is_ok());
+        // both paths must be used — one path alone holds only 20
+        assert!(res.solution.len() > 20, "routed {} requests", res.solution.len());
+        let loads = res.solution.edge_loads(&inst);
+        assert!(loads[0] > 0.0 && loads[2] > 0.0, "loads {loads:?}");
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let mut gb = GraphBuilder::directed(6);
+        for i in 0..5u32 {
+            for j in 0..5u32 {
+                if i != j {
+                    gb.add_edge(n(i), n(j), 8.0);
+                }
+            }
+            gb.add_edge(n(i), n(5), 8.0);
+        }
+        let inst = UfpInstance::new(
+            gb.build(),
+            (0..40)
+                .map(|i| {
+                    Request::new(
+                        n(i % 5),
+                        n(5),
+                        0.5 + 0.1 * ((i % 4) as f64),
+                        1.0 + (i % 9) as f64,
+                    )
+                })
+                .collect(),
+        );
+        let seq = bounded_ufp(&inst, &BoundedUfpConfig::with_epsilon(0.3));
+        let par = bounded_ufp(
+            &inst,
+            &BoundedUfpConfig::with_epsilon(0.3).parallel(Pool::new(4)),
+        );
+        assert_eq!(seq.solution.routed.len(), par.solution.routed.len());
+        for (a, b) in seq.solution.routed.iter().zip(&par.solution.routed) {
+            assert_eq!(a.0, b.0, "selection order must match");
+            assert_eq!(a.1.nodes(), b.1.nodes(), "paths must match");
+        }
+    }
+
+    #[test]
+    fn dual_certificate_bounds_the_optimum() {
+        // OPT here is exactly 10 (capacity 10, unit demands, unit values).
+        let mut gb = GraphBuilder::directed(2);
+        gb.add_edge(n(0), n(1), 10.0);
+        let inst = UfpInstance::new(
+            gb.build(),
+            (0..30).map(|_| Request::new(n(0), n(1), 1.0, 1.0)).collect(),
+        );
+        let res = bounded_ufp(&inst, &BoundedUfpConfig::with_epsilon(0.4));
+        let bound = res.dual_upper_bound().expect("certificate applies");
+        assert!(bound >= 10.0 - 1e-6, "dual bound {bound} below OPT 10");
+        let ratio = res.certified_ratio(&inst).unwrap();
+        assert!(ratio >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn disconnected_requests_stop_cleanly() {
+        let gb = GraphBuilder::directed(4);
+        let inst = UfpInstance::new(
+            gb.build(),
+            vec![Request::new(n(0), n(1), 1.0, 1.0)],
+        );
+        let res = bounded_ufp(&inst, &BoundedUfpConfig::default());
+        assert!(res.solution.is_empty());
+        assert_eq!(res.trace.stop_reason, StopReason::NoPath);
+    }
+
+    #[test]
+    fn residual_mode_is_feasible_and_certificate_free() {
+        let mut gb = GraphBuilder::directed(2);
+        gb.add_edge(n(0), n(1), 3.0);
+        let inst = UfpInstance::new(
+            gb.build(),
+            (0..9).map(|_| Request::new(n(0), n(1), 1.0, 1.0)).collect(),
+        );
+        let mut cfg = BoundedUfpConfig::with_epsilon(0.5);
+        cfg.respect_residual = true;
+        let res = bounded_ufp(&inst, &cfg);
+        assert!(res.solution.check_feasible(&inst, false).is_ok());
+        assert_eq!(res.solution.len(), 3);
+        assert!(res.dual_upper_bound().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "normalized")]
+    fn rejects_unnormalized_instances() {
+        let mut gb = GraphBuilder::directed(2);
+        gb.add_edge(n(0), n(1), 10.0);
+        let inst = UfpInstance::new(
+            gb.build(),
+            vec![Request::new(n(0), n(1), 2.0, 1.0)],
+        );
+        bounded_ufp(&inst, &BoundedUfpConfig::default());
+    }
+
+    #[test]
+    fn monotone_in_value_on_a_small_instance() {
+        // Lemma 3.4 spot check: a selected request stays selected when its
+        // value rises.
+        let mut gb = GraphBuilder::directed(3);
+        gb.add_edge(n(0), n(1), 4.0);
+        gb.add_edge(n(1), n(2), 4.0);
+        let base = vec![
+            Request::new(n(0), n(2), 1.0, 2.0),
+            Request::new(n(0), n(2), 1.0, 3.0),
+            Request::new(n(0), n(1), 1.0, 1.0),
+            Request::new(n(1), n(2), 0.7, 2.5),
+        ];
+        let inst = UfpInstance::new(gb.build(), base);
+        let cfg = BoundedUfpConfig::with_epsilon(0.4);
+        let res = bounded_ufp(&inst, &cfg);
+        for rid in inst.request_ids() {
+            if !res.solution.contains(rid) {
+                continue;
+            }
+            for factor in [1.1, 2.0, 10.0] {
+                let v = inst.request(rid).value * factor;
+                let probe = inst.with_declared_type(rid, inst.request(rid).demand, v);
+                let res2 = bounded_ufp(&probe, &cfg);
+                assert!(
+                    res2.solution.contains(rid),
+                    "raising value of {rid} by {factor} dropped it"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Exact integral optimum by branch-and-bound — ground truth for small
+//! instances.
+//!
+//! Used by the integrality-gap experiment (E12) and by tests that verify
+//! the known optima of the paper's lower-bound constructions. Exponential
+//! in the worst case; intended for instances with ≲ 20 requests and small
+//! path sets (the adversarial graphs qualify: their simple-path sets are
+//! tiny and structured).
+
+use ufp_netgraph::enumerate::simple_paths;
+use ufp_netgraph::path::Path;
+
+use crate::instance::UfpInstance;
+use crate::request::RequestId;
+use crate::solution::UfpSolution;
+
+/// Configuration for the exact solver.
+#[derive(Clone, Copy, Debug)]
+pub struct ExactConfig {
+    /// Hop cap for path enumeration.
+    pub max_hops: usize,
+    /// Cap on candidate paths per request. If any request hits the cap the
+    /// result is still a valid lower bound but may not be optimal; the
+    /// solver reports this through [`ExactResult::exhaustive`].
+    pub max_paths_per_request: usize,
+}
+
+impl Default for ExactConfig {
+    fn default() -> Self {
+        ExactConfig {
+            max_hops: usize::MAX,
+            max_paths_per_request: 1000,
+        }
+    }
+}
+
+/// Result of [`exact_optimum`].
+#[derive(Clone, Debug)]
+pub struct ExactResult {
+    /// The best integral solution found.
+    pub solution: UfpSolution,
+    /// Its value.
+    pub value: f64,
+    /// True when no enumeration cap was hit, i.e. the value is the true
+    /// optimum.
+    pub exhaustive: bool,
+}
+
+/// Compute the optimal integral allocation by branch-and-bound over
+/// (request → path | reject) assignments.
+pub fn exact_optimum(instance: &UfpInstance, config: &ExactConfig) -> ExactResult {
+    let graph = instance.graph();
+    // Enumerate candidates once per request, against full capacity (the
+    // residual check happens during search).
+    let mut exhaustive = true;
+    let mut candidates: Vec<(RequestId, Vec<Path>)> = instance
+        .request_ids()
+        .map(|rid| {
+            let req = instance.request(rid);
+            let paths = simple_paths(
+                graph,
+                req.src,
+                req.dst,
+                config.max_hops,
+                config.max_paths_per_request,
+                |e| graph.capacity(e) >= req.demand - 1e-12,
+            );
+            if paths.len() >= config.max_paths_per_request {
+                exhaustive = false;
+            }
+            (rid, paths)
+        })
+        .collect();
+
+    // Order by descending value for stronger pruning.
+    candidates.sort_by(|a, b| {
+        let (va, vb) = (
+            instance.request(a.0).value,
+            instance.request(b.0).value,
+        );
+        vb.partial_cmp(&va).unwrap().then_with(|| a.0.cmp(&b.0))
+    });
+
+    // Suffix sums of values: the best any suffix could add.
+    let mut suffix = vec![0.0f64; candidates.len() + 1];
+    for i in (0..candidates.len()).rev() {
+        suffix[i] = suffix[i + 1] + instance.request(candidates[i].0).value;
+    }
+
+    struct Search<'a> {
+        instance: &'a UfpInstance,
+        candidates: &'a [(RequestId, Vec<Path>)],
+        suffix: &'a [f64],
+        residual: Vec<f64>,
+        chosen: Vec<(RequestId, usize)>,
+        best_value: f64,
+        best: Vec<(RequestId, usize)>,
+    }
+
+    impl Search<'_> {
+        fn go(&mut self, depth: usize, value: f64) {
+            if value > self.best_value {
+                self.best_value = value;
+                self.best = self.chosen.clone();
+            }
+            if depth == self.candidates.len() {
+                return;
+            }
+            if value + self.suffix[depth] <= self.best_value + 1e-12 {
+                return; // even taking everything left cannot improve
+            }
+            let (rid, paths) = &self.candidates[depth];
+            let req = self.instance.request(*rid);
+            for (pi, path) in paths.iter().enumerate() {
+                let fits = path
+                    .edges()
+                    .iter()
+                    .all(|e| self.residual[e.index()] >= req.demand - 1e-12);
+                if !fits {
+                    continue;
+                }
+                for &e in path.edges() {
+                    self.residual[e.index()] -= req.demand;
+                }
+                self.chosen.push((*rid, pi));
+                self.go(depth + 1, value + req.value);
+                self.chosen.pop();
+                for &e in path.edges() {
+                    self.residual[e.index()] += req.demand;
+                }
+            }
+            // Reject branch.
+            self.go(depth + 1, value);
+        }
+    }
+
+    let mut search = Search {
+        instance,
+        candidates: &candidates,
+        suffix: &suffix,
+        residual: graph.edges().iter().map(|e| e.capacity).collect(),
+        chosen: Vec::new(),
+        best_value: 0.0,
+        best: Vec::new(),
+    };
+    search.go(0, 0.0);
+
+    let routed = search
+        .best
+        .iter()
+        .map(|&(rid, pi)| {
+            let idx = candidates.iter().position(|(r, _)| *r == rid).unwrap();
+            (rid, candidates[idx].1[pi].clone())
+        })
+        .collect();
+    let solution = UfpSolution { routed };
+    let value = solution.value(instance);
+    ExactResult {
+        solution,
+        value,
+        exhaustive,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Request;
+    use ufp_netgraph::graph::GraphBuilder;
+    use ufp_netgraph::ids::NodeId;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn picks_the_optimal_subset() {
+        // Capacity 2: best pair is the two value-3 requests, not value-5
+        // alone plus value-1.
+        let mut gb = GraphBuilder::directed(2);
+        gb.add_edge(n(0), n(1), 2.0);
+        let inst = UfpInstance::new(
+            gb.build(),
+            vec![
+                Request::new(n(0), n(1), 1.0, 5.0),
+                Request::new(n(0), n(1), 1.0, 3.0),
+                Request::new(n(0), n(1), 1.0, 3.0),
+            ],
+        );
+        let res = exact_optimum(&inst, &ExactConfig::default());
+        assert_eq!(res.value, 8.0);
+        assert!(res.exhaustive);
+        assert!(res.solution.check_feasible(&inst, false).is_ok());
+    }
+
+    #[test]
+    fn exploits_alternate_paths() {
+        // Diamond with unit capacities: both requests fit via disjoint
+        // paths; a single-path solver would route only one.
+        let mut gb = GraphBuilder::directed(4);
+        gb.add_edge(n(0), n(1), 1.0);
+        gb.add_edge(n(1), n(3), 1.0);
+        gb.add_edge(n(0), n(2), 1.0);
+        gb.add_edge(n(2), n(3), 1.0);
+        let inst = UfpInstance::new(
+            gb.build(),
+            vec![
+                Request::new(n(0), n(3), 1.0, 1.0),
+                Request::new(n(0), n(3), 1.0, 1.0),
+            ],
+        );
+        let res = exact_optimum(&inst, &ExactConfig::default());
+        assert_eq!(res.value, 2.0);
+    }
+
+    #[test]
+    fn rejects_oversized_demands() {
+        let mut gb = GraphBuilder::directed(2);
+        gb.add_edge(n(0), n(1), 0.5);
+        let inst = UfpInstance::new(
+            gb.build(),
+            vec![Request::new(n(0), n(1), 1.0, 10.0)],
+        );
+        let res = exact_optimum(&inst, &ExactConfig::default());
+        assert_eq!(res.value, 0.0);
+        assert!(res.solution.is_empty());
+    }
+
+    #[test]
+    fn beats_or_matches_every_heuristic() {
+        use crate::baselines::{greedy, GreedyOrder};
+        use crate::bounded_ufp::{bounded_ufp, BoundedUfpConfig};
+        let mut gb = GraphBuilder::directed(5);
+        gb.add_edge(n(0), n(1), 2.0);
+        gb.add_edge(n(1), n(4), 2.0);
+        gb.add_edge(n(0), n(2), 2.0);
+        gb.add_edge(n(2), n(4), 2.0);
+        gb.add_edge(n(0), n(3), 2.0);
+        gb.add_edge(n(3), n(4), 2.0);
+        let inst = UfpInstance::new(
+            gb.build(),
+            (0..8)
+                .map(|i| Request::new(n(0), n(4), 1.0, 1.0 + (i as f64) * 0.3))
+                .collect(),
+        );
+        let exact = exact_optimum(&inst, &ExactConfig::default());
+        let g = greedy(&inst, GreedyOrder::ByValue).value(&inst);
+        let a = bounded_ufp(&inst, &BoundedUfpConfig::with_epsilon(0.5))
+            .solution
+            .value(&inst);
+        assert!(exact.value >= g - 1e-9);
+        assert!(exact.value >= a - 1e-9);
+        // top 6 of the 8 values 1.0 + 0.3·i, i.e. i = 2..7
+        let expected = 6.0 * 1.0 + (2.0 + 3.0 + 4.0 + 5.0 + 6.0 + 7.0) * 0.3;
+        assert!((exact.value - expected).abs() < 1e-9, "{} vs {expected}", exact.value);
+    }
+}

@@ -1,0 +1,48 @@
+//! # ufp-core
+//!
+//! The primary contribution of *"Truthful Unsplittable Flow for Large
+//! Capacity Networks"* (Azar, Gamzu, Gutner; SPAA 2007), implemented as a
+//! library:
+//!
+//! * [`bounded_ufp()`] — Algorithm 1, the monotone deterministic
+//!   primal–dual `((1+ε)·e/(e−1))`-approximation for the
+//!   `Ω(ln m / ε²)`-bounded unsplittable flow problem (Theorem 3.1).
+//! * [`repeat`] — Algorithm 3, the `(1+ε)`-approximation for the
+//!   repetitions variant (Theorem 5.1).
+//! * [`reasonable`] — the family of *reasonable iterative path-minimizing
+//!   algorithms* (Definitions 3.9/3.10) as a pluggable engine, used to
+//!   reproduce the `e/(e−1)` and `4/3` lower bounds (Theorems 3.11/3.12).
+//! * [`baselines`] — the comparators: the previous best truthful
+//!   algorithm (Briest et al., ratio → e), greedy heuristics, and
+//!   non-monotone randomized rounding.
+//! * [`exact`] — branch-and-bound ground truth for small instances.
+//! * [`trace`] — per-run dual certificates (Claims 3.6 / 5.2): every run
+//!   carries a proven upper bound on the optimum it was measured against.
+//!
+//! Instances are [`instance::UfpInstance`]s over [`ufp_netgraph`] graphs;
+//! monotonicity-based truthfulness (Theorem 2.3) is layered on top by the
+//! `ufp-mechanism` crate.
+
+pub mod baselines;
+pub mod bounded_ufp;
+pub mod exact;
+pub mod instance;
+pub mod reasonable;
+pub mod repeat;
+pub mod request;
+pub mod solution;
+pub mod trace;
+pub mod weights;
+
+pub use bounded_ufp::{bounded_ufp, BoundedUfpConfig, UfpRunResult};
+pub use exact::{exact_optimum, ExactConfig, ExactResult};
+pub use instance::UfpInstance;
+pub use reasonable::{
+    iterative_path_minimizer, EngineConfig, EngineResult, HopScore, LengthBiasedScore,
+    PathScore, PrimalDualScore, ProductScore, ScoreCtx, TieBreak,
+};
+pub use repeat::{bounded_ufp_repeat, RepeatConfig, RepeatRunResult};
+pub use request::{Request, RequestId};
+pub use solution::{FeasibilityError, UfpSolution};
+pub use trace::{Certificate, IterationRecord, RunTrace, StopReason};
+pub use weights::DualWeights;

@@ -1,0 +1,437 @@
+//! The paper's family of *reasonable iterative path-minimizing algorithms*
+//! (Definitions 3.9 and 3.10), as a pluggable engine.
+//!
+//! An algorithm in this family repeatedly selects, among all paths of all
+//! still-unselected requests, one minimizing a *reasonable* priority
+//! function of the current flow state, routes it, and repeats. The
+//! paper proves (Theorems 3.11, 3.12) that **no** member of this family
+//! beats `e/(e−1) − o(1)` on directed graphs or `4/3` in general — the
+//! lower bounds are tie-break-adversarial, so the engine exposes the
+//! tie-break policy explicitly.
+//!
+//! Scores implemented (all reasonable in the sense of Def. 3.9):
+//!
+//! * [`PrimalDualScore`] — `h(p) = (d/v)·Σ_e (1/c_e)·e^{εB f_e/c_e}`, the
+//!   function minimized by Algorithm 1 (the paper shows this identity in
+//!   §3.3).
+//! * [`LengthBiasedScore`] — `h₁(p) = ln(1+|p|)·h(p)`, the paper's example
+//!   of a mildly hop-biased reasonable function.
+//! * [`ProductScore`] — `h₂(p) = (d/v)·Π_e f_e/c_e`, the paper's example
+//!   of a reasonable function "although it is not clear why anyone would
+//!   like to use it".
+//! * [`HopScore`] — `(d/v)·|p|`, plain congestion-blind greedy.
+//!
+//! Paths are *residual-feasible* (bottleneck ≥ demand): the family, as
+//! analyzed in the lower-bound proofs, keeps routing "until it cannot
+//! route more requests" — there is no dual guard here.
+
+use ufp_netgraph::enumerate::simple_paths;
+use ufp_netgraph::graph::Graph;
+use ufp_netgraph::ids::NodeId;
+use ufp_netgraph::path::Path;
+use ufp_par::Pool;
+
+use crate::instance::UfpInstance;
+use crate::request::{Request, RequestId};
+use crate::solution::UfpSolution;
+
+/// Flow-state context handed to scores.
+pub struct ScoreCtx<'a> {
+    /// The network.
+    pub graph: &'a Graph,
+    /// Current flow `f_e` per edge.
+    pub flow: &'a [f64],
+    /// The ε parameter used by exponential scores.
+    pub epsilon: f64,
+    /// The bound `B = min_e c_e`.
+    pub b: f64,
+}
+
+/// A reasonable priority function over paths (Definition 3.9). Lower is
+/// better. Implementations must be pure functions of `(ctx, req, path)`.
+pub trait PathScore: Sync {
+    /// Human-readable name for tables and logs.
+    fn name(&self) -> &'static str;
+    /// Score the path; the engine minimizes this.
+    fn score(&self, ctx: &ScoreCtx<'_>, req: &Request, path: &Path) -> f64;
+}
+
+/// `h(p) = (d/v)·Σ_e (1/c_e)·e^{εB f_e / c_e}` — Algorithm 1's function.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PrimalDualScore;
+
+impl PathScore for PrimalDualScore {
+    fn name(&self) -> &'static str {
+        "h (primal-dual)"
+    }
+    fn score(&self, ctx: &ScoreCtx<'_>, req: &Request, path: &Path) -> f64 {
+        let sum: f64 = path
+            .edges()
+            .iter()
+            .map(|e| {
+                let c = ctx.graph.capacity(*e);
+                (ctx.epsilon * ctx.b * ctx.flow[e.index()] / c).exp() / c
+            })
+            .sum();
+        req.density() * sum
+    }
+}
+
+/// `h₁(p) = ln(1+|p|)·h(p)` — hop-biased variant from §3.3.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LengthBiasedScore;
+
+impl PathScore for LengthBiasedScore {
+    fn name(&self) -> &'static str {
+        "h1 (length-biased)"
+    }
+    fn score(&self, ctx: &ScoreCtx<'_>, req: &Request, path: &Path) -> f64 {
+        (1.0 + path.len() as f64).ln() * PrimalDualScore.score(ctx, req, path)
+    }
+}
+
+/// `h₂(p) = (d/v)·Π_e f_e/c_e` — the paper's curiosity example.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProductScore;
+
+impl PathScore for ProductScore {
+    fn name(&self) -> &'static str {
+        "h2 (product)"
+    }
+    fn score(&self, ctx: &ScoreCtx<'_>, req: &Request, path: &Path) -> f64 {
+        let prod: f64 = path
+            .edges()
+            .iter()
+            .map(|e| ctx.flow[e.index()] / ctx.graph.capacity(*e))
+            .product();
+        req.density() * prod
+    }
+}
+
+/// `(d/v)·|p|` — congestion-blind hop count.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HopScore;
+
+impl PathScore for HopScore {
+    fn name(&self) -> &'static str {
+        "hops"
+    }
+    fn score(&self, _ctx: &ScoreCtx<'_>, req: &Request, path: &Path) -> f64 {
+        req.density() * path.len() as f64
+    }
+}
+
+/// Tie-break policy among equal-score candidates. The lower-bound
+/// theorems hold for *adversarial* tie-breaking; these policies realize
+/// the adversary's schedules from the paper's proofs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TieBreak {
+    /// Lowest request id, then first-discovered path. The neutral default.
+    LowestRequest,
+    /// Figure 2 adversary: lowest request id (sources are numbered in
+    /// blocks, so this is "minimal i"), then the path whose *second*
+    /// vertex has the highest id ("j maximal").
+    HighestSecondNode,
+    /// Figure 3 adversary: prefer paths through the hub vertex, then
+    /// lowest request id, then first-discovered path.
+    ViaHub(NodeId),
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// ε used by exponential scores (irrelevant for [`HopScore`]).
+    pub epsilon: f64,
+    /// Tie-break policy.
+    pub tie: TieBreak,
+    /// Path-enumeration hop cap (`usize::MAX` = unbounded).
+    pub max_hops: usize,
+    /// Path-enumeration count cap per request per iteration.
+    pub max_paths_per_request: usize,
+    /// Parallelism over requests within an iteration.
+    pub pool: Pool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            epsilon: 0.5,
+            tie: TieBreak::LowestRequest,
+            max_hops: usize::MAX,
+            max_paths_per_request: 10_000,
+            pool: Pool::sequential(),
+        }
+    }
+}
+
+/// One selected candidate (diagnostics).
+#[derive(Clone, Debug)]
+struct Candidate {
+    request: RequestId,
+    path: Path,
+    score: f64,
+}
+
+/// Result of an engine run.
+#[derive(Clone, Debug)]
+pub struct EngineResult {
+    /// The allocation produced by the iterative minimizer.
+    pub solution: UfpSolution,
+    /// Number of iterations (= number of routed requests).
+    pub iterations: usize,
+}
+
+/// Does `a` beat `b` under the tie policy? Scores compare exactly: the
+/// adversarial constructions produce bit-identical scores for symmetric
+/// paths, which is precisely when the tie policy must decide.
+fn better(a: &Candidate, b: &Candidate, tie: TieBreak) -> bool {
+    if a.score < b.score {
+        return true;
+    }
+    if a.score > b.score {
+        return false;
+    }
+    match tie {
+        TieBreak::LowestRequest => a.request < b.request,
+        TieBreak::HighestSecondNode => {
+            if a.request != b.request {
+                return a.request < b.request;
+            }
+            let sa = a.path.nodes().get(1).map(|n| n.0).unwrap_or(0);
+            let sb = b.path.nodes().get(1).map(|n| n.0).unwrap_or(0);
+            sa > sb
+        }
+        TieBreak::ViaHub(hub) => {
+            let ha = a.path.nodes().contains(&hub);
+            let hb = b.path.nodes().contains(&hub);
+            if ha != hb {
+                return ha;
+            }
+            a.request < b.request
+        }
+    }
+}
+
+/// Run a reasonable iterative path-minimizing algorithm with the given
+/// score. Routes until no unselected request has a residual-feasible
+/// path. Requires a normalized instance.
+pub fn iterative_path_minimizer(
+    instance: &UfpInstance,
+    score: &dyn PathScore,
+    config: &EngineConfig,
+) -> EngineResult {
+    assert!(instance.is_normalized(), "engine requires normalized demands");
+    let graph = instance.graph();
+    let b = graph.min_capacity();
+    let mut flow = vec![0.0f64; graph.num_edges()];
+    let mut residual: Vec<f64> = graph.edges().iter().map(|e| e.capacity).collect();
+    let mut remaining: Vec<RequestId> = instance.request_ids().collect();
+    let mut solution = UfpSolution::empty();
+
+    loop {
+        if remaining.is_empty() {
+            break;
+        }
+        let ctx = ScoreCtx {
+            graph,
+            flow: &flow,
+            epsilon: config.epsilon,
+            b,
+        };
+        // Per-request best candidate, in parallel. The per-request
+        // reduction applies the same tie policy so the global reduction
+        // sees each request's policy-preferred path.
+        let residual_ref = &residual;
+        let per_request: Vec<Option<Candidate>> = config.pool.map(&remaining, |_, &rid| {
+            let req = instance.request(rid);
+            let paths = simple_paths(
+                graph,
+                req.src,
+                req.dst,
+                config.max_hops,
+                config.max_paths_per_request,
+                |e| residual_ref[e.index()] >= req.demand - 1e-12,
+            );
+            let mut best: Option<Candidate> = None;
+            for path in paths {
+                let cand = Candidate {
+                    request: rid,
+                    score: score.score(&ctx, req, &path),
+                    path,
+                };
+                let is_better = match &best {
+                    None => true,
+                    Some(b) => better(&cand, b, config.tie),
+                };
+                if is_better {
+                    best = Some(cand);
+                }
+            }
+            best
+        });
+
+        let mut winner: Option<Candidate> = None;
+        for cand in per_request.into_iter().flatten() {
+            let is_better = match &winner {
+                None => true,
+                Some(w) => better(&cand, w, config.tie),
+            };
+            if is_better {
+                winner = Some(cand);
+            }
+        }
+        let Some(w) = winner else {
+            break; // nobody has a residual-feasible path: stop.
+        };
+        let demand = instance.request(w.request).demand;
+        for &e in w.path.edges() {
+            flow[e.index()] += demand;
+            residual[e.index()] -= demand;
+        }
+        remaining.retain(|r| *r != w.request);
+        solution.routed.push((w.request, w.path));
+    }
+
+    let iterations = solution.len();
+    EngineResult {
+        solution,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufp_netgraph::graph::GraphBuilder;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn diamond_instance(cap: f64, requests: usize) -> UfpInstance {
+        let mut gb = GraphBuilder::directed(4);
+        gb.add_edge(n(0), n(1), cap);
+        gb.add_edge(n(1), n(3), cap);
+        gb.add_edge(n(0), n(2), cap);
+        gb.add_edge(n(2), n(3), cap);
+        UfpInstance::new(
+            gb.build(),
+            (0..requests)
+                .map(|_| Request::new(n(0), n(3), 1.0, 1.0))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn fills_both_diamond_paths() {
+        let inst = diamond_instance(3.0, 10);
+        let res = iterative_path_minimizer(&inst, &PrimalDualScore, &EngineConfig::default());
+        // 2 disjoint paths of capacity 3 each: exactly 6 requests fit.
+        assert_eq!(res.solution.len(), 6);
+        assert!(res.solution.check_feasible(&inst, false).is_ok());
+    }
+
+    #[test]
+    fn all_scores_terminate_and_stay_feasible() {
+        let inst = diamond_instance(2.0, 8);
+        let scores: Vec<Box<dyn PathScore>> = vec![
+            Box::new(PrimalDualScore),
+            Box::new(LengthBiasedScore),
+            Box::new(ProductScore),
+            Box::new(HopScore),
+        ];
+        for s in &scores {
+            let res = iterative_path_minimizer(&inst, s.as_ref(), &EngineConfig::default());
+            assert_eq!(res.solution.len(), 4, "score {}", s.name());
+            assert!(res.solution.check_feasible(&inst, false).is_ok());
+        }
+    }
+
+    #[test]
+    fn primal_dual_score_matches_closed_form() {
+        let inst = diamond_instance(2.0, 1);
+        let flow = vec![1.0, 0.0, 2.0, 0.5];
+        let ctx = ScoreCtx {
+            graph: inst.graph(),
+            flow: &flow,
+            epsilon: 0.5,
+            b: 2.0,
+        };
+        let req = Request::new(n(0), n(3), 0.5, 2.0);
+        let path = Path::new(
+            vec![n(0), n(1), n(3)],
+            vec![ufp_netgraph::ids::EdgeId(0), ufp_netgraph::ids::EdgeId(1)],
+        );
+        // h = (0.5/2)·[ (1/2)e^{0.5·2·1/2} + (1/2)e^{0} ] = 0.25·(e^{0.5}+1)/2
+        let expected = 0.25 * ((0.5f64).exp() + 1.0) / 2.0;
+        let got = PrimalDualScore.score(&ctx, &req, &path);
+        assert!((got - expected).abs() < 1e-12, "{got} vs {expected}");
+        // h1 multiplies by ln(3)
+        let got1 = LengthBiasedScore.score(&ctx, &req, &path);
+        assert!((got1 - (3.0f64).ln() * expected).abs() < 1e-12);
+        // h2 = 0.25 · (1/2)·(0/2) = 0
+        assert_eq!(ProductScore.score(&ctx, &req, &path), 0.0);
+        // hops = 0.25 · 2
+        assert_eq!(HopScore.score(&ctx, &req, &path), 0.5);
+    }
+
+    #[test]
+    fn highest_second_node_tiebreak() {
+        // Two parallel 2-hop routes 0->1->3 and 0->2->3, equal everything:
+        // the tie-break must pick the one through node 2.
+        let inst = diamond_instance(2.0, 1);
+        let mut cfg = EngineConfig::default();
+        cfg.tie = TieBreak::HighestSecondNode;
+        let res = iterative_path_minimizer(&inst, &PrimalDualScore, &cfg);
+        assert_eq!(res.solution.routed[0].1.nodes()[1], n(2));
+    }
+
+    #[test]
+    fn via_hub_tiebreak() {
+        let inst = diamond_instance(2.0, 1);
+        let mut cfg = EngineConfig::default();
+        cfg.tie = TieBreak::ViaHub(n(1));
+        let res = iterative_path_minimizer(&inst, &PrimalDualScore, &cfg);
+        assert_eq!(res.solution.routed[0].1.nodes()[1], n(1));
+    }
+
+    #[test]
+    fn lowest_request_selects_in_id_order_on_symmetric_input() {
+        let inst = diamond_instance(4.0, 4);
+        let res = iterative_path_minimizer(&inst, &PrimalDualScore, &EngineConfig::default());
+        // first iteration must route request 0
+        assert_eq!(res.solution.routed[0].0, RequestId(0));
+    }
+
+    #[test]
+    fn respects_capacity_exactly() {
+        // capacity 1 on a single path: only one unit request fits.
+        let mut gb = GraphBuilder::directed(2);
+        gb.add_edge(n(0), n(1), 1.0);
+        let inst = UfpInstance::new(
+            gb.build(),
+            vec![
+                Request::new(n(0), n(1), 1.0, 1.0),
+                Request::new(n(0), n(1), 1.0, 9.0),
+            ],
+        );
+        let res = iterative_path_minimizer(&inst, &PrimalDualScore, &EngineConfig::default());
+        assert_eq!(res.solution.len(), 1);
+        // value-9 request has smaller d/v => smaller score, wins
+        assert!(res.solution.contains(RequestId(1)));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let inst = diamond_instance(5.0, 12);
+        let seq = iterative_path_minimizer(&inst, &PrimalDualScore, &EngineConfig::default());
+        let mut cfg = EngineConfig::default();
+        cfg.pool = Pool::new(4);
+        let par = iterative_path_minimizer(&inst, &PrimalDualScore, &cfg);
+        assert_eq!(seq.solution.len(), par.solution.len());
+        for (a, b) in seq.solution.routed.iter().zip(&par.solution.routed) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.nodes(), b.1.nodes());
+        }
+    }
+}

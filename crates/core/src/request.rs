@@ -1,0 +1,127 @@
+//! Connection requests and their identifiers.
+
+use std::fmt;
+
+use ufp_netgraph::ids::NodeId;
+
+/// Identifier of a request: index into [`crate::instance::UfpInstance`]'s
+/// request list. Doubles as the deterministic tie-break key everywhere a
+/// minimum is taken over requests.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u32);
+
+impl RequestId {
+    /// The index as a `usize`, for `Vec` indexing.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A connection request `(s_r, t_r, d_r, v_r)`.
+///
+/// The paper's *type* of a request — what a selfish agent may lie about —
+/// is the `(demand, value)` pair; the endpoints are public knowledge.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Request {
+    /// Source vertex `s_r`.
+    pub src: NodeId,
+    /// Target vertex `t_r`.
+    pub dst: NodeId,
+    /// Demand `d_r ∈ (0, 1]` after normalization.
+    pub demand: f64,
+    /// Value (profit) `v_r > 0` gained by routing the request.
+    pub value: f64,
+}
+
+impl Request {
+    /// Construct a request, validating positivity. Endpoint range checks
+    /// happen at instance construction (they need the graph).
+    pub fn new(src: NodeId, dst: NodeId, demand: f64, value: f64) -> Self {
+        assert!(
+            demand.is_finite() && demand > 0.0,
+            "demand must be positive and finite, got {demand}"
+        );
+        assert!(
+            value.is_finite() && value > 0.0,
+            "value must be positive and finite, got {value}"
+        );
+        assert_ne!(src, dst, "requests must connect distinct vertices");
+        Request {
+            src,
+            dst,
+            demand,
+            value,
+        }
+    }
+
+    /// Demand-to-value ratio `d_r / v_r` — the request-dependent factor of
+    /// the paper's selection rule `min_r (d_r / v_r)·|p_r|`.
+    #[inline]
+    pub fn density(&self) -> f64 {
+        self.demand / self.value
+    }
+
+    /// The same request with a different declared type (used by the
+    /// mechanism layer to evaluate misreports).
+    pub fn with_type(&self, demand: f64, value: f64) -> Self {
+        Request::new(self.src, self.dst, demand, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_density() {
+        let r = Request::new(NodeId(0), NodeId(1), 0.5, 2.0);
+        assert_eq!(r.density(), 0.25);
+    }
+
+    #[test]
+    fn with_type_keeps_endpoints() {
+        let r = Request::new(NodeId(3), NodeId(7), 1.0, 1.0);
+        let r2 = r.with_type(0.5, 4.0);
+        assert_eq!(r2.src, NodeId(3));
+        assert_eq!(r2.dst, NodeId(7));
+        assert_eq!(r2.demand, 0.5);
+        assert_eq!(r2.value, 4.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_demand_rejected() {
+        Request::new(NodeId(0), NodeId(1), 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_value_rejected() {
+        Request::new(NodeId(0), NodeId(1), 1.0, -2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn loop_request_rejected() {
+        Request::new(NodeId(4), NodeId(4), 1.0, 1.0);
+    }
+
+    #[test]
+    fn request_id_ordering() {
+        assert!(RequestId(2) < RequestId(10));
+        assert_eq!(format!("{}", RequestId(3)), "r3");
+    }
+}

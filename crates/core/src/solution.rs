@@ -1,0 +1,258 @@
+//! Solutions: request → path assignments, with feasibility checking.
+
+use ufp_netgraph::path::Path;
+
+use crate::instance::UfpInstance;
+use crate::request::RequestId;
+
+/// A (partial) allocation: routed requests with their paths. For the
+/// repetitions problem the same request may appear multiple times; plain
+/// UFP solutions must be duplicate-free (checked by
+/// [`UfpSolution::check_feasible`]).
+#[derive(Clone, Debug, Default)]
+pub struct UfpSolution {
+    /// `(request, path)` pairs in allocation order — the paper's `W`.
+    pub routed: Vec<(RequestId, Path)>,
+}
+
+/// Feasibility violations detected by [`UfpSolution::check_feasible`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum FeasibilityError {
+    /// The same request is routed twice (only legal with repetitions).
+    DuplicateRequest(RequestId),
+    /// A path is not a valid simple path of the instance graph.
+    InvalidPath(RequestId),
+    /// A path does not connect the request's terminals.
+    WrongTerminals(RequestId),
+    /// Total demand through an edge exceeds its capacity.
+    CapacityExceeded {
+        /// Index of the overloaded edge.
+        edge: usize,
+        /// Load routed through it.
+        load: f64,
+        /// Its capacity.
+        capacity: f64,
+    },
+}
+
+impl std::fmt::Display for FeasibilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FeasibilityError::DuplicateRequest(r) => write!(f, "request {r} routed twice"),
+            FeasibilityError::InvalidPath(r) => write!(f, "request {r} has an invalid path"),
+            FeasibilityError::WrongTerminals(r) => {
+                write!(f, "request {r}'s path misses its terminals")
+            }
+            FeasibilityError::CapacityExceeded {
+                edge,
+                load,
+                capacity,
+            } => write!(f, "edge {edge} overloaded: {load} > {capacity}"),
+        }
+    }
+}
+
+impl std::error::Error for FeasibilityError {}
+
+impl UfpSolution {
+    /// Empty solution.
+    pub fn empty() -> Self {
+        UfpSolution { routed: Vec::new() }
+    }
+
+    /// Total value of routed requests (counting multiplicity).
+    pub fn value(&self, instance: &UfpInstance) -> f64 {
+        self.routed
+            .iter()
+            .map(|(r, _)| instance.request(*r).value)
+            .sum()
+    }
+
+    /// Number of routed (request, path) pairs.
+    pub fn len(&self) -> usize {
+        self.routed.len()
+    }
+
+    /// True when nothing is routed.
+    pub fn is_empty(&self) -> bool {
+        self.routed.is_empty()
+    }
+
+    /// Whether `id` is routed at least once.
+    pub fn contains(&self, id: RequestId) -> bool {
+        self.routed.iter().any(|(r, _)| *r == id)
+    }
+
+    /// Demand routed through every edge.
+    pub fn edge_loads(&self, instance: &UfpInstance) -> Vec<f64> {
+        let mut loads = vec![0.0; instance.graph().num_edges()];
+        for (r, path) in &self.routed {
+            let d = instance.request(*r).demand;
+            for e in path.edges() {
+                loads[e.index()] += d;
+            }
+        }
+        loads
+    }
+
+    /// Fraction of total capacity used, per edge (diagnostics/plots).
+    pub fn edge_utilization(&self, instance: &UfpInstance) -> Vec<f64> {
+        self.edge_loads(instance)
+            .iter()
+            .enumerate()
+            .map(|(e, &l)| l / instance.graph().edges()[e].capacity)
+            .collect()
+    }
+
+    /// Full feasibility check: path validity, terminal endpoints,
+    /// capacity constraints, and (unless `allow_repetitions`) uniqueness.
+    pub fn check_feasible(
+        &self,
+        instance: &UfpInstance,
+        allow_repetitions: bool,
+    ) -> Result<(), FeasibilityError> {
+        let mut seen = vec![false; instance.num_requests()];
+        for (rid, path) in &self.routed {
+            let req = instance.request(*rid);
+            if !allow_repetitions {
+                if seen[rid.index()] {
+                    return Err(FeasibilityError::DuplicateRequest(*rid));
+                }
+                seen[rid.index()] = true;
+            }
+            if path.validate(instance.graph()).is_err() {
+                return Err(FeasibilityError::InvalidPath(*rid));
+            }
+            if path.source() != req.src || path.target() != req.dst {
+                return Err(FeasibilityError::WrongTerminals(*rid));
+            }
+        }
+        let loads = self.edge_loads(instance);
+        for (e, &load) in loads.iter().enumerate() {
+            let capacity = instance.graph().edges()[e].capacity;
+            if load > capacity + 1e-9 {
+                return Err(FeasibilityError::CapacityExceeded {
+                    edge: e,
+                    load,
+                    capacity,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Request;
+    use ufp_netgraph::graph::GraphBuilder;
+    use ufp_netgraph::ids::{EdgeId, NodeId};
+
+    fn two_edge_instance() -> UfpInstance {
+        let mut b = GraphBuilder::directed(3);
+        b.add_edge(NodeId(0), NodeId(1), 1.0);
+        b.add_edge(NodeId(1), NodeId(2), 1.0);
+        let g = b.build();
+        UfpInstance::new(
+            g,
+            vec![
+                Request::new(NodeId(0), NodeId(2), 1.0, 5.0),
+                Request::new(NodeId(0), NodeId(1), 1.0, 2.0),
+            ],
+        )
+    }
+
+    fn full_path() -> Path {
+        Path::new(
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+            vec![EdgeId(0), EdgeId(1)],
+        )
+    }
+
+    #[test]
+    fn value_and_loads() {
+        let inst = two_edge_instance();
+        let sol = UfpSolution {
+            routed: vec![(RequestId(0), full_path())],
+        };
+        assert_eq!(sol.value(&inst), 5.0);
+        assert_eq!(sol.edge_loads(&inst), vec![1.0, 1.0]);
+        assert_eq!(sol.edge_utilization(&inst), vec![1.0, 1.0]);
+        assert!(sol.check_feasible(&inst, false).is_ok());
+        assert!(sol.contains(RequestId(0)));
+        assert!(!sol.contains(RequestId(1)));
+    }
+
+    #[test]
+    fn capacity_violation_detected() {
+        let inst = two_edge_instance();
+        let short = Path::new(vec![NodeId(0), NodeId(1)], vec![EdgeId(0)]);
+        let sol = UfpSolution {
+            routed: vec![(RequestId(0), full_path()), (RequestId(1), short)],
+        };
+        match sol.check_feasible(&inst, false) {
+            Err(FeasibilityError::CapacityExceeded { edge: 0, .. }) => {}
+            other => panic!("expected capacity violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_detected_unless_repetitions() {
+        let inst = {
+            // widen capacities so only duplication is at issue
+            let mut b = GraphBuilder::directed(3);
+            b.add_edge(NodeId(0), NodeId(1), 5.0);
+            b.add_edge(NodeId(1), NodeId(2), 5.0);
+            UfpInstance::new(
+                b.build(),
+                vec![Request::new(NodeId(0), NodeId(2), 1.0, 5.0)],
+            )
+        };
+        let sol = UfpSolution {
+            routed: vec![(RequestId(0), full_path()), (RequestId(0), full_path())],
+        };
+        assert_eq!(
+            sol.check_feasible(&inst, false),
+            Err(FeasibilityError::DuplicateRequest(RequestId(0)))
+        );
+        assert!(sol.check_feasible(&inst, true).is_ok());
+        assert_eq!(sol.value(&inst), 10.0);
+    }
+
+    #[test]
+    fn wrong_terminals_detected() {
+        let inst = two_edge_instance();
+        let short = Path::new(vec![NodeId(0), NodeId(1)], vec![EdgeId(0)]);
+        let sol = UfpSolution {
+            routed: vec![(RequestId(0), short)],
+        };
+        assert_eq!(
+            sol.check_feasible(&inst, false),
+            Err(FeasibilityError::WrongTerminals(RequestId(0)))
+        );
+    }
+
+    #[test]
+    fn invalid_path_detected() {
+        let inst = two_edge_instance();
+        let bogus = Path::new(vec![NodeId(0), NodeId(2)], vec![EdgeId(1)]);
+        let sol = UfpSolution {
+            routed: vec![(RequestId(0), bogus)],
+        };
+        assert_eq!(
+            sol.check_feasible(&inst, false),
+            Err(FeasibilityError::InvalidPath(RequestId(0)))
+        );
+    }
+
+    #[test]
+    fn empty_solution_is_feasible() {
+        let inst = two_edge_instance();
+        let sol = UfpSolution::empty();
+        assert!(sol.check_feasible(&inst, false).is_ok());
+        assert_eq!(sol.value(&inst), 0.0);
+        assert!(sol.is_empty());
+        assert_eq!(sol.len(), 0);
+    }
+}

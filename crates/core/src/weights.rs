@@ -1,0 +1,263 @@
+//! Log-space dual edge weights `y_e`.
+//!
+//! Algorithm 1 maintains `y_e`, starts them at `1/c_e`, and multiplies by
+//! `e^{εB d/c_e}` per update. For small ε the stop threshold
+//! `e^{ε(B−1)}` with `B = ln(m)/ε²` is `m^{(B−1)/(εB)} ≈ e^{ln(m)/ε}`,
+//! which overflows `f64` well inside the interesting parameter range
+//! (ε = 0.02, m = 10⁴ gives e⁴⁶⁰). We therefore store `ln y_e` exactly and
+//! *materialize* shifted weights `w_e = e^{ln y_e − shift}` for the
+//! shortest-path queries. Every quantity the algorithm compares is
+//! scale-invariant:
+//!
+//! * path selection minimizes `(d/v)·Σ w_e`, a positive multiple of
+//!   `(d/v)·Σ y_e`;
+//! * the stop guard compares `ln Σ c_e y_e` (a stable log-sum-exp)
+//!   against `ε(B−1)`;
+//! * the dual certificate needs `D₁(i)/α(i)`, a ratio in which the shift
+//!   cancels.
+//!
+//! Underflow (an edge 600+ orders of magnitude lighter than the heaviest)
+//! flushes to zero weight, which only perturbs comparisons among paths
+//! whose total weight is already negligible; the returned guard and
+//! certificates remain exact because they live in log space.
+
+use ufp_netgraph::graph::Graph;
+use ufp_netgraph::ids::EdgeId;
+
+/// How far `ln y_e − shift` may grow before re-centering. `e^600` is
+/// comfortably below the `f64` overflow point even when summed over
+/// millions of edges.
+const RECENTER_AT: f64 = 600.0;
+
+/// The dual weight vector of Algorithm 1, kept in log space.
+#[derive(Clone, Debug)]
+pub struct DualWeights {
+    ln_y: Vec<f64>,
+    /// Materialized `exp(ln_y − shift)`, the weights handed to Dijkstra.
+    w: Vec<f64>,
+    shift: f64,
+    max_ln_y: f64,
+    caps: Vec<f64>,
+}
+
+impl DualWeights {
+    /// Initialize `y_e = 1/c_e` (line 4 of Algorithm 1).
+    pub fn new(graph: &Graph) -> Self {
+        let caps: Vec<f64> = graph.edges().iter().map(|e| e.capacity).collect();
+        let ln_y: Vec<f64> = caps.iter().map(|c| -(c.ln())).collect();
+        let max_ln_y = ln_y.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let shift = if max_ln_y.is_finite() { max_ln_y } else { 0.0 };
+        let w = ln_y.iter().map(|l| (l - shift).exp()).collect();
+        DualWeights {
+            ln_y,
+            w,
+            shift,
+            max_ln_y,
+            caps,
+        }
+    }
+
+    /// Materialized weights for shortest-path queries (`∝ y_e`).
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// The scale such that `y_e = weights()[e] · e^{shift}`.
+    #[inline]
+    pub fn shift(&self) -> f64 {
+        self.shift
+    }
+
+    /// `ln y_e`, exact.
+    #[inline]
+    pub fn ln_y(&self, e: EdgeId) -> f64 {
+        self.ln_y[e.index()]
+    }
+
+    /// Apply the multiplicative update `y_e ← y_e · e^{exponent}`
+    /// (line 10: `exponent = εB d / c_e`), re-centering if needed.
+    pub fn bump(&mut self, e: EdgeId, exponent: f64) {
+        debug_assert!(exponent >= 0.0, "weight updates only grow");
+        let i = e.index();
+        self.ln_y[i] += exponent;
+        if self.ln_y[i] > self.max_ln_y {
+            self.max_ln_y = self.ln_y[i];
+        }
+        if self.max_ln_y - self.shift > RECENTER_AT {
+            self.recenter();
+        } else {
+            self.w[i] = (self.ln_y[i] - self.shift).exp();
+        }
+    }
+
+    fn recenter(&mut self) {
+        self.shift = self.max_ln_y;
+        for (w, l) in self.w.iter_mut().zip(&self.ln_y) {
+            *w = (l - self.shift).exp();
+        }
+    }
+
+    /// `ln Σ_e c_e y_e` — the guard quantity `D₁`, via stable log-sum-exp.
+    pub fn ln_dual_sum(&self) -> f64 {
+        let sum: f64 = self
+            .w
+            .iter()
+            .zip(&self.caps)
+            .map(|(w, c)| w * c)
+            .sum();
+        sum.ln() + self.shift
+    }
+
+    /// Capacity of edge `e` (cached copy for the hot loop).
+    #[inline]
+    pub fn capacity(&self, e: EdgeId) -> f64 {
+        self.caps[e.index()]
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.ln_y.len()
+    }
+
+    /// True when the graph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.ln_y.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufp_netgraph::graph::GraphBuilder;
+    use ufp_netgraph::ids::NodeId;
+
+    fn graph_with_caps(caps: &[f64]) -> Graph {
+        let mut b = GraphBuilder::directed(caps.len() + 1);
+        for (i, &c) in caps.iter().enumerate() {
+            b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), c);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn initial_state_matches_paper() {
+        let g = graph_with_caps(&[2.0, 4.0]);
+        let w = DualWeights::new(&g);
+        // y_e = 1/c_e; D1(0) = Σ c_e · (1/c_e) = m
+        assert!((w.ln_dual_sum() - (2.0f64).ln()).abs() < 1e-12);
+        assert!((w.ln_y(EdgeId(0)) - (0.5f64).ln()).abs() < 1e-12);
+        // ratios of materialized weights equal ratios of y
+        let ratio = w.weights()[0] / w.weights()[1];
+        assert!((ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bump_multiplies() {
+        let g = graph_with_caps(&[1.0, 1.0]);
+        let mut w = DualWeights::new(&g);
+        w.bump(EdgeId(0), 1.0);
+        let ratio = w.weights()[0] / w.weights()[1];
+        assert!((ratio - std::f64::consts::E).abs() < 1e-9);
+        // D1 = e^1 · 1 + 1 = e + 1
+        let expected = (std::f64::consts::E + 1.0f64).ln();
+        assert!((w.ln_dual_sum() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn survives_enormous_exponents() {
+        let g = graph_with_caps(&[1.0, 1.0]);
+        let mut w = DualWeights::new(&g);
+        // Push one edge 10,000 e-folds up — far beyond f64 range.
+        for _ in 0..100 {
+            w.bump(EdgeId(0), 100.0);
+        }
+        assert!((w.ln_y(EdgeId(0)) - 10_000.0).abs() < 1e-6);
+        assert!((w.ln_dual_sum() - 10_000.0).abs() < 1e-6);
+        // Materialized weights stay finite and ordered.
+        assert!(w.weights()[0].is_finite());
+        assert!(w.weights()[0] > 0.0);
+        assert!(w.weights()[1] >= 0.0); // may underflow to zero — allowed
+        assert!(w.weights()[0] > w.weights()[1]);
+    }
+
+    #[test]
+    fn recentering_preserves_ratios() {
+        let g = graph_with_caps(&[1.0, 1.0, 1.0]);
+        let mut w = DualWeights::new(&g);
+        w.bump(EdgeId(0), 100.0);
+        w.bump(EdgeId(1), 50.0);
+        // ln-ratio of edges 0 and 1 must be exactly 50.
+        let r = (w.weights()[0] / w.weights()[1]).ln();
+        assert!((r - 50.0).abs() < 1e-9);
+        // force recenter
+        w.bump(EdgeId(0), 600.0);
+        let r2 = (w.ln_y(EdgeId(0)) - w.ln_y(EdgeId(1))).abs();
+        assert!((r2 - 650.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn guard_crossing_detectable() {
+        // Simulate the stop condition Σ c_e y_e > e^{ε(B−1)} in log space.
+        let g = graph_with_caps(&[8.0]);
+        let mut w = DualWeights::new(&g);
+        let eps = 0.5;
+        let b = 8.0;
+        let guard = eps * (b - 1.0); // ln threshold = 3.5
+        assert!(w.ln_dual_sum() <= guard);
+        // Each unit-demand update bumps by εB/c = 0.5·8/8 = 0.5.
+        let mut bumps = 0;
+        // Tolerance: the threshold 3.5 falls exactly on the bump grid and
+        // log-sum-exp carries ~1e-16 noise.
+        while w.ln_dual_sum() <= guard + 1e-9 {
+            w.bump(EdgeId(0), 0.5);
+            bumps += 1;
+            assert!(bumps < 100, "guard never tripped");
+        }
+        // ln(c·y) = ln(8·y); starts at ln(1)=0, after k bumps = 0.5k, so
+        // the first value strictly above 3.5 appears at k = 8.
+        assert_eq!(bumps, 8);
+    }
+}
+
+#[cfg(test)]
+mod naive_comparison_tests {
+    use super::*;
+    use ufp_netgraph::graph::GraphBuilder;
+    use ufp_netgraph::ids::NodeId;
+
+    /// For exponents small enough that naive `f64` arithmetic is exact,
+    /// the log-space representation must agree with a plain
+    /// `y_e *= exp(x)` implementation to machine precision — the naive
+    /// version is the spec, the log-space one the implementation.
+    #[test]
+    fn matches_naive_f64_in_the_safe_range() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let caps: Vec<f64> = (0..20).map(|_| rng.random_range(1.0..16.0)).collect();
+        let mut gb = GraphBuilder::directed(21);
+        for (i, &c) in caps.iter().enumerate() {
+            gb.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), c);
+        }
+        let g = gb.build();
+        let mut fancy = DualWeights::new(&g);
+        let mut naive: Vec<f64> = caps.iter().map(|c| 1.0 / c).collect();
+        for _ in 0..500 {
+            let e = rng.random_range(0..caps.len());
+            let exponent = rng.random_range(0.0..0.5);
+            fancy.bump(EdgeId(e as u32), exponent);
+            naive[e] *= exponent.exp();
+            // Guard quantity agrees.
+            let naive_sum: f64 = naive.iter().zip(&caps).map(|(y, c)| y * c).sum();
+            let diff = (fancy.ln_dual_sum() - naive_sum.ln()).abs();
+            assert!(diff < 1e-9, "ln dual sum drifted by {diff}");
+        }
+        // Weight ratios agree too (materialized weights are y up to a
+        // common positive factor).
+        let k = fancy.weights()[0] / naive[0];
+        for (w, y) in fancy.weights().iter().zip(&naive) {
+            assert!((w / y - k).abs() < 1e-9 * k, "ratio drifted");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Flat row-major dense matrix used by the simplex tableau.
+
+/// Row-major dense `f64` matrix. One contiguous allocation; row slices are
+/// handed out for the pivot loops so the compiler can elide bounds checks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable element access.
+    #[inline(always)]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline(always)]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Add `v` to element `(r, c)`.
+    #[inline(always)]
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] += v;
+    }
+
+    /// Row `r` as a slice.
+    #[inline(always)]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline(always)]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Two distinct rows, the first mutable — the shape of a pivot update
+    /// (`row_i -= factor * pivot_row`). Panics if `r1 == r2`.
+    pub fn row_pair_mut(&mut self, r1: usize, r2: usize) -> (&mut [f64], &[f64]) {
+        assert_ne!(r1, r2, "row_pair_mut needs distinct rows");
+        let cols = self.cols;
+        if r1 < r2 {
+            let (lo, hi) = self.data.split_at_mut(r2 * cols);
+            (
+                &mut lo[r1 * cols..(r1 + 1) * cols],
+                &hi[..cols],
+            )
+        } else {
+            let (lo, hi) = self.data.split_at_mut(r1 * cols);
+            (&mut hi[..cols], &lo[r2 * cols..(r2 + 1) * cols])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_access() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set(0, 1, 4.0);
+        m.add(0, 1, 0.5);
+        assert_eq!(m.get(0, 1), 4.5);
+        assert_eq!(m.get(1, 2), 0.0);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    fn row_slices() {
+        let mut m = Matrix::zeros(2, 2);
+        m.row_mut(1)[0] = 7.0;
+        assert_eq!(m.row(1), &[7.0, 0.0]);
+    }
+
+    #[test]
+    fn row_pair_both_orders() {
+        let mut m = Matrix::zeros(3, 2);
+        m.set(0, 0, 1.0);
+        m.set(2, 0, 5.0);
+        {
+            let (a, b) = m.row_pair_mut(0, 2);
+            a[1] = b[0];
+        }
+        assert_eq!(m.get(0, 1), 5.0);
+        {
+            let (a, b) = m.row_pair_mut(2, 0);
+            a[1] = b[0];
+        }
+        assert_eq!(m.get(2, 1), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_pair_same_row_panics() {
+        let mut m = Matrix::zeros(2, 2);
+        let _ = m.row_pair_mut(1, 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Weak-duality utilities for the Figure 1 / Figure 5 linear programs.
+//!
+//! The paper's analysis (Claims 3.6, 5.2) hinges on exhibiting feasible
+//! dual solutions whose objective upper-bounds OPT. These helpers verify
+//! such certificates mechanically for any [`LpProblem`]: dual feasibility
+//! of a candidate `y` and the weak-duality inequality
+//! `c·x ≤ b·y` for every feasible primal/dual pair.
+
+use crate::simplex::{LpProblem, Relation};
+
+/// The dual objective `b·y`.
+pub fn dual_objective(lp: &LpProblem, duals: &[f64]) -> f64 {
+    lp.constraints
+        .iter()
+        .zip(duals)
+        .map(|(c, y)| c.rhs * y)
+        .sum()
+}
+
+/// Dual feasibility for `maximize c·x s.t. Ax {≤,=,≥} b, x ≥ 0`:
+/// sign conditions per row (`≤` ⇒ y ≥ 0, `≥` ⇒ y ≤ 0, `=` ⇒ free) and
+/// covering conditions per variable (`Σ_i a_ij y_i ≥ c_j`).
+pub fn is_dual_feasible(lp: &LpProblem, duals: &[f64], tol: f64) -> bool {
+    if duals.len() != lp.constraints.len() {
+        return false;
+    }
+    for (c, &y) in lp.constraints.iter().zip(duals) {
+        let sign_ok = match c.relation {
+            Relation::Le => y >= -tol,
+            Relation::Ge => y <= tol,
+            Relation::Eq => true,
+        };
+        if !sign_ok {
+            return false;
+        }
+    }
+    let mut covered = vec![0.0f64; lp.num_vars()];
+    for (c, &y) in lp.constraints.iter().zip(duals) {
+        for &(j, a) in &c.terms {
+            covered[j] += a * y;
+        }
+    }
+    covered
+        .iter()
+        .zip(&lp.objective)
+        .all(|(&lhs, &cj)| lhs >= cj - tol)
+}
+
+/// The weak-duality gap `b·y − c·x` for a feasible pair; panics (debug) if
+/// either side is infeasible — the caller is asserting a certificate.
+pub fn weak_duality_gap(lp: &LpProblem, x: &[f64], duals: &[f64], tol: f64) -> f64 {
+    debug_assert!(lp.is_primal_feasible(x, tol), "primal certificate invalid");
+    debug_assert!(is_dual_feasible(lp, duals, tol), "dual certificate invalid");
+    dual_objective(lp, duals) - lp.objective_value(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::{solve, LpProblem, Relation};
+
+    fn knapsack_lp() -> LpProblem {
+        // max 3a + 2b s.t. a + b <= 4, a <= 3
+        let mut lp = LpProblem::new(2);
+        lp.objective = vec![3.0, 2.0];
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(vec![(0, 1.0)], Relation::Le, 3.0);
+        lp
+    }
+
+    #[test]
+    fn optimal_duals_are_feasible_with_zero_gap() {
+        let lp = knapsack_lp();
+        let s = solve(&lp).expect_optimal("knapsack");
+        assert!(is_dual_feasible(&lp, &s.duals, 1e-7));
+        let gap = weak_duality_gap(&lp, &s.x, &s.duals, 1e-7);
+        assert!(gap.abs() < 1e-6, "strong duality should give zero gap, got {gap}");
+    }
+
+    #[test]
+    fn scaled_up_duals_stay_feasible_with_positive_gap() {
+        let lp = knapsack_lp();
+        let s = solve(&lp).expect_optimal("knapsack");
+        let inflated: Vec<f64> = s.duals.iter().map(|y| y * 2.0).collect();
+        assert!(is_dual_feasible(&lp, &inflated, 1e-7));
+        let gap = weak_duality_gap(&lp, &s.x, &inflated, 1e-7);
+        assert!(gap > 0.0);
+    }
+
+    #[test]
+    fn undercovering_duals_rejected() {
+        let lp = knapsack_lp();
+        assert!(!is_dual_feasible(&lp, &[0.0, 0.0], 1e-9));
+        assert!(!is_dual_feasible(&lp, &[2.0], 1e-9)); // wrong length
+        assert!(!is_dual_feasible(&lp, &[-1.0, 5.0], 1e-9)); // sign violation
+    }
+
+    #[test]
+    fn dual_objective_linear_in_rhs() {
+        let lp = knapsack_lp();
+        assert!((dual_objective(&lp, &[1.0, 2.0]) - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,324 @@
+//! Fractional unsplittable flow (= value-maximizing multicommodity flow
+//! with per-request caps) via the packing solver with a Dijkstra oracle.
+//!
+//! This is the exact relaxation from the paper's Figure 1: variables are
+//! (request, path) pairs, a capacity row per edge (`b_e = c_e`, entry
+//! `d_r`), and a selection row per request (`b_r = 1`, entry `1`,
+//! realizing `Σ_{s∈S_r} x_s ≤ 1`). The oracle that finds the most-violated
+//! dual constraint is a shortest-path query per commodity — the same
+//! structural fact Algorithm 1 exploits.
+
+use std::cell::RefCell;
+
+use ufp_netgraph::dijkstra::{Dijkstra, Targets};
+use ufp_netgraph::graph::Graph;
+use ufp_netgraph::ids::NodeId;
+use ufp_netgraph::path::Path;
+
+use crate::packing::{solve_packing, Column, ColumnOracle, PackingConfig, PackingSolution};
+
+/// A commodity: the LP-substrate view of a connection request.
+/// (`ufp-core` converts its richer request type into this.)
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Commodity {
+    /// Source vertex.
+    pub src: NodeId,
+    /// Target vertex.
+    pub dst: NodeId,
+    /// Demand `d_r > 0`.
+    pub demand: f64,
+    /// Value `v_r > 0`.
+    pub value: f64,
+}
+
+/// One fractional flow: `amount` ∈ \[0,1\] of `commodity` routed on `path`.
+#[derive(Clone, Debug)]
+pub struct FracFlow {
+    /// Index into the commodity slice.
+    pub commodity: usize,
+    /// The routing path.
+    pub path: Path,
+    /// Fraction of the request routed along this path.
+    pub amount: f64,
+}
+
+/// Output of [`solve_fractional_ufp`]. `value ≤ OPT_frac ≤ upper_bound`.
+#[derive(Clone, Debug)]
+pub struct FracUfpSolution {
+    /// Certified feasible fractional objective.
+    pub value: f64,
+    /// Certified upper bound on the fractional optimum (hence also on the
+    /// integral optimum — this is the bound experiments compare against).
+    pub upper_bound: f64,
+    /// Path flows, already scaled to feasibility.
+    pub flows: Vec<FracFlow>,
+    /// Oracle iterations used.
+    pub iterations: usize,
+}
+
+struct UfpOracle<'a> {
+    graph: &'a Graph,
+    commodities: &'a [Commodity],
+    /// Commodity indices grouped by source vertex: one Dijkstra per
+    /// distinct source per oracle call instead of one per commodity.
+    by_source: Vec<(NodeId, Vec<usize>)>,
+    // Interior mutability: the oracle trait takes &self, but we reuse one
+    // Dijkstra workspace and accumulate discovered paths for tag lookup.
+    dijkstra: RefCell<Dijkstra>,
+    paths: RefCell<Vec<(usize, Path)>>,
+}
+
+impl<'a> ColumnOracle for UfpOracle<'a> {
+    fn num_rows(&self) -> usize {
+        self.graph.num_edges() + self.commodities.len()
+    }
+
+    fn row_limit(&self, i: usize) -> f64 {
+        let m = self.graph.num_edges();
+        if i < m {
+            self.graph.edges()[i].capacity
+        } else {
+            1.0
+        }
+    }
+
+    fn best_column(&self, y: &[f64]) -> Option<Column> {
+        let m = self.graph.num_edges();
+        let mut dij = self.dijkstra.borrow_mut();
+        let mut best: Option<(f64, usize)> = None;
+        // One shortest-path tree per distinct source covers all of its
+        // commodities.
+        for (src, members) in &self.by_source {
+            let targets: Vec<NodeId> = members
+                .iter()
+                .map(|&r| self.commodities[r].dst)
+                .collect();
+            dij.run(self.graph, &y[..m], *src, Targets::Set(&targets), |_| true);
+            for &r in members {
+                let c = &self.commodities[r];
+                let Some(dist) = dij.distance(c.dst) else {
+                    continue;
+                };
+                // Ratio of the (request, path) column: (d_r·|p| + z_r)/v_r.
+                let ratio = (c.demand * dist + y[m + r]) / c.value;
+                let better = match &best {
+                    None => true,
+                    Some((b, _)) => ratio < *b,
+                };
+                if better {
+                    best = Some((ratio, r));
+                }
+            }
+        }
+        let (_, r) = best?;
+        // Re-run the winner's source to extract its path (the workspace
+        // was clobbered by later groups).
+        let c = &self.commodities[r];
+        let path = dij
+            .shortest_path(self.graph, &y[..m], c.src, c.dst, |_| true)
+            .expect("winner was reachable a moment ago")
+            .path;
+        let c = &self.commodities[r];
+        let mut entries: Vec<(usize, f64)> =
+            path.edges().iter().map(|e| (e.index(), c.demand)).collect();
+        entries.push((m + r, 1.0));
+        let mut paths = self.paths.borrow_mut();
+        let tag = paths.len() as u64;
+        paths.push((r, path));
+        Some(Column {
+            value: c.value,
+            entries,
+            tag,
+        })
+    }
+}
+
+/// Solve the fractional UFP relaxation to a certified `(1+ε)` bracket.
+pub fn solve_fractional_ufp(
+    graph: &Graph,
+    commodities: &[Commodity],
+    epsilon: f64,
+    max_iterations: usize,
+) -> FracUfpSolution {
+    for c in commodities {
+        assert!(c.demand > 0.0 && c.value > 0.0, "commodities must be positive");
+    }
+    let mut by_source: Vec<(NodeId, Vec<usize>)> = Vec::new();
+    {
+        let mut order: Vec<usize> = (0..commodities.len()).collect();
+        order.sort_unstable_by_key(|&r| (commodities[r].src, r));
+        for r in order {
+            let src = commodities[r].src;
+            match by_source.last_mut() {
+                Some((s, members)) if *s == src => members.push(r),
+                _ => by_source.push((src, vec![r])),
+            }
+        }
+    }
+    let oracle = UfpOracle {
+        graph,
+        commodities,
+        by_source,
+        dijkstra: RefCell::new(Dijkstra::new(graph.num_nodes())),
+        paths: RefCell::new(Vec::new()),
+    };
+    let cfg = PackingConfig {
+        epsilon,
+        max_iterations,
+    };
+    let sol: PackingSolution = solve_packing(&oracle, cfg);
+    let paths = oracle.paths.into_inner();
+    let flows = sol
+        .columns
+        .into_iter()
+        .filter(|(_, amt)| *amt > 0.0)
+        .map(|(col, amount)| {
+            let (commodity, path) = paths[col.tag as usize].clone();
+            FracFlow {
+                commodity,
+                path,
+                amount,
+            }
+        })
+        .collect();
+    FracUfpSolution {
+        value: sol.primal_value,
+        upper_bound: sol.dual_bound,
+        flows,
+        iterations: sol.iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufp_netgraph::graph::GraphBuilder;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn single_edge_single_commodity() {
+        let mut b = GraphBuilder::directed(2);
+        b.add_edge(n(0), n(1), 10.0);
+        let g = b.build();
+        let c = vec![Commodity {
+            src: n(0),
+            dst: n(1),
+            demand: 1.0,
+            value: 5.0,
+        }];
+        let sol = solve_fractional_ufp(&g, &c, 0.02, 100_000);
+        // Request fully routable: OPT = 5 (bounded by the x_r <= 1 row).
+        assert!(sol.value <= 5.0 + 1e-9);
+        assert!(sol.upper_bound >= 5.0 - 1e-9);
+        assert!(sol.value >= 5.0 / 1.05, "value {}", sol.value);
+    }
+
+    #[test]
+    fn capacity_binds_fractional_share() {
+        // Edge capacity 1, two unit-demand commodities of values 3 and 1:
+        // fractional OPT routes all of the valuable one => 3 + 0 ... but
+        // x_r <= 1 caps each, capacity 1 total => OPT = 3.
+        let mut b = GraphBuilder::directed(2);
+        b.add_edge(n(0), n(1), 1.0);
+        let g = b.build();
+        let c = vec![
+            Commodity {
+                src: n(0),
+                dst: n(1),
+                demand: 1.0,
+                value: 3.0,
+            },
+            Commodity {
+                src: n(0),
+                dst: n(1),
+                demand: 1.0,
+                value: 1.0,
+            },
+        ];
+        let sol = solve_fractional_ufp(&g, &c, 0.02, 200_000);
+        assert!(sol.value <= 3.0 + 1e-9);
+        assert!(sol.upper_bound >= 3.0 - 1e-6);
+        assert!(sol.value >= 3.0 / 1.05);
+    }
+
+    #[test]
+    fn splits_across_parallel_paths() {
+        // Two disjoint 2-hop paths of capacity 1 each; one commodity of
+        // demand 1, value 1 => it can route at most 1 unit; but capacity
+        // lets fractional OPT = 1 (x_r <= 1 binds first).
+        let mut b = GraphBuilder::directed(4);
+        b.add_edge(n(0), n(1), 1.0);
+        b.add_edge(n(1), n(3), 1.0);
+        b.add_edge(n(0), n(2), 1.0);
+        b.add_edge(n(2), n(3), 1.0);
+        let g = b.build();
+        let c = vec![Commodity {
+            src: n(0),
+            dst: n(3),
+            demand: 2.0,
+            value: 4.0,
+        }];
+        // demand 2 > capacity 1 per path: fractional routes 0.5 on each
+        // path => x_r = 1 total? Load on each edge = 2 * 0.5 = 1 ok.
+        let sol = solve_fractional_ufp(&g, &c, 0.02, 200_000);
+        assert!(sol.value <= 4.0 + 1e-9);
+        assert!(sol.value >= 4.0 / 1.1, "value {}", sol.value);
+    }
+
+    #[test]
+    fn flows_are_feasible() {
+        let mut b = GraphBuilder::directed(3);
+        b.add_edge(n(0), n(1), 2.0);
+        b.add_edge(n(1), n(2), 1.0);
+        let g = b.build();
+        let c = vec![
+            Commodity {
+                src: n(0),
+                dst: n(2),
+                demand: 1.0,
+                value: 2.0,
+            },
+            Commodity {
+                src: n(0),
+                dst: n(1),
+                demand: 1.0,
+                value: 1.0,
+            },
+        ];
+        let sol = solve_fractional_ufp(&g, &c, 0.05, 100_000);
+        let mut loads = vec![0.0; g.num_edges()];
+        let mut per_req = vec![0.0; c.len()];
+        for f in &sol.flows {
+            assert!(f.path.validate(&g).is_ok());
+            assert_eq!(f.path.source(), c[f.commodity].src);
+            assert_eq!(f.path.target(), c[f.commodity].dst);
+            per_req[f.commodity] += f.amount;
+            for e in f.path.edges() {
+                loads[e.index()] += c[f.commodity].demand * f.amount;
+            }
+        }
+        for (e, &l) in loads.iter().enumerate() {
+            assert!(l <= g.edges()[e].capacity + 1e-7, "edge {e} overloaded: {l}");
+        }
+        for (r, &t) in per_req.iter().enumerate() {
+            assert!(t <= 1.0 + 1e-7, "request {r} routed more than once: {t}");
+        }
+    }
+
+    #[test]
+    fn disconnected_commodity_contributes_nothing() {
+        let g = GraphBuilder::directed(3).build();
+        let c = vec![Commodity {
+            src: n(0),
+            dst: n(2),
+            demand: 1.0,
+            value: 9.0,
+        }];
+        let sol = solve_fractional_ufp(&g, &c, 0.05, 1000);
+        assert_eq!(sol.value, 0.0);
+        assert!(sol.flows.is_empty());
+    }
+}

@@ -1,0 +1,601 @@
+//! Two-phase dense primal simplex with dual extraction.
+//!
+//! This is the *exact* solver of the LP substrate: small and medium
+//! instances of the Figure 1 / Figure 5 linear programs are solved to
+//! optimality so that experiments can report exact fractional optima and
+//! integrality gaps. Bland's rule guarantees termination (no cycling);
+//! a dense tableau keeps the implementation short and auditable. Large
+//! instances use the approximate Garg–Könemann solver instead
+//! ([`crate::packing`]).
+
+use crate::dense::Matrix;
+
+/// Constraint sense.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Relation {
+    /// `Σ a_j x_j ≤ b`
+    Le,
+    /// `Σ a_j x_j = b`
+    Eq,
+    /// `Σ a_j x_j ≥ b`
+    Ge,
+}
+
+/// One sparse constraint row.
+#[derive(Clone, Debug)]
+pub struct Constraint {
+    /// `(variable index, coefficient)` pairs; duplicate indices are summed.
+    pub terms: Vec<(usize, f64)>,
+    /// Sense of the row.
+    pub relation: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program `maximize c·x  s.t.  constraints, x ≥ 0`.
+#[derive(Clone, Debug, Default)]
+pub struct LpProblem {
+    /// Objective coefficients; its length fixes the variable count.
+    pub objective: Vec<f64>,
+    /// Constraint rows.
+    pub constraints: Vec<Constraint>,
+}
+
+impl LpProblem {
+    /// New problem over `num_vars` variables with zero objective.
+    pub fn new(num_vars: usize) -> Self {
+        LpProblem {
+            objective: vec![0.0; num_vars],
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Add a constraint; returns its row index (= dual variable index).
+    pub fn add_constraint(
+        &mut self,
+        terms: Vec<(usize, f64)>,
+        relation: Relation,
+        rhs: f64,
+    ) -> usize {
+        for &(j, _) in &terms {
+            assert!(j < self.num_vars(), "constraint references variable {j} out of range");
+        }
+        self.constraints.push(Constraint {
+            terms,
+            relation,
+            rhs,
+        });
+        self.constraints.len() - 1
+    }
+
+    /// Evaluate the objective at `x`.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Check `x ≥ 0` and every constraint within `tol`.
+    pub fn is_primal_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.num_vars() || x.iter().any(|&v| v < -tol) {
+            return false;
+        }
+        self.constraints.iter().all(|c| {
+            let lhs: f64 = c.terms.iter().map(|&(j, a)| a * x[j]).sum();
+            match c.relation {
+                Relation::Le => lhs <= c.rhs + tol,
+                Relation::Ge => lhs >= c.rhs - tol,
+                Relation::Eq => (lhs - c.rhs).abs() <= tol,
+            }
+        })
+    }
+}
+
+/// Optimal solution with dual values.
+#[derive(Clone, Debug)]
+pub struct LpSolution {
+    /// Optimal objective value.
+    pub objective: f64,
+    /// Primal assignment.
+    pub x: Vec<f64>,
+    /// One dual value per constraint row (sign convention: duals of a
+    /// maximization are ≥ 0 for `Le` rows, ≤ 0 for `Ge` rows, free for
+    /// `Eq` rows).
+    pub duals: Vec<f64>,
+}
+
+/// Outcome of [`solve`].
+#[derive(Clone, Debug)]
+pub enum LpOutcome {
+    /// Finite optimum found.
+    Optimal(LpSolution),
+    /// No feasible point exists.
+    Infeasible,
+    /// Objective unbounded above.
+    Unbounded,
+}
+
+impl LpOutcome {
+    /// Unwrap the optimal solution; panics otherwise.
+    pub fn expect_optimal(self, msg: &str) -> LpSolution {
+        match self {
+            LpOutcome::Optimal(s) => s,
+            other => panic!("{msg}: LP outcome was {other:?}"),
+        }
+    }
+}
+
+const TOL: f64 = 1e-9;
+/// Hard cap on pivots, far above what Bland's rule needs on our sizes;
+/// protects against pathological numerics looping forever.
+const MAX_PIVOTS: usize = 2_000_000;
+
+struct Tableau {
+    t: Matrix,
+    /// Column index of the basic variable of each row.
+    basis: Vec<usize>,
+    n_rows: usize,
+    rhs_col: usize,
+    /// Per-row bookkeeping for dual extraction.
+    row_flip: Vec<bool>,
+    row_relation: Vec<Relation>,
+    /// Column carrying the dual of each row (slack, surplus, or
+    /// artificial column, all unit columns in the original basis).
+    row_dual_col: Vec<usize>,
+    row_dual_sign: Vec<f64>,
+}
+
+/// Solve the LP to optimality with the two-phase primal simplex.
+pub fn solve(lp: &LpProblem) -> LpOutcome {
+    let m = lp.constraints.len();
+    let n = lp.num_vars();
+
+    // --- Count auxiliary columns -----------------------------------------
+    // After normalizing rhs ≥ 0: Le rows get a slack (basic), Ge rows get a
+    // surplus plus an artificial (basic), Eq rows get an artificial (basic).
+    let mut n_slack = 0;
+    let mut n_art = 0;
+    let mut normalized: Vec<(Vec<(usize, f64)>, Relation, f64, bool)> = Vec::with_capacity(m);
+    for c in &lp.constraints {
+        let mut terms = c.terms.clone();
+        let mut rel = c.relation;
+        let mut rhs = c.rhs;
+        let mut flipped = false;
+        if rhs < 0.0 {
+            for t in &mut terms {
+                t.1 = -t.1;
+            }
+            rhs = -rhs;
+            rel = match rel {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+            flipped = true;
+        }
+        match rel {
+            Relation::Le => n_slack += 1,
+            Relation::Ge => {
+                n_slack += 1;
+                n_art += 1;
+            }
+            Relation::Eq => n_art += 1,
+        }
+        normalized.push((terms, rel, rhs, flipped));
+    }
+
+    let art_start = n + n_slack;
+    let rhs_col = art_start + n_art;
+    let cols = rhs_col + 1;
+
+    // Rows 0..m are constraints; row m is the objective row (z_j − c_j).
+    let mut t = Matrix::zeros(m + 1, cols);
+    let mut basis = vec![0usize; m];
+    let mut row_flip = vec![false; m];
+    let mut row_relation = vec![Relation::Le; m];
+    let mut row_dual_col = vec![0usize; m];
+    let mut row_dual_sign = vec![1.0f64; m];
+
+    let mut slack_cursor = n;
+    let mut art_cursor = art_start;
+    for (i, (terms, rel, rhs, flipped)) in normalized.iter().enumerate() {
+        for &(j, a) in terms {
+            t.add(i, j, a);
+        }
+        t.set(i, rhs_col, *rhs);
+        row_flip[i] = *flipped;
+        row_relation[i] = *rel;
+        match rel {
+            Relation::Le => {
+                t.set(i, slack_cursor, 1.0);
+                basis[i] = slack_cursor;
+                row_dual_col[i] = slack_cursor;
+                row_dual_sign[i] = 1.0;
+                slack_cursor += 1;
+            }
+            Relation::Ge => {
+                t.set(i, slack_cursor, -1.0);
+                row_dual_col[i] = slack_cursor;
+                row_dual_sign[i] = -1.0;
+                slack_cursor += 1;
+                t.set(i, art_cursor, 1.0);
+                basis[i] = art_cursor;
+                art_cursor += 1;
+            }
+            Relation::Eq => {
+                t.set(i, art_cursor, 1.0);
+                basis[i] = art_cursor;
+                // Dual readable from the artificial's reduced cost.
+                row_dual_col[i] = art_cursor;
+                row_dual_sign[i] = 1.0;
+                art_cursor += 1;
+            }
+        }
+    }
+
+    let mut tab = Tableau {
+        t,
+        basis,
+        n_rows: m,
+        rhs_col,
+        row_flip,
+        row_relation,
+        row_dual_col,
+        row_dual_sign,
+    };
+
+    // --- Phase 1: maximize −Σ artificials --------------------------------
+    if n_art > 0 {
+        // Objective row for cost c = −1 on artificials: z_j − c_j.
+        // Basis contains the artificials, so z_j = −Σ_{art rows} a_ij.
+        for i in 0..m {
+            if tab.basis[i] >= art_start {
+                let (obj, row) = tab.t.row_pair_mut(m, i);
+                for (o, r) in obj.iter_mut().zip(row) {
+                    *o -= r;
+                }
+            }
+        }
+        // Column z−c of each artificial itself must be 0, which the
+        // subtraction achieved for basic ones; also add back c_j = −1:
+        for j in art_start..rhs_col {
+            tab.t.add(m, j, 1.0);
+        }
+        if !run_simplex(&mut tab, rhs_col) {
+            // Phase 1 is always bounded (objective ≤ 0).
+            unreachable!("phase 1 cannot be unbounded");
+        }
+        let phase1 = tab.t.get(m, rhs_col);
+        // We maximize −Σ art; stored objective value is +Σ c_B b = value.
+        if phase1 < -1e-7 {
+            return LpOutcome::Infeasible;
+        }
+        // Drive any artificial still basic (at value 0) out of the basis
+        // if possible; if its row is all-zero over structural+slack
+        // columns, the row is redundant and can stay (pivoting is blocked
+        // by banning artificial entry in phase 2).
+        for i in 0..m {
+            if tab.basis[i] >= art_start {
+                let mut pivot_col = None;
+                for j in 0..art_start {
+                    if tab.t.get(i, j).abs() > 1e-7 {
+                        pivot_col = Some(j);
+                        break;
+                    }
+                }
+                if let Some(j) = pivot_col {
+                    pivot(&mut tab, i, j);
+                }
+            }
+        }
+    }
+
+    // --- Phase 2: original objective --------------------------------------
+    // Rebuild objective row: z_j − c_j with c = lp.objective on structural
+    // columns, 0 elsewhere (artificials get cost 0 but are banned from
+    // entering, keeping their reduced costs = dual values for Eq rows).
+    for j in 0..cols {
+        tab.t.set(m, j, 0.0);
+    }
+    for j in 0..n {
+        tab.t.set(m, j, -lp.objective[j]);
+    }
+    for i in 0..m {
+        let b = tab.basis[i];
+        let cb = if b < n { lp.objective[b] } else { 0.0 };
+        if cb != 0.0 {
+            let (obj, row) = tab.t.row_pair_mut(m, i);
+            for (o, r) in obj.iter_mut().zip(row) {
+                *o += cb * r;
+            }
+        }
+    }
+    if !run_simplex(&mut tab, art_start) {
+        return LpOutcome::Unbounded;
+    }
+
+    // --- Extract solution --------------------------------------------------
+    let mut x = vec![0.0; n];
+    for i in 0..m {
+        if tab.basis[i] < n {
+            x[tab.basis[i]] = tab.t.get(i, rhs_col);
+        }
+    }
+    let mut duals = vec![0.0; m];
+    for i in 0..m {
+        let raw = tab.t.get(m, tab.row_dual_col[i]) * tab.row_dual_sign[i];
+        duals[i] = if tab.row_flip[i] { -raw } else { raw };
+        let _ = tab.row_relation[i];
+    }
+    let objective = tab.t.get(m, rhs_col);
+    LpOutcome::Optimal(LpSolution {
+        objective,
+        x,
+        duals,
+    })
+}
+
+/// Run primal simplex pivots until optimal (true) or unbounded (false).
+/// Columns `>= enter_limit` are banned from entering the basis.
+fn run_simplex(tab: &mut Tableau, enter_limit: usize) -> bool {
+    let m = tab.n_rows;
+    let obj_row = m;
+    for _ in 0..MAX_PIVOTS {
+        // Bland: entering column = smallest index with negative reduced cost.
+        let mut entering = None;
+        for j in 0..enter_limit {
+            if tab.t.get(obj_row, j) < -TOL {
+                entering = Some(j);
+                break;
+            }
+        }
+        let Some(col) = entering else {
+            return true; // optimal
+        };
+        // Ratio test; Bland tie-break on smallest basis index.
+        let mut leave: Option<(usize, f64)> = None;
+        for i in 0..m {
+            let a = tab.t.get(i, col);
+            if a > TOL {
+                let ratio = tab.t.get(i, tab.rhs_col) / a;
+                let better = match leave {
+                    None => true,
+                    Some((li, lr)) => {
+                        ratio < lr - TOL
+                            || (ratio < lr + TOL && tab.basis[i] < tab.basis[li])
+                    }
+                };
+                if better {
+                    leave = Some((i, ratio));
+                }
+            }
+        }
+        let Some((row, _)) = leave else {
+            return false; // unbounded direction
+        };
+        pivot(tab, row, col);
+    }
+    panic!("simplex exceeded {MAX_PIVOTS} pivots — numerical trouble");
+}
+
+/// Pivot on (row, col): scale pivot row to 1, eliminate the column from
+/// every other row including the objective row.
+fn pivot(tab: &mut Tableau, row: usize, col: usize) {
+    let p = tab.t.get(row, col);
+    debug_assert!(p.abs() > 1e-12, "pivot on (near-)zero element");
+    let inv = 1.0 / p;
+    for v in tab.t.row_mut(row).iter_mut() {
+        *v *= inv;
+    }
+    // Clean up the pivot element exactly.
+    tab.t.set(row, col, 1.0);
+    for i in 0..=tab.n_rows {
+        if i == row {
+            continue;
+        }
+        let factor = tab.t.get(i, col);
+        if factor.abs() <= 1e-13 {
+            continue;
+        }
+        let (target, source) = tab.t.row_pair_mut(i, row);
+        for (tv, sv) in target.iter_mut().zip(source) {
+            *tv -= factor * sv;
+        }
+        target[col] = 0.0;
+    }
+    tab.basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} != {b}");
+    }
+
+    #[test]
+    fn simple_le_lp() {
+        // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 => x=4, y=0, obj 12
+        let mut lp = LpProblem::new(2);
+        lp.objective = vec![3.0, 2.0];
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 3.0)], Relation::Le, 6.0);
+        let s = solve(&lp).expect_optimal("simple");
+        assert_close(s.objective, 12.0);
+        assert_close(s.x[0], 4.0);
+        assert_close(s.x[1], 0.0);
+        // duals: y1 = 3, y2 = 0 (only the first constraint binds usefully)
+        assert_close(s.duals[0], 3.0);
+        assert_close(s.duals[1], 0.0);
+        assert!(lp.is_primal_feasible(&s.x, 1e-9));
+    }
+
+    #[test]
+    fn interior_optimum_with_both_binding() {
+        // max x + y s.t. 2x + y <= 4, x + 2y <= 4 => x=y=4/3, obj 8/3
+        let mut lp = LpProblem::new(2);
+        lp.objective = vec![1.0, 1.0];
+        lp.add_constraint(vec![(0, 2.0), (1, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 2.0)], Relation::Le, 4.0);
+        let s = solve(&lp).expect_optimal("both binding");
+        assert_close(s.objective, 8.0 / 3.0);
+        assert_close(s.x[0], 4.0 / 3.0);
+        assert_close(s.x[1], 4.0 / 3.0);
+        assert_close(s.duals[0], 1.0 / 3.0);
+        assert_close(s.duals[1], 1.0 / 3.0);
+    }
+
+    #[test]
+    fn equality_constraint() {
+        // max x + 2y s.t. x + y = 3, y <= 2 => x=1, y=2, obj 5
+        let mut lp = LpProblem::new(2);
+        lp.objective = vec![1.0, 2.0];
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Eq, 3.0);
+        lp.add_constraint(vec![(1, 1.0)], Relation::Le, 2.0);
+        let s = solve(&lp).expect_optimal("eq");
+        assert_close(s.objective, 5.0);
+        assert_close(s.x[0], 1.0);
+        assert_close(s.x[1], 2.0);
+        // dual of the equality row: 1 (marginal value of raising rhs)
+        assert_close(s.duals[0], 1.0);
+        assert_close(s.duals[1], 1.0);
+    }
+
+    #[test]
+    fn ge_constraint() {
+        // max -x  s.t. x >= 2  (i.e. min x) => x=2, obj -2
+        let mut lp = LpProblem::new(1);
+        lp.objective = vec![-1.0];
+        lp.add_constraint(vec![(0, 1.0)], Relation::Ge, 2.0);
+        let s = solve(&lp).expect_optimal("ge");
+        assert_close(s.objective, -2.0);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.duals[0], -1.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LpProblem::new(1);
+        lp.objective = vec![1.0];
+        lp.add_constraint(vec![(0, 1.0)], Relation::Le, 1.0);
+        lp.add_constraint(vec![(0, 1.0)], Relation::Ge, 2.0);
+        assert!(matches!(solve(&lp), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LpProblem::new(2);
+        lp.objective = vec![1.0, 0.0];
+        lp.add_constraint(vec![(1, 1.0)], Relation::Le, 1.0);
+        assert!(matches!(solve(&lp), LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // max x s.t. -x <= -2 (i.e. x >= 2), x <= 5 => x=5
+        let mut lp = LpProblem::new(1);
+        lp.objective = vec![1.0];
+        lp.add_constraint(vec![(0, -1.0)], Relation::Le, -2.0);
+        lp.add_constraint(vec![(0, 1.0)], Relation::Le, 5.0);
+        let s = solve(&lp).expect_optimal("neg rhs");
+        assert_close(s.objective, 5.0);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Classic degeneracy: multiple constraints meeting at a vertex.
+        let mut lp = LpProblem::new(2);
+        lp.objective = vec![1.0, 1.0];
+        lp.add_constraint(vec![(0, 1.0)], Relation::Le, 1.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Le, 1.0);
+        lp.add_constraint(vec![(1, 1.0)], Relation::Le, 1.0);
+        lp.add_constraint(vec![(0, 1.0), (1, -1.0)], Relation::Le, 1.0);
+        let s = solve(&lp).expect_optimal("degenerate");
+        assert_close(s.objective, 1.0);
+    }
+
+    #[test]
+    fn zero_rhs_equality() {
+        // max y s.t. x - y = 0, x <= 3 => x=y=3
+        let mut lp = LpProblem::new(2);
+        lp.objective = vec![0.0, 1.0];
+        lp.add_constraint(vec![(0, 1.0), (1, -1.0)], Relation::Eq, 0.0);
+        lp.add_constraint(vec![(0, 1.0)], Relation::Le, 3.0);
+        let s = solve(&lp).expect_optimal("zero eq");
+        assert_close(s.objective, 3.0);
+        assert_close(s.x[0], 3.0);
+        assert_close(s.x[1], 3.0);
+    }
+
+    #[test]
+    fn duplicate_terms_are_summed() {
+        // max x s.t. 0.5x + 0.5x <= 2 => x = 2
+        let mut lp = LpProblem::new(1);
+        lp.objective = vec![1.0];
+        lp.add_constraint(vec![(0, 0.5), (0, 0.5)], Relation::Le, 2.0);
+        let s = solve(&lp).expect_optimal("dup terms");
+        assert_close(s.objective, 2.0);
+    }
+
+    #[test]
+    fn strong_duality_on_random_packing_lps() {
+        // For packing LPs, primal optimum == dual objective (b·y).
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let n = rng.random_range(2..6);
+            let m = rng.random_range(1..5);
+            let mut lp = LpProblem::new(n);
+            lp.objective = (0..n).map(|_| rng.random_range(0.1..5.0)).collect();
+            for _ in 0..m {
+                let mut terms: Vec<(usize, f64)> = Vec::new();
+                for j in 0..n {
+                    if rng.random_range(0.0..1.0) < 0.7 {
+                        terms.push((j, rng.random_range(0.1..3.0)));
+                    }
+                }
+                let rhs = rng.random_range(1.0..10.0);
+                lp.add_constraint(terms, Relation::Le, rhs);
+            }
+            // cap each var to keep it bounded
+            for j in 0..n {
+                lp.add_constraint(vec![(j, 1.0)], Relation::Le, 10.0);
+            }
+            let s = solve(&lp).expect_optimal("random packing");
+            assert!(lp.is_primal_feasible(&s.x, 1e-7));
+            let dual_obj: f64 = lp
+                .constraints
+                .iter()
+                .zip(&s.duals)
+                .map(|(c, y)| c.rhs * y)
+                .sum();
+            assert!(
+                (dual_obj - s.objective).abs() < 1e-6,
+                "strong duality violated: primal {} dual {}",
+                s.objective,
+                dual_obj
+            );
+            // dual feasibility: for each var j, sum_i a_ij y_i >= c_j
+            for j in 0..n {
+                let mut lhs = 0.0;
+                for (c, y) in lp.constraints.iter().zip(&s.duals) {
+                    for &(jj, a) in &c.terms {
+                        if jj == j {
+                            lhs += a * y;
+                        }
+                    }
+                }
+                assert!(
+                    lhs >= lp.objective[j] - 1e-6,
+                    "dual constraint {j} violated: {lhs} < {}",
+                    lp.objective[j]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Explicit edge-flow formulation of the Figure 1 linear program, solved
+//! exactly with the simplex.
+//!
+//! The path formulation has exponentially many variables; the equivalent
+//! compact edge formulation has, per commodity `r`, a flow variable
+//! `f_{r,e}` per (directed) edge plus a routed-fraction variable `x_r`,
+//! joined by flow conservation. On directed graphs both formulations have
+//! equal optima (flow decomposition); for undirected graphs each edge gets
+//! two direction variables that share the capacity row.
+//!
+//! Used for *exact* fractional optima on small/medium instances —
+//! ground truth for approximation-ratio and integrality-gap experiments.
+
+use ufp_netgraph::graph::{Graph, GraphKind};
+
+use crate::mcf::Commodity;
+use crate::simplex::{solve, LpOutcome, LpProblem, Relation};
+
+/// Variable layout of the edge formulation.
+#[derive(Clone, Copy, Debug)]
+pub struct UfpLpLayout {
+    num_edges: usize,
+    num_commodities: usize,
+    directions: usize,
+}
+
+impl UfpLpLayout {
+    /// Index of flow variable of commodity `r` on edge `e` in direction
+    /// `dir` (0 = as stored, 1 = reversed; directed graphs only use 0).
+    pub fn flow_var(&self, r: usize, e: usize, dir: usize) -> usize {
+        debug_assert!(dir < self.directions);
+        r * self.num_edges * self.directions + e * self.directions + dir
+    }
+
+    /// Index of the routed-fraction variable `x_r`.
+    pub fn x_var(&self, r: usize) -> usize {
+        self.num_commodities * self.num_edges * self.directions + r
+    }
+
+    /// Total number of LP variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_commodities * self.num_edges * self.directions + self.num_commodities
+    }
+}
+
+/// Build the exact LP relaxation (Figure 1 of the paper, edge form).
+pub fn build_ufp_lp(graph: &Graph, commodities: &[Commodity]) -> (LpProblem, UfpLpLayout) {
+    let m = graph.num_edges();
+    let nc = commodities.len();
+    let directions = match graph.kind() {
+        GraphKind::Directed => 1,
+        GraphKind::Undirected => 2,
+    };
+    let layout = UfpLpLayout {
+        num_edges: m,
+        num_commodities: nc,
+        directions,
+    };
+    let mut lp = LpProblem::new(layout.num_vars());
+
+    // Objective: Σ v_r x_r.
+    for (r, c) in commodities.iter().enumerate() {
+        lp.objective[layout.x_var(r)] = c.value;
+    }
+
+    // Flow conservation per commodity and vertex (skip the target vertex;
+    // its row is implied by the others, dropping it removes the rank
+    // deficiency). Net outflow = x_r at the source, 0 elsewhere.
+    for (r, c) in commodities.iter().enumerate() {
+        for v in graph.node_ids() {
+            if v == c.dst {
+                continue;
+            }
+            let mut terms: Vec<(usize, f64)> = Vec::new();
+            for (e, edge) in graph.edges().iter().enumerate() {
+                // direction 0: src -> dst; direction 1 (undirected): dst -> src
+                if edge.src == v {
+                    terms.push((layout.flow_var(r, e, 0), 1.0));
+                    if directions == 2 {
+                        terms.push((layout.flow_var(r, e, 1), -1.0));
+                    }
+                } else if edge.dst == v {
+                    terms.push((layout.flow_var(r, e, 0), -1.0));
+                    if directions == 2 {
+                        terms.push((layout.flow_var(r, e, 1), 1.0));
+                    }
+                }
+            }
+            if v == c.src {
+                terms.push((layout.x_var(r), -1.0));
+            }
+            if !terms.is_empty() {
+                lp.add_constraint(terms, Relation::Eq, 0.0);
+            }
+        }
+    }
+
+    // Capacity: Σ_r d_r (f_{r,e,0} + f_{r,e,1}) ≤ c_e.
+    for (e, edge) in graph.edges().iter().enumerate() {
+        let mut terms = Vec::with_capacity(nc * directions);
+        for (r, c) in commodities.iter().enumerate() {
+            for dir in 0..directions {
+                terms.push((layout.flow_var(r, e, dir), c.demand));
+            }
+        }
+        lp.add_constraint(terms, Relation::Le, edge.capacity);
+    }
+
+    // Selection: x_r ≤ 1.
+    for r in 0..nc {
+        lp.add_constraint(vec![(layout.x_var(r), 1.0)], Relation::Le, 1.0);
+    }
+
+    (lp, layout)
+}
+
+/// Build the Figure 5 linear program: the repetitions variant, identical
+/// to Figure 1 except that requests may be satisfied any number of times
+/// (`x_s ∈ N` relaxes to `x ≥ 0` with **no** `x_r ≤ 1` selection rows).
+/// Its optimum upper-bounds the repetition problem and is what Claim 5.2's
+/// dual certificate is measured against.
+pub fn build_ufp_repetition_lp(
+    graph: &Graph,
+    commodities: &[Commodity],
+) -> (LpProblem, UfpLpLayout) {
+    let (mut lp, layout) = build_ufp_lp(graph, commodities);
+    // Drop the trailing `x_r ≤ 1` rows; everything else (conservation,
+    // capacity) is shared with Figure 1. The x_r variables stay, now
+    // unbounded above — exactly the Figure 5 relaxation.
+    let selection_rows = commodities.len();
+    lp.constraints.truncate(lp.constraints.len() - selection_rows);
+    (lp, layout)
+}
+
+/// Solve the Figure 5 relaxation exactly; returns the optimal objective
+/// and the per-commodity satisfaction counts `x_r ≥ 0`.
+pub fn solve_ufp_repetition_lp_exact(
+    graph: &Graph,
+    commodities: &[Commodity],
+) -> ExactFracSolution {
+    let (lp, layout) = build_ufp_repetition_lp(graph, commodities);
+    match solve(&lp) {
+        LpOutcome::Optimal(sol) => ExactFracSolution {
+            objective: sol.objective,
+            routed_fraction: (0..commodities.len())
+                .map(|r| sol.x[layout.x_var(r)])
+                .collect(),
+        },
+        other => panic!("Figure 5 relaxation must be solvable, got {other:?}"),
+    }
+}
+
+/// Exact fractional optimum of the UFP relaxation.
+#[derive(Clone, Debug)]
+pub struct ExactFracSolution {
+    /// Optimal objective `Σ v_r x_r`.
+    pub objective: f64,
+    /// Per-commodity routed fraction `x_r ∈ [0, 1]`.
+    pub routed_fraction: Vec<f64>,
+}
+
+/// Solve the relaxation exactly. Panics on infeasible/unbounded, which
+/// cannot occur for well-formed instances (x = 0 is always feasible and
+/// the objective is bounded by Σ v_r).
+pub fn solve_ufp_lp_exact(graph: &Graph, commodities: &[Commodity]) -> ExactFracSolution {
+    let (lp, layout) = build_ufp_lp(graph, commodities);
+    match solve(&lp) {
+        LpOutcome::Optimal(sol) => ExactFracSolution {
+            objective: sol.objective,
+            routed_fraction: (0..commodities.len())
+                .map(|r| sol.x[layout.x_var(r)])
+                .collect(),
+        },
+        other => panic!("UFP relaxation must be solvable, got {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufp_netgraph::graph::GraphBuilder;
+    use ufp_netgraph::ids::NodeId;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn commodity(src: u32, dst: u32, demand: f64, value: f64) -> Commodity {
+        Commodity {
+            src: n(src),
+            dst: n(dst),
+            demand,
+            value,
+        }
+    }
+
+    #[test]
+    fn single_edge_exact() {
+        let mut b = GraphBuilder::directed(2);
+        b.add_edge(n(0), n(1), 1.0);
+        let g = b.build();
+        // Two unit-demand commodities, capacity 1: fractional optimum
+        // routes the valuable one fully.
+        let c = vec![commodity(0, 1, 1.0, 3.0), commodity(0, 1, 1.0, 1.0)];
+        let sol = solve_ufp_lp_exact(&g, &c);
+        assert!((sol.objective - 3.0).abs() < 1e-7);
+        assert!((sol.routed_fraction[0] - 1.0).abs() < 1e-7);
+        assert!(sol.routed_fraction[1].abs() < 1e-7);
+    }
+
+    #[test]
+    fn fractional_split_beats_integral() {
+        // Capacity 1.5, two unit-demand value-1 commodities: fractional
+        // OPT = 1.5 (route 1 + 0.5), integral OPT = 1.
+        let mut b = GraphBuilder::directed(2);
+        b.add_edge(n(0), n(1), 1.5);
+        let g = b.build();
+        let c = vec![commodity(0, 1, 1.0, 1.0), commodity(0, 1, 1.0, 1.0)];
+        let sol = solve_ufp_lp_exact(&g, &c);
+        assert!((sol.objective - 1.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn multipath_splitting() {
+        // Demand 2 over two capacity-1 disjoint paths: x_r = 1 via split.
+        let mut b = GraphBuilder::directed(4);
+        b.add_edge(n(0), n(1), 1.0);
+        b.add_edge(n(1), n(3), 1.0);
+        b.add_edge(n(0), n(2), 1.0);
+        b.add_edge(n(2), n(3), 1.0);
+        let g = b.build();
+        let c = vec![commodity(0, 3, 2.0, 4.0)];
+        let sol = solve_ufp_lp_exact(&g, &c);
+        assert!((sol.objective - 4.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn undirected_edge_shared_capacity() {
+        // One undirected edge capacity 1; two opposite-direction
+        // unit-demand commodities: they share the capacity.
+        let mut b = GraphBuilder::undirected(2);
+        b.add_edge(n(0), n(1), 1.0);
+        let g = b.build();
+        let c = vec![commodity(0, 1, 1.0, 1.0), commodity(1, 0, 1.0, 1.0)];
+        let sol = solve_ufp_lp_exact(&g, &c);
+        assert!((sol.objective - 1.0).abs() < 1e-7, "objective {}", sol.objective);
+    }
+
+    #[test]
+    fn unreachable_commodity_is_zero() {
+        let g = GraphBuilder::directed(3).build();
+        let c = vec![commodity(0, 2, 1.0, 5.0)];
+        let sol = solve_ufp_lp_exact(&g, &c);
+        assert!(sol.objective.abs() < 1e-9);
+        assert!(sol.routed_fraction[0].abs() < 1e-9);
+    }
+
+    #[test]
+    fn repetition_lp_drops_the_selection_cap() {
+        // Single edge capacity 5, one unit-demand request of value 1:
+        // Figure 1 optimum = 1 (x_r <= 1), Figure 5 optimum = 5.
+        let mut b = GraphBuilder::directed(2);
+        b.add_edge(n(0), n(1), 5.0);
+        let g = b.build();
+        let c = vec![commodity(0, 1, 1.0, 1.0)];
+        let fig1 = solve_ufp_lp_exact(&g, &c);
+        assert!((fig1.objective - 1.0).abs() < 1e-7);
+        let fig5 = solve_ufp_repetition_lp_exact(&g, &c);
+        assert!((fig5.objective - 5.0).abs() < 1e-7, "got {}", fig5.objective);
+        assert!((fig5.routed_fraction[0] - 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn agrees_with_garg_konemann() {
+        use crate::mcf::solve_fractional_ufp;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use ufp_netgraph::generators::gnm_digraph;
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = gnm_digraph(8, 24, (1.0, 3.0), &mut rng);
+        let c = vec![
+            commodity(0, 7, 0.8, 2.0),
+            commodity(1, 6, 0.5, 1.0),
+            commodity(2, 5, 1.0, 3.0),
+        ];
+        let exact = solve_ufp_lp_exact(&g, &c);
+        let approx = solve_fractional_ufp(&g, &c, 0.02, 400_000);
+        assert!(
+            approx.value <= exact.objective + 1e-6,
+            "GK primal {} above exact {}",
+            approx.value,
+            exact.objective
+        );
+        assert!(
+            approx.upper_bound >= exact.objective - 1e-6,
+            "GK bound {} below exact {}",
+            approx.upper_bound,
+            exact.objective
+        );
+        if exact.objective > 1e-9 {
+            assert!(
+                approx.value >= exact.objective / 1.05,
+                "GK primal {} too far below exact {}",
+                approx.value,
+                exact.objective
+            );
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the LP substrate: the two solvers must
+//! bracket each other on random inputs, and simplex optima must satisfy
+//! strong duality and complementary slackness.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ufp_lp::duality::{dual_objective, is_dual_feasible};
+use ufp_lp::packing::{solve_packing, Column, ColumnOracle, PackingConfig};
+use ufp_lp::simplex::{solve, LpOutcome, LpProblem, Relation};
+
+/// Random bounded packing LP with explicit columns.
+fn arb_packing() -> impl Strategy<Value = (LpProblem, Vec<f64>, Vec<Column>)> {
+    (2usize..6, 1usize..5, any::<u64>()).prop_map(|(ncols, rows, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b: Vec<f64> = (0..rows).map(|_| rng.random_range(1.0..9.0)).collect();
+        let mut lp = LpProblem::new(ncols);
+        let mut cols = Vec::new();
+        for j in 0..ncols {
+            let value = rng.random_range(0.2..4.0);
+            lp.objective[j] = value;
+            let mut entries = Vec::new();
+            for i in 0..rows {
+                if rng.random_range(0.0..1.0) < 0.8 {
+                    entries.push((i, rng.random_range(0.2..2.0)));
+                }
+            }
+            if entries.is_empty() {
+                entries.push((rng.random_range(0..rows), 1.0));
+            }
+            cols.push(Column {
+                value,
+                entries,
+                tag: j as u64,
+            });
+        }
+        for (i, &bi) in b.iter().enumerate() {
+            let terms: Vec<(usize, f64)> = cols
+                .iter()
+                .enumerate()
+                .flat_map(|(j, c)| {
+                    c.entries
+                        .iter()
+                        .filter(move |&&(r, _)| r == i)
+                        .map(move |&(_, a)| (j, a))
+                })
+                .collect();
+            lp.add_constraint(terms, Relation::Le, bi);
+        }
+        (lp, b, cols)
+    })
+}
+
+struct Explicit {
+    b: Vec<f64>,
+    cols: Vec<Column>,
+}
+
+impl ColumnOracle for Explicit {
+    fn num_rows(&self) -> usize {
+        self.b.len()
+    }
+    fn row_limit(&self, i: usize) -> f64 {
+        self.b[i]
+    }
+    fn best_column(&self, y: &[f64]) -> Option<Column> {
+        self.cols
+            .iter()
+            .map(|c| {
+                let w: f64 = c.entries.iter().map(|&(i, a)| a * y[i]).sum();
+                (w / c.value, c)
+            })
+            .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+            .map(|(_, c)| c.clone())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn strong_duality_and_certificates((lp, _b, _cols) in arb_packing()) {
+        let sol = match solve(&lp) {
+            LpOutcome::Optimal(s) => s,
+            other => return Err(TestCaseError::fail(format!("not optimal: {other:?}"))),
+        };
+        prop_assert!(lp.is_primal_feasible(&sol.x, 1e-7));
+        prop_assert!(is_dual_feasible(&lp, &sol.duals, 1e-6));
+        let gap = dual_objective(&lp, &sol.duals) - sol.objective;
+        prop_assert!(gap.abs() < 1e-6, "strong duality gap {gap}");
+    }
+
+    #[test]
+    fn packing_brackets_simplex((lp, b, cols) in arb_packing()) {
+        let exact = match solve(&lp) {
+            LpOutcome::Optimal(s) => s.objective,
+            other => return Err(TestCaseError::fail(format!("not optimal: {other:?}"))),
+        };
+        let oracle = Explicit { b, cols };
+        let approx = solve_packing(&oracle, PackingConfig {
+            epsilon: 0.03,
+            max_iterations: 300_000,
+        });
+        prop_assert!(approx.primal_value <= exact + 1e-6,
+            "primal {} exceeds exact {exact}", approx.primal_value);
+        prop_assert!(approx.dual_bound >= exact - 1e-6,
+            "dual bound {} below exact {exact}", approx.dual_bound);
+        if exact > 1e-9 {
+            prop_assert!(approx.primal_value >= exact / 1.07,
+                "primal {} too far below exact {exact}", approx.primal_value);
+        }
+    }
+
+    #[test]
+    fn complementary_slackness((lp, _b, _cols) in arb_packing()) {
+        let sol = match solve(&lp) {
+            LpOutcome::Optimal(s) => s,
+            other => return Err(TestCaseError::fail(format!("not optimal: {other:?}"))),
+        };
+        // y_i > 0 ⇒ row i is tight.
+        for (c, &y) in lp.constraints.iter().zip(&sol.duals) {
+            if y > 1e-7 {
+                let lhs: f64 = c.terms.iter().map(|&(j, a)| a * sol.x[j]).sum();
+                prop_assert!((lhs - c.rhs).abs() < 1e-6,
+                    "positive dual on a slack row: y={y}, slack={}", c.rhs - lhs);
+            }
+        }
+        // x_j > 0 ⇒ dual constraint j is tight.
+        let mut covered = vec![0.0f64; lp.num_vars()];
+        for (c, &y) in lp.constraints.iter().zip(&sol.duals) {
+            for &(j, a) in &c.terms {
+                covered[j] += a * y;
+            }
+        }
+        for j in 0..lp.num_vars() {
+            if sol.x[j] > 1e-7 {
+                prop_assert!((covered[j] - lp.objective[j]).abs() < 1e-6,
+                    "x_{j} basic but reduced cost {}", covered[j] - lp.objective[j]);
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! The allocator abstraction the mechanism layer builds on.
+//!
+//! Theorem 2.3 (Lehmann et al. / Briest et al.): a *monotone* and *exact*
+//! algorithm induces a truthful mechanism via critical-value payments.
+//! [`SingleParamAllocator`] captures exactly the interface that theorem
+//! needs: run the algorithm on a declaration profile, and counterfactually
+//! replace one agent's declared value. Adapters wrap the paper's
+//! algorithms (Bounded-UFP, Bounded-MUCA, and the BKV baseline).
+
+use ufp_auction::{bounded_muca, AuctionInstance, BoundedMucaConfig};
+use ufp_core::baselines::{bkv, BkvConfig};
+use ufp_core::{bounded_ufp, BoundedUfpConfig, RequestId, UfpInstance};
+
+/// A deterministic, value-monotone, exact allocation algorithm over a
+/// profile of single-parameter agents (each agent's private information
+/// is its value; everything else is public).
+pub trait SingleParamAllocator: Sync {
+    /// The declaration profile the algorithm runs on.
+    type Inst: Clone;
+
+    /// Number of agents in the profile.
+    fn num_agents(&self, inst: &Self::Inst) -> usize;
+
+    /// Run the algorithm; `result[i]` says whether agent `i` is selected.
+    fn selected(&self, inst: &Self::Inst) -> Vec<bool>;
+
+    /// Agent `i`'s declared value in this profile.
+    fn declared_value(&self, inst: &Self::Inst, agent: usize) -> f64;
+
+    /// The profile with agent `i` declaring `value` instead.
+    fn with_value(&self, inst: &Self::Inst, agent: usize, value: f64) -> Self::Inst;
+}
+
+/// Bounded-UFP (Algorithm 1) as an allocator; the demand component of
+/// each request's type is held fixed at its declared value, as in the
+/// per-parameter monotonicity of Lemma 3.4.
+#[derive(Clone, Debug)]
+pub struct UfpAllocator {
+    /// Algorithm configuration.
+    pub config: BoundedUfpConfig,
+}
+
+impl SingleParamAllocator for UfpAllocator {
+    type Inst = UfpInstance;
+
+    fn num_agents(&self, inst: &UfpInstance) -> usize {
+        inst.num_requests()
+    }
+
+    fn selected(&self, inst: &UfpInstance) -> Vec<bool> {
+        let res = bounded_ufp(inst, &self.config);
+        let mut sel = vec![false; inst.num_requests()];
+        for (rid, _) in &res.solution.routed {
+            sel[rid.index()] = true;
+        }
+        sel
+    }
+
+    fn declared_value(&self, inst: &UfpInstance, agent: usize) -> f64 {
+        inst.request(RequestId(agent as u32)).value
+    }
+
+    fn with_value(&self, inst: &UfpInstance, agent: usize, value: f64) -> UfpInstance {
+        let rid = RequestId(agent as u32);
+        inst.with_declared_type(rid, inst.request(rid).demand, value)
+    }
+}
+
+/// Bounded-MUCA (Algorithm 2) as an allocator.
+#[derive(Clone, Debug)]
+pub struct MucaAllocator {
+    /// Algorithm configuration.
+    pub config: BoundedMucaConfig,
+}
+
+impl SingleParamAllocator for MucaAllocator {
+    type Inst = AuctionInstance;
+
+    fn num_agents(&self, inst: &AuctionInstance) -> usize {
+        inst.num_bids()
+    }
+
+    fn selected(&self, inst: &AuctionInstance) -> Vec<bool> {
+        let res = bounded_muca(inst, &self.config);
+        let mut sel = vec![false; inst.num_bids()];
+        for w in &res.solution.winners {
+            sel[w.index()] = true;
+        }
+        sel
+    }
+
+    fn declared_value(&self, inst: &AuctionInstance, agent: usize) -> f64 {
+        inst.bid(ufp_auction::BidId(agent as u32)).value
+    }
+
+    fn with_value(&self, inst: &AuctionInstance, agent: usize, value: f64) -> AuctionInstance {
+        inst.with_declared_value(ufp_auction::BidId(agent as u32), value)
+    }
+}
+
+/// The BKV one-pass baseline as an allocator (also monotone, so it too
+/// yields a truthful mechanism — with a worse allocation).
+#[derive(Clone, Debug)]
+pub struct BkvAllocator {
+    /// Baseline configuration.
+    pub config: BkvConfig,
+}
+
+impl SingleParamAllocator for BkvAllocator {
+    type Inst = UfpInstance;
+
+    fn num_agents(&self, inst: &UfpInstance) -> usize {
+        inst.num_requests()
+    }
+
+    fn selected(&self, inst: &UfpInstance) -> Vec<bool> {
+        let res = bkv(inst, &self.config);
+        let mut sel = vec![false; inst.num_requests()];
+        for (rid, _) in &res.solution.routed {
+            sel[rid.index()] = true;
+        }
+        sel
+    }
+
+    fn declared_value(&self, inst: &UfpInstance, agent: usize) -> f64 {
+        inst.request(RequestId(agent as u32)).value
+    }
+
+    fn with_value(&self, inst: &UfpInstance, agent: usize, value: f64) -> UfpInstance {
+        let rid = RequestId(agent as u32);
+        inst.with_declared_type(rid, inst.request(rid).demand, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufp_core::Request;
+    use ufp_netgraph::graph::GraphBuilder;
+    use ufp_netgraph::ids::NodeId;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    pub(crate) fn small_ufp() -> UfpInstance {
+        let mut gb = GraphBuilder::directed(2);
+        gb.add_edge(n(0), n(1), 6.0);
+        UfpInstance::new(
+            gb.build(),
+            vec![
+                Request::new(n(0), n(1), 1.0, 3.0),
+                Request::new(n(0), n(1), 1.0, 1.0),
+                Request::new(n(0), n(1), 1.0, 2.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn ufp_allocator_round_trip() {
+        let alloc = UfpAllocator {
+            config: BoundedUfpConfig::with_epsilon(0.5),
+        };
+        let inst = small_ufp();
+        assert_eq!(alloc.num_agents(&inst), 3);
+        let sel = alloc.selected(&inst);
+        assert_eq!(sel.len(), 3);
+        assert!(sel.iter().any(|&s| s));
+        assert_eq!(alloc.declared_value(&inst, 0), 3.0);
+        let probe = alloc.with_value(&inst, 0, 9.0);
+        assert_eq!(alloc.declared_value(&probe, 0), 9.0);
+        assert_eq!(alloc.declared_value(&inst, 0), 3.0);
+    }
+
+    #[test]
+    fn muca_allocator_round_trip() {
+        use ufp_auction::{Bid, ItemId};
+        let a = AuctionInstance::new(
+            vec![8.0],
+            vec![
+                Bid::new(vec![ItemId(0)], 2.0),
+                Bid::new(vec![ItemId(0)], 1.0),
+            ],
+        );
+        let alloc = MucaAllocator {
+            config: BoundedMucaConfig::with_epsilon(0.5),
+        };
+        assert_eq!(alloc.num_agents(&a), 2);
+        let sel = alloc.selected(&a);
+        assert!(sel[0]);
+        let probe = alloc.with_value(&a, 1, 10.0);
+        assert_eq!(alloc.declared_value(&probe, 1), 10.0);
+    }
+}

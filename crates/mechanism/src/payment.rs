@@ -1,0 +1,145 @@
+//! Critical-value payments.
+//!
+//! For a value-monotone allocator, each selected agent has a unique
+//! threshold bid `v*`: declare above it and win, below it and lose.
+//! Charging exactly `v*` makes truth-telling a dominant strategy
+//! (Theorem 2.3). The allocator is a black box, so the threshold is
+//! located by exponential bracketing + bisection; monotonicity guarantees
+//! the probe predicate `selected(v)` is a step function, which is exactly
+//! the setting where bisection is exact up to the final interval width.
+
+use crate::allocator::SingleParamAllocator;
+
+/// Bisection controls.
+#[derive(Clone, Copy, Debug)]
+pub struct PaymentConfig {
+    /// Relative width of the final bracket; the payment is the bracket's
+    /// upper end (an over-charge of at most this relative amount, keeping
+    /// individual rationality on the winner side).
+    pub relative_tolerance: f64,
+    /// Values below this are treated as zero (the agent wins at any bid).
+    pub value_floor: f64,
+}
+
+impl Default for PaymentConfig {
+    fn default() -> Self {
+        PaymentConfig {
+            relative_tolerance: 1e-9,
+            value_floor: 1e-12,
+        }
+    }
+}
+
+/// Critical value of `agent` in `inst`, assuming it is currently
+/// selected. Returns 0 when the agent wins at arbitrarily small bids.
+pub fn critical_value<A: SingleParamAllocator>(
+    allocator: &A,
+    inst: &A::Inst,
+    agent: usize,
+    config: &PaymentConfig,
+) -> f64 {
+    let declared = allocator.declared_value(inst, agent);
+    debug_assert!(
+        allocator.selected(inst)[agent],
+        "critical_value probes must start from a winner"
+    );
+
+    // Exponential search downward for a losing bid.
+    let mut hi = declared; // selected
+    let mut lo = declared;
+    loop {
+        lo /= 2.0;
+        if lo < config.value_floor {
+            return 0.0; // wins at (effectively) zero: free allocation
+        }
+        let probe = allocator.with_value(inst, agent, lo);
+        if !allocator.selected(&probe)[agent] {
+            break;
+        }
+        hi = lo;
+    }
+
+    // Invariant: selected at hi, not selected at lo.
+    while hi - lo > config.relative_tolerance * hi.max(1e-300) {
+        let mid = 0.5 * (hi + lo);
+        let probe = allocator.with_value(inst, agent, mid);
+        if allocator.selected(&probe)[agent] {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy allocator: a single-item auction among `values`, highest bid
+    /// wins (ties to the lowest index). The critical value of the winner
+    /// is the second-highest bid — i.e. this mechanism must reproduce
+    /// Vickrey pricing.
+    #[derive(Clone)]
+    struct HighestBid;
+
+    impl SingleParamAllocator for HighestBid {
+        type Inst = Vec<f64>;
+        fn num_agents(&self, inst: &Vec<f64>) -> usize {
+            inst.len()
+        }
+        fn selected(&self, inst: &Vec<f64>) -> Vec<bool> {
+            let mut best = 0usize;
+            for i in 1..inst.len() {
+                if inst[i] > inst[best] {
+                    best = i;
+                }
+            }
+            (0..inst.len()).map(|i| i == best).collect()
+        }
+        fn declared_value(&self, inst: &Vec<f64>, agent: usize) -> f64 {
+            inst[agent]
+        }
+        fn with_value(&self, inst: &Vec<f64>, agent: usize, value: f64) -> Vec<f64> {
+            let mut v = inst.clone();
+            v[agent] = value;
+            v
+        }
+    }
+
+    #[test]
+    fn recovers_vickrey_price() {
+        let inst = vec![10.0, 7.0, 3.0];
+        let p = critical_value(&HighestBid, &inst, 0, &PaymentConfig::default());
+        assert!((p - 7.0).abs() < 1e-6, "payment {p}, expected 7");
+    }
+
+    #[test]
+    fn sole_bidder_pays_zero() {
+        let inst = vec![5.0];
+        let p = critical_value(&HighestBid, &inst, 0, &PaymentConfig::default());
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn threshold_is_sharp() {
+        let inst = vec![10.0, 6.5, 1.0];
+        let p = critical_value(&HighestBid, &inst, 0, &PaymentConfig::default());
+        // declare just above the payment: still a winner
+        let above = HighestBid.with_value(&inst, 0, p * (1.0 + 1e-6) + 1e-9);
+        assert!(HighestBid.selected(&above)[0]);
+        // just below: a loser
+        let below = HighestBid.with_value(&inst, 0, p * (1.0 - 1e-6));
+        assert!(!HighestBid.selected(&below)[0]);
+    }
+
+    #[test]
+    fn payment_never_exceeds_declaration() {
+        for second in [0.1, 1.0, 5.0, 9.999] {
+            let inst = vec![10.0, second];
+            let p = critical_value(&HighestBid, &inst, 0, &PaymentConfig::default());
+            assert!(p <= 10.0 + 1e-9);
+            assert!((p - second).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Empirical truthfulness and monotonicity verification.
+//!
+//! These verifiers treat an allocator as a black box and hammer it with
+//! counterfactual declarations, checking the two properties the paper's
+//! mechanism rests on:
+//!
+//! * **Monotonicity** (Definition 2.1): winning is preserved under
+//!   raising one's value (and, for UFP, lowering one's demand).
+//! * **Incentive compatibility** (Theorem 2.3): under critical-value
+//!   payments, no sampled misreport beats truth-telling, and truthful
+//!   utility is never negative (individual rationality).
+//!
+//! Experiment E8 reports these across random instances; tests use them on
+//! fixed fixtures.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ufp_core::{bounded_ufp, BoundedUfpConfig, RequestId, UfpInstance};
+
+use crate::allocator::SingleParamAllocator;
+use crate::mechanism::CriticalValueMechanism;
+
+/// Outcome of a verification sweep.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VerificationReport {
+    /// Number of (agent, counterfactual) probes executed.
+    pub probes: usize,
+    /// Number of property violations observed (0 for a correct
+    /// implementation).
+    pub violations: usize,
+    /// The largest utility gain any lie achieved over truth (≤ ~1e-6 for
+    /// a correct implementation; dominated by bisection tolerance).
+    pub worst_gain: f64,
+}
+
+impl VerificationReport {
+    /// True when no violation was observed.
+    pub fn passed(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// Verify value-monotonicity of an allocator: every winner keeps winning
+/// when scaling its declared value up by each factor.
+pub fn verify_value_monotonicity<A: SingleParamAllocator>(
+    allocator: &A,
+    inst: &A::Inst,
+    factors: &[f64],
+) -> VerificationReport {
+    let mut report = VerificationReport::default();
+    let selected = allocator.selected(inst);
+    for agent in 0..allocator.num_agents(inst) {
+        if !selected[agent] {
+            continue;
+        }
+        let v = allocator.declared_value(inst, agent);
+        for &f in factors {
+            debug_assert!(f >= 1.0, "monotonicity probes scale values up");
+            report.probes += 1;
+            let probe = allocator.with_value(inst, agent, v * f);
+            if !allocator.selected(&probe)[agent] {
+                report.violations += 1;
+            }
+        }
+    }
+    report
+}
+
+/// Verify incentive compatibility of the critical-value mechanism:
+/// sampled multiplicative value lies never beat truth, and truth is
+/// individually rational.
+pub fn verify_value_truthfulness<A: SingleParamAllocator>(
+    mechanism: &CriticalValueMechanism<A>,
+    inst: &A::Inst,
+    lie_factors: &[f64],
+) -> VerificationReport {
+    let mut report = VerificationReport::default();
+    let selected = mechanism.allocator.selected(inst);
+    for agent in 0..mechanism.allocator.num_agents(inst) {
+        let true_value = mechanism.allocator.declared_value(inst, agent);
+        // Truthful utility: only this agent's payment is needed, so skip
+        // the full mechanism run (payments for other winners are
+        // irrelevant to this agent's incentive).
+        let u_truth = if selected[agent] {
+            true_value
+                - crate::payment::critical_value(
+                    &mechanism.allocator,
+                    inst,
+                    agent,
+                    &mechanism.payment,
+                )
+        } else {
+            0.0
+        };
+        if u_truth < -1e-6 {
+            report.violations += 1; // IR failure
+        }
+        for &f in lie_factors {
+            report.probes += 1;
+            let lie = mechanism.allocator.with_value(inst, agent, true_value * f);
+            let lie_selected = mechanism.allocator.selected(&lie)[agent];
+            let u_lie = if lie_selected {
+                true_value
+                    - crate::payment::critical_value(
+                        &mechanism.allocator,
+                        &lie,
+                        agent,
+                        &mechanism.payment,
+                    )
+            } else {
+                0.0
+            };
+            let gain = u_lie - u_truth;
+            if gain > report.worst_gain {
+                report.worst_gain = gain;
+            }
+            if gain > 1e-5 {
+                report.violations += 1;
+            }
+        }
+    }
+    report
+}
+
+/// UFP-specific: verify truthfulness against joint (demand, value)
+/// misreports, using the exactness semantics — an agent that understates
+/// its demand receives an allocation too small to be useful (value 0),
+/// while overstating can only hurt selection (Lemma 3.4).
+pub fn verify_ufp_type_truthfulness(
+    inst: &UfpInstance,
+    config: &BoundedUfpConfig,
+    samples_per_agent: usize,
+    seed: u64,
+) -> VerificationReport {
+    let mech = CriticalValueMechanism::new(crate::allocator::UfpAllocator {
+        config: config.clone(),
+    });
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut report = VerificationReport::default();
+    let honest = mech.run(inst);
+
+    for agent in 0..inst.num_requests() {
+        let rid = RequestId(agent as u32);
+        let true_req = *inst.request(rid);
+        let u_truth = honest.utility(agent, true_req.value);
+        if u_truth < -1e-6 {
+            report.violations += 1;
+        }
+        for _ in 0..samples_per_agent {
+            report.probes += 1;
+            // Sample a joint lie: demand in (0, 1], value in a wide band.
+            let lie_demand = (true_req.demand * rng.random_range(0.3..1.5)).clamp(1e-6, 1.0);
+            let lie_value = true_req.value * rng.random_range(0.2..4.0);
+            let lie_inst = inst.with_declared_type(rid, lie_demand, lie_value);
+            let selected = {
+                let res = bounded_ufp(&lie_inst, config);
+                res.solution.contains(rid)
+            };
+            let u_lie = if selected {
+                let pay = crate::payment::critical_value(
+                    &mech.allocator,
+                    &lie_inst,
+                    agent,
+                    &mech.payment,
+                );
+                // Exactness: the mechanism allocates the *declared*
+                // demand; understating leaves the agent unserved.
+                let usable = lie_demand >= true_req.demand - 1e-12;
+                (if usable { true_req.value } else { 0.0 }) - pay
+            } else {
+                0.0
+            };
+            let gain = u_lie - u_truth;
+            if gain > report.worst_gain {
+                report.worst_gain = gain;
+            }
+            if gain > 1e-5 {
+                report.violations += 1;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocator::UfpAllocator;
+    use ufp_core::Request;
+    use ufp_netgraph::graph::GraphBuilder;
+    use ufp_netgraph::ids::NodeId;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn fixture() -> UfpInstance {
+        let mut gb = GraphBuilder::directed(3);
+        gb.add_edge(n(0), n(1), 5.0);
+        gb.add_edge(n(1), n(2), 5.0);
+        UfpInstance::new(
+            gb.build(),
+            vec![
+                Request::new(n(0), n(2), 1.0, 4.0),
+                Request::new(n(0), n(2), 0.8, 2.0),
+                Request::new(n(0), n(1), 0.5, 1.0),
+                Request::new(n(1), n(2), 1.0, 3.0),
+                Request::new(n(0), n(2), 0.6, 1.5),
+            ],
+        )
+    }
+
+    #[test]
+    fn bounded_ufp_is_value_monotone() {
+        let alloc = UfpAllocator {
+            config: BoundedUfpConfig::with_epsilon(0.4),
+        };
+        let report =
+            verify_value_monotonicity(&alloc, &fixture(), &[1.0, 1.5, 2.0, 10.0, 100.0]);
+        assert!(report.passed(), "{report:?}");
+        assert!(report.probes > 0);
+    }
+
+    #[test]
+    fn bounded_ufp_mechanism_is_truthful_on_value() {
+        let mech = CriticalValueMechanism::new(UfpAllocator {
+            config: BoundedUfpConfig::with_epsilon(0.4),
+        });
+        let report = verify_value_truthfulness(
+            &mech,
+            &fixture(),
+            &[0.1, 0.5, 0.9, 1.0, 1.1, 2.0, 10.0],
+        );
+        assert!(report.passed(), "{report:?}");
+        assert!(report.worst_gain <= 1e-5);
+    }
+
+    #[test]
+    fn bounded_ufp_mechanism_is_truthful_on_joint_type() {
+        let report = verify_ufp_type_truthfulness(
+            &fixture(),
+            &BoundedUfpConfig::with_epsilon(0.4),
+            8,
+            7,
+        );
+        assert!(report.passed(), "{report:?}");
+    }
+
+    #[test]
+    fn a_nonmonotone_allocator_is_caught() {
+        /// Deliberately broken: selects the agent with the *median* bid.
+        #[derive(Clone)]
+        struct Median;
+        impl SingleParamAllocator for Median {
+            type Inst = Vec<f64>;
+            fn num_agents(&self, inst: &Vec<f64>) -> usize {
+                inst.len()
+            }
+            fn selected(&self, inst: &Vec<f64>) -> Vec<bool> {
+                let mut idx: Vec<usize> = (0..inst.len()).collect();
+                idx.sort_by(|&a, &b| inst[a].partial_cmp(&inst[b]).unwrap());
+                let median = idx[inst.len() / 2];
+                (0..inst.len()).map(|i| i == median).collect()
+            }
+            fn declared_value(&self, inst: &Vec<f64>, agent: usize) -> f64 {
+                inst[agent]
+            }
+            fn with_value(&self, inst: &Vec<f64>, agent: usize, value: f64) -> Vec<f64> {
+                let mut v = inst.clone();
+                v[agent] = value;
+                v
+            }
+        }
+        let inst = vec![1.0, 2.0, 3.0];
+        let report = verify_value_monotonicity(&Median, &inst, &[10.0]);
+        assert!(!report.passed(), "median allocator must fail monotonicity");
+    }
+}

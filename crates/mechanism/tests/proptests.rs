@@ -1,0 +1,135 @@
+//! Property-based tests for the mechanism layer: Theorem 2.3 probed on
+//! random instances, plus the Vickrey sanity anchor (on a single item the
+//! critical-value mechanism *is* the second-price auction).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ufp_core::{BoundedUfpConfig, Request, UfpInstance};
+use ufp_mechanism::{
+    critical_value, verify_value_monotonicity, verify_value_truthfulness,
+    CriticalValueMechanism, PaymentConfig, SingleParamAllocator, UfpAllocator,
+};
+use ufp_netgraph::graph::GraphBuilder;
+use ufp_netgraph::ids::NodeId;
+
+/// A contested single link with random bids — the auction-like corner of
+/// UFP where payments are easy to reason about.
+fn arb_link_auction() -> impl Strategy<Value = (UfpInstance, f64)> {
+    (2usize..10, 2usize..12, any::<u64>(), 2usize..8).prop_map(
+        |(capacity, bidders, seed, eps_fifth)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut gb = GraphBuilder::directed(2);
+            gb.add_edge(NodeId(0), NodeId(1), capacity as f64);
+            let requests: Vec<Request> = (0..bidders)
+                .map(|_| {
+                    Request::new(
+                        NodeId(0),
+                        NodeId(1),
+                        1.0,
+                        rng.random_range(0.2..5.0),
+                    )
+                })
+                .collect();
+            (
+                UfpInstance::new(gb.build(), requests),
+                eps_fifth as f64 / 8.0,
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn winners_pay_at_most_bid_and_losers_nothing((inst, eps) in arb_link_auction()) {
+        let mech = CriticalValueMechanism::new(UfpAllocator {
+            config: BoundedUfpConfig::with_epsilon(eps),
+        });
+        let outcome = mech.run(&inst);
+        for agent in 0..inst.num_requests() {
+            let bid = inst.request(ufp_core::RequestId(agent as u32)).value;
+            if outcome.selected[agent] {
+                prop_assert!(outcome.payments[agent] <= bid + 1e-6);
+                prop_assert!(outcome.payments[agent] >= -1e-12);
+            } else {
+                prop_assert_eq!(outcome.payments[agent], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn no_sampled_lie_beats_truth((inst, eps) in arb_link_auction()) {
+        let mech = CriticalValueMechanism::new(UfpAllocator {
+            config: BoundedUfpConfig::with_epsilon(eps),
+        });
+        let report = verify_value_truthfulness(&mech, &inst, &[0.4, 0.9, 1.1, 2.5]);
+        prop_assert!(report.passed(), "{report:?}");
+    }
+
+    #[test]
+    fn allocator_is_monotone((inst, eps) in arb_link_auction()) {
+        let alloc = UfpAllocator {
+            config: BoundedUfpConfig::with_epsilon(eps),
+        };
+        let report = verify_value_monotonicity(&alloc, &inst, &[1.2, 3.0, 10.0]);
+        prop_assert!(report.passed(), "{report:?}");
+    }
+
+    #[test]
+    fn payments_are_competition_driven((inst, eps) in arb_link_auction()) {
+        // Removing a loser can only lower (or keep) a winner's payment:
+        // less competition, weaker threshold.
+        let alloc = UfpAllocator {
+            config: BoundedUfpConfig::with_epsilon(eps),
+        };
+        let selected = alloc.selected(&inst);
+        let Some(loser) = (0..inst.num_requests()).find(|&a| !selected[a]) else {
+            return Ok(());
+        };
+        let Some(winner) = (0..inst.num_requests()).find(|&a| selected[a]) else {
+            return Ok(());
+        };
+        let pay_full = critical_value(&alloc, &inst, winner, &PaymentConfig::default());
+        let reduced = inst.without_request(ufp_core::RequestId(loser as u32));
+        // Winner's index shifts if the loser precedes it.
+        let new_winner = if loser < winner { winner - 1 } else { winner };
+        if alloc.selected(&reduced)[new_winner] {
+            let pay_less =
+                critical_value(&alloc, &reduced, new_winner, &PaymentConfig::default());
+            prop_assert!(pay_less <= pay_full + 1e-6,
+                "payment rose after removing a competitor: {pay_less} > {pay_full}");
+        }
+    }
+}
+
+/// With capacity for exactly one unit-demand request and ε = 1 the
+/// mechanism collapses to a sealed-bid single-item auction: highest bid
+/// wins, pays (approximately) the second-highest bid. (The guard leaves
+/// exactly one slot: D₁ starts at 1 = ln⁻¹(0) ≤ e^{ε(B−1)} = 1 only for
+/// the first pick.) This anchors the whole payment machinery to Vickrey.
+#[test]
+fn single_slot_mechanism_is_vickrey() {
+    let mut gb = GraphBuilder::directed(2);
+    gb.add_edge(NodeId(0), NodeId(1), 1.0);
+    let bids = [5.0f64, 3.0, 1.0];
+    let inst = UfpInstance::new(
+        gb.build(),
+        bids.iter()
+            .map(|&v| Request::new(NodeId(0), NodeId(1), 1.0, v))
+            .collect(),
+    );
+    let mech = CriticalValueMechanism::new(UfpAllocator {
+        config: BoundedUfpConfig::with_epsilon(1.0),
+    });
+    let outcome = mech.run(&inst);
+    assert!(outcome.selected[0], "highest bidder must win");
+    assert_eq!(outcome.num_winners(), 1, "capacity admits exactly one");
+    assert!(
+        (outcome.payments[0] - 3.0).abs() < 1e-5,
+        "Vickrey price 3.0 expected, got {}",
+        outcome.payments[0]
+    );
+}

@@ -1,0 +1,344 @@
+//! Dijkstra shortest paths with a reusable workspace.
+//!
+//! Algorithm 1 of the paper performs, per iteration, one shortest-path
+//! query for every still-unrouted request — this is the hot loop of the
+//! whole library. The [`Dijkstra`] struct owns all scratch arrays and uses
+//! an epoch-stamping scheme so that consecutive queries pay O(touched)
+//! rather than O(n) reset cost, and zero allocations after warm-up.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::graph::Graph;
+use crate::ids::{EdgeId, NodeId};
+use crate::ordered::OrderedF64;
+use crate::path::Path;
+
+/// Which vertices a query must settle before it may stop.
+#[derive(Clone, Copy, Debug)]
+pub enum Targets<'a> {
+    /// Settle every reachable vertex (full shortest-path tree).
+    All,
+    /// Stop as soon as this vertex is settled.
+    One(NodeId),
+    /// Stop as soon as every listed vertex is settled (or exhausted).
+    Set(&'a [NodeId]),
+}
+
+/// A shortest path together with its length under the query weights.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShortestPathResult {
+    /// `Σ_{e∈p} w_e` — the paper's `|p_r|`.
+    pub distance: f64,
+    /// The realizing simple path.
+    pub path: Path,
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// Reusable Dijkstra workspace over graphs with at most the configured
+/// number of nodes.
+#[derive(Clone, Debug)]
+pub struct Dijkstra {
+    dist: Vec<f64>,
+    parent_node: Vec<u32>,
+    parent_edge: Vec<u32>,
+    /// `stamp[v] == epoch` ⇔ `dist[v]`/parents are valid for this query.
+    stamp: Vec<u32>,
+    /// `settled[v] == epoch` ⇔ `v` was popped with its final distance.
+    settled: Vec<u32>,
+    target_stamp: Vec<u32>,
+    epoch: u32,
+    heap: BinaryHeap<Reverse<(OrderedF64, NodeId)>>,
+}
+
+impl Dijkstra {
+    /// Create a workspace for graphs with `num_nodes` vertices.
+    pub fn new(num_nodes: usize) -> Self {
+        Dijkstra {
+            dist: vec![f64::INFINITY; num_nodes],
+            parent_node: vec![NO_PARENT; num_nodes],
+            parent_edge: vec![NO_PARENT; num_nodes],
+            stamp: vec![0; num_nodes],
+            settled: vec![0; num_nodes],
+            target_stamp: vec![0; num_nodes],
+            epoch: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    fn begin_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Extremely rare wrap-around: hard reset keeps stamps sound.
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.settled.iter_mut().for_each(|s| *s = 0);
+            self.target_stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+        self.heap.clear();
+    }
+
+    /// Run a query from `src`. `usable(e)` gates edge traversal (pass
+    /// `|_| true` for plain shortest paths; residual-capacity routing
+    /// passes a capacity check). `weights[e]` must be non-negative.
+    ///
+    /// After the call, [`Dijkstra::distance`] and [`Dijkstra::path_to`]
+    /// read out results for any vertex that was settled.
+    pub fn run<F>(
+        &mut self,
+        graph: &Graph,
+        weights: &[f64],
+        src: NodeId,
+        targets: Targets<'_>,
+        usable: F,
+    ) where
+        F: Fn(EdgeId) -> bool,
+    {
+        debug_assert!(weights.len() >= graph.num_edges());
+        debug_assert!(src.index() < graph.num_nodes());
+        self.begin_epoch();
+        let epoch = self.epoch;
+
+        let mut remaining_targets = match targets {
+            Targets::All => usize::MAX,
+            Targets::One(t) => {
+                self.target_stamp[t.index()] = epoch;
+                1
+            }
+            Targets::Set(ts) => {
+                let mut uniq = 0;
+                for &t in ts {
+                    if self.target_stamp[t.index()] != epoch {
+                        self.target_stamp[t.index()] = epoch;
+                        uniq += 1;
+                    }
+                }
+                uniq
+            }
+        };
+
+        self.dist[src.index()] = 0.0;
+        self.parent_node[src.index()] = NO_PARENT;
+        self.parent_edge[src.index()] = NO_PARENT;
+        self.stamp[src.index()] = epoch;
+        self.heap.push(Reverse((OrderedF64::new(0.0), src)));
+
+        while let Some(Reverse((d, v))) = self.heap.pop() {
+            let vi = v.index();
+            if self.settled[vi] == epoch {
+                continue; // stale heap entry (lazy deletion)
+            }
+            // A popped entry can also be stale if a shorter one was pushed
+            // later and already settled the node; guarded above. Otherwise
+            // dist is final:
+            self.settled[vi] = epoch;
+            let dv = d.get();
+            debug_assert_eq!(dv, self.dist[vi]);
+
+            if remaining_targets != usize::MAX && self.target_stamp[vi] == epoch {
+                remaining_targets -= 1;
+                if remaining_targets == 0 {
+                    return;
+                }
+            }
+
+            for adj in graph.neighbors(v) {
+                if !usable(adj.edge) {
+                    continue;
+                }
+                let w = weights[adj.edge.index()];
+                debug_assert!(w >= 0.0, "Dijkstra requires non-negative weights");
+                let ui = adj.to.index();
+                if self.settled[ui] == epoch {
+                    continue;
+                }
+                let cand = dv + w;
+                if self.stamp[ui] != epoch || cand < self.dist[ui] {
+                    self.stamp[ui] = epoch;
+                    self.dist[ui] = cand;
+                    self.parent_node[ui] = v.0;
+                    self.parent_edge[ui] = adj.edge.0;
+                    self.heap.push(Reverse((OrderedF64::new(cand), adj.to)));
+                }
+            }
+        }
+    }
+
+    /// Distance of `v` from the last query's source, if `v` was settled.
+    #[inline]
+    pub fn distance(&self, v: NodeId) -> Option<f64> {
+        (self.settled[v.index()] == self.epoch).then(|| self.dist[v.index()])
+    }
+
+    /// Reconstruct the shortest path to `v` found by the last query.
+    pub fn path_to(&self, v: NodeId) -> Option<Path> {
+        if self.settled[v.index()] != self.epoch {
+            return None;
+        }
+        let mut nodes = vec![v];
+        let mut edges = Vec::new();
+        let mut cur = v;
+        while self.parent_node[cur.index()] != NO_PARENT {
+            edges.push(EdgeId(self.parent_edge[cur.index()]));
+            cur = NodeId(self.parent_node[cur.index()]);
+            nodes.push(cur);
+        }
+        nodes.reverse();
+        edges.reverse();
+        Some(Path::new(nodes, edges))
+    }
+
+    /// Convenience single-pair query.
+    pub fn shortest_path<F>(
+        &mut self,
+        graph: &Graph,
+        weights: &[f64],
+        src: NodeId,
+        dst: NodeId,
+        usable: F,
+    ) -> Option<ShortestPathResult>
+    where
+        F: Fn(EdgeId) -> bool,
+    {
+        self.run(graph, weights, src, Targets::One(dst), usable);
+        let distance = self.distance(dst)?;
+        let path = self.path_to(dst)?;
+        Some(ShortestPathResult { distance, path })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn diamond() -> Graph {
+        // 0 -> 1 -> 3 (cost 1 + 1), 0 -> 2 -> 3 (cost 10 + 0.5)
+        let mut b = GraphBuilder::directed(4);
+        b.add_edge(NodeId(0), NodeId(1), 1.0); // e0 w=1
+        b.add_edge(NodeId(0), NodeId(2), 1.0); // e1 w=10
+        b.add_edge(NodeId(1), NodeId(3), 1.0); // e2 w=1
+        b.add_edge(NodeId(2), NodeId(3), 1.0); // e3 w=0.5
+        b.build()
+    }
+
+    #[test]
+    fn picks_cheaper_route() {
+        let g = diamond();
+        let w = vec![1.0, 10.0, 1.0, 0.5];
+        let mut d = Dijkstra::new(g.num_nodes());
+        let r = d
+            .shortest_path(&g, &w, NodeId(0), NodeId(3), |_| true)
+            .unwrap();
+        assert!((r.distance - 2.0).abs() < 1e-12);
+        assert_eq!(r.path.nodes(), &[NodeId(0), NodeId(1), NodeId(3)]);
+        assert!(r.path.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn filter_reroutes() {
+        let g = diamond();
+        let w = vec![1.0, 10.0, 1.0, 0.5];
+        let mut d = Dijkstra::new(g.num_nodes());
+        // Forbid edge e2 (1 -> 3): must go the expensive way.
+        let r = d
+            .shortest_path(&g, &w, NodeId(0), NodeId(3), |e| e != EdgeId(2))
+            .unwrap();
+        assert!((r.distance - 10.5).abs() < 1e-12);
+        assert_eq!(r.path.nodes(), &[NodeId(0), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut b = GraphBuilder::directed(3);
+        b.add_edge(NodeId(0), NodeId(1), 1.0);
+        let g = b.build();
+        let w = vec![1.0];
+        let mut d = Dijkstra::new(g.num_nodes());
+        assert!(d.shortest_path(&g, &w, NodeId(0), NodeId(2), |_| true).is_none());
+    }
+
+    #[test]
+    fn source_equals_target_gives_trivial_path() {
+        let g = diamond();
+        let w = vec![1.0; 4];
+        let mut d = Dijkstra::new(g.num_nodes());
+        let r = d
+            .shortest_path(&g, &w, NodeId(2), NodeId(2), |_| true)
+            .unwrap();
+        assert_eq!(r.distance, 0.0);
+        assert!(r.path.is_empty());
+    }
+
+    #[test]
+    fn workspace_reuse_across_queries() {
+        let g = diamond();
+        let w = vec![1.0, 10.0, 1.0, 0.5];
+        let mut d = Dijkstra::new(g.num_nodes());
+        for _ in 0..100 {
+            let a = d
+                .shortest_path(&g, &w, NodeId(0), NodeId(3), |_| true)
+                .unwrap();
+            assert!((a.distance - 2.0).abs() < 1e-12);
+            let b = d
+                .shortest_path(&g, &w, NodeId(1), NodeId(3), |_| true)
+                .unwrap();
+            assert!((b.distance - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn undirected_traversal_both_ways() {
+        let mut b = GraphBuilder::undirected(3);
+        b.add_edge(NodeId(0), NodeId(1), 1.0);
+        b.add_edge(NodeId(2), NodeId(1), 1.0); // stored 2->1; traversable 1->2
+        let g = b.build();
+        let w = vec![1.0, 2.0];
+        let mut d = Dijkstra::new(g.num_nodes());
+        let r = d
+            .shortest_path(&g, &w, NodeId(0), NodeId(2), |_| true)
+            .unwrap();
+        assert!((r.distance - 3.0).abs() < 1e-12);
+        assert!(r.path.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn multi_target_early_exit_settles_all_targets() {
+        let g = diamond();
+        let w = vec![1.0, 10.0, 1.0, 0.5];
+        let mut d = Dijkstra::new(g.num_nodes());
+        d.run(
+            &g,
+            &w,
+            NodeId(0),
+            Targets::Set(&[NodeId(1), NodeId(3)]),
+            |_| true,
+        );
+        assert_eq!(d.distance(NodeId(1)), Some(1.0));
+        assert_eq!(d.distance(NodeId(3)), Some(2.0));
+    }
+
+    #[test]
+    fn full_tree_settles_everything_reachable() {
+        let g = diamond();
+        let w = vec![1.0, 10.0, 1.0, 0.5];
+        let mut d = Dijkstra::new(g.num_nodes());
+        d.run(&g, &w, NodeId(0), Targets::All, |_| true);
+        for v in 0..4 {
+            assert!(d.distance(NodeId(v)).is_some());
+        }
+    }
+
+    #[test]
+    fn zero_weight_edges_allowed() {
+        let g = diamond();
+        let w = vec![0.0, 0.0, 0.0, 0.0];
+        let mut d = Dijkstra::new(g.num_nodes());
+        let r = d
+            .shortest_path(&g, &w, NodeId(0), NodeId(3), |_| true)
+            .unwrap();
+        assert_eq!(r.distance, 0.0);
+        assert_eq!(r.path.len(), 2);
+    }
+}

@@ -1,0 +1,175 @@
+//! Bounded enumeration of simple paths.
+//!
+//! The paper's lower-bound theorems quantify over *reasonable iterative
+//! path-minimizing algorithms* whose scores need not be edge-additive
+//! (e.g. `h₂(p) = (d/v)·∏ f_e/c_e`), so Dijkstra does not apply. On the
+//! small adversarial graphs of Figures 2 and 3 we instead enumerate all
+//! simple `s→t` paths (optionally capped) and let the engine score each.
+
+use crate::graph::Graph;
+use crate::ids::{EdgeId, NodeId};
+use crate::path::Path;
+
+/// Enumerate simple paths from `src` to `dst`.
+///
+/// * `max_hops` bounds path length (edges); use `usize::MAX` for no bound.
+/// * `max_paths` caps the number of returned paths to protect against
+///   combinatorial blow-up; enumeration is depth-first and deterministic
+///   (adjacency order), so the cap is reproducible.
+/// * `usable(e)` gates edges, mirroring residual-capacity routing.
+///
+/// Returns paths in DFS discovery order.
+pub fn simple_paths<F>(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    max_hops: usize,
+    max_paths: usize,
+    usable: F,
+) -> Vec<Path>
+where
+    F: Fn(EdgeId) -> bool,
+{
+    let mut out = Vec::new();
+    if max_paths == 0 {
+        return out;
+    }
+    let mut on_path = vec![false; graph.num_nodes()];
+    let mut nodes = vec![src];
+    let mut edges: Vec<EdgeId> = Vec::new();
+    on_path[src.index()] = true;
+
+    // Explicit DFS stack of adjacency cursors, avoiding recursion so deep
+    // paths (the subdivided Figure-2 variant) cannot overflow the stack.
+    let mut cursors = vec![0usize];
+    while let Some(cursor) = cursors.last_mut() {
+        let v = *nodes.last().expect("node stack never empty");
+        if v == dst && !edges.is_empty() {
+            out.push(Path::new(nodes.clone(), edges.clone()));
+            if out.len() >= max_paths {
+                return out;
+            }
+            // dst reached: backtrack (simple paths cannot extend past dst
+            // and return; any extension revisiting dst is non-simple).
+            on_path[v.index()] = false;
+            nodes.pop();
+            edges.pop();
+            cursors.pop();
+            continue;
+        }
+        let adj = graph.neighbors(v);
+        let mut advanced = false;
+        while *cursor < adj.len() {
+            let entry = adj[*cursor];
+            *cursor += 1;
+            if edges.len() >= max_hops {
+                break;
+            }
+            if on_path[entry.to.index()] || !usable(entry.edge) {
+                continue;
+            }
+            nodes.push(entry.to);
+            edges.push(entry.edge);
+            on_path[entry.to.index()] = true;
+            cursors.push(0);
+            advanced = true;
+            break;
+        }
+        if !advanced && cursors.last().map(|c| *c >= graph.neighbors(v).len()) == Some(true) {
+            on_path[v.index()] = false;
+            nodes.pop();
+            edges.pop();
+            cursors.pop();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn diamond() -> Graph {
+        let mut b = GraphBuilder::directed(4);
+        b.add_edge(NodeId(0), NodeId(1), 1.0);
+        b.add_edge(NodeId(0), NodeId(2), 1.0);
+        b.add_edge(NodeId(1), NodeId(3), 1.0);
+        b.add_edge(NodeId(2), NodeId(3), 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn finds_both_diamond_paths() {
+        let g = diamond();
+        let paths = simple_paths(&g, NodeId(0), NodeId(3), usize::MAX, usize::MAX, |_| true);
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            assert!(p.validate(&g).is_ok());
+            assert_eq!(p.source(), NodeId(0));
+            assert_eq!(p.target(), NodeId(3));
+        }
+    }
+
+    #[test]
+    fn hop_limit_prunes() {
+        let mut b = GraphBuilder::directed(4);
+        b.add_edge(NodeId(0), NodeId(3), 1.0); // direct
+        b.add_edge(NodeId(0), NodeId(1), 1.0);
+        b.add_edge(NodeId(1), NodeId(2), 1.0);
+        b.add_edge(NodeId(2), NodeId(3), 1.0); // 3-hop
+        let g = b.build();
+        let paths = simple_paths(&g, NodeId(0), NodeId(3), 1, usize::MAX, |_| true);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 1);
+    }
+
+    #[test]
+    fn path_cap_respected() {
+        let g = diamond();
+        let paths = simple_paths(&g, NodeId(0), NodeId(3), usize::MAX, 1, |_| true);
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn edge_filter_respected() {
+        let g = diamond();
+        let paths = simple_paths(&g, NodeId(0), NodeId(3), usize::MAX, usize::MAX, |e| {
+            e != EdgeId(0)
+        });
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].nodes(), &[NodeId(0), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn undirected_paths_do_not_backtrack() {
+        let mut b = GraphBuilder::undirected(3);
+        b.add_edge(NodeId(0), NodeId(1), 1.0);
+        b.add_edge(NodeId(1), NodeId(2), 1.0);
+        let g = b.build();
+        let paths = simple_paths(&g, NodeId(0), NodeId(2), usize::MAX, usize::MAX, |_| true);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 2);
+    }
+
+    #[test]
+    fn no_paths_when_disconnected() {
+        let g = GraphBuilder::directed(2).build();
+        assert!(simple_paths(&g, NodeId(0), NodeId(1), usize::MAX, usize::MAX, |_| true).is_empty());
+    }
+
+    #[test]
+    fn complete_graph_k4_counts() {
+        // K4 undirected: simple paths between two fixed vertices:
+        // 1 direct, 2 of length 2, 2 of length 3 => 5.
+        let mut b = GraphBuilder::undirected(4);
+        for i in 0..4u32 {
+            for j in (i + 1)..4u32 {
+                b.add_edge(NodeId(i), NodeId(j), 1.0);
+            }
+        }
+        let g = b.build();
+        let paths = simple_paths(&g, NodeId(0), NodeId(3), usize::MAX, usize::MAX, |_| true);
+        assert_eq!(paths.len(), 5);
+    }
+}

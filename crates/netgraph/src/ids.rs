@@ -1,0 +1,105 @@
+//! Dense `u32` handles for nodes and edges.
+//!
+//! Algorithms in this workspace index flat `Vec`s by these handles; keeping
+//! them at 32 bits halves the memory traffic of adjacency lists and path
+//! storage relative to `usize` on 64-bit targets (see the type-size guidance
+//! in the Rust performance book).
+
+use std::fmt;
+
+/// Identifier of a vertex. Valid indices are `0..graph.num_nodes()`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an edge. Valid indices are `0..graph.num_edges()`.
+///
+/// In undirected graphs a single `EdgeId` is shared by both traversal
+/// directions; capacity is consumed jointly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// The index as a `usize`, for `Vec` indexing.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The index as a `usize`, for `Vec` indexing.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_compact() {
+        assert_eq!(std::mem::size_of::<NodeId>(), 4);
+        assert_eq!(std::mem::size_of::<EdgeId>(), 4);
+        // Option niches are not available for plain u32 wrappers; algorithms
+        // use sentinel-free parallel `Vec<bool>`/stamp arrays instead.
+        assert_eq!(std::mem::size_of::<Option<NodeId>>(), 8);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(EdgeId(7) > EdgeId(0));
+        assert_eq!(NodeId::from(3u32), NodeId(3));
+        assert_eq!(EdgeId::from(9u32), EdgeId(9));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", NodeId(5)), "n5");
+        assert_eq!(format!("{:?}", EdgeId(11)), "e11");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        assert_eq!(NodeId(42).index(), 42usize);
+        assert_eq!(EdgeId(17).index(), 17usize);
+    }
+}

@@ -1,0 +1,39 @@
+//! # ufp-netgraph
+//!
+//! Capacitated graph substrate for the truthful unsplittable-flow library.
+//!
+//! The unsplittable flow problem (UFP) routes connection requests through an
+//! edge-capacitated directed or undirected graph. This crate provides
+//! everything the algorithms above it need from a graph:
+//!
+//! * [`Graph`] — an immutable capacitated multigraph with a compressed
+//!   sparse-row adjacency built once at construction ([`GraphBuilder`]).
+//! * [`dijkstra`] — non-negative shortest paths with reusable workspaces
+//!   (the inner loop of the paper's Algorithm 1 is "one Dijkstra per
+//!   remaining request per iteration", so this is the hot path).
+//! * [`bellman`] — a Bellman–Ford reference implementation used as a test
+//!   oracle against Dijkstra.
+//! * [`enumerate`] — bounded simple-path enumeration, used by the
+//!   "reasonable iterative path-minimizing algorithm" engine on the paper's
+//!   lower-bound constructions where scores are not edge-additive.
+//! * [`generators`] — random and structured graph families.
+//!
+//! All node/edge handles are `u32` newtypes ([`NodeId`], [`EdgeId`]); dense
+//! `Vec` indexing everywhere, no hashing on the hot path.
+
+pub mod bellman;
+pub mod bfs;
+pub mod csr;
+pub mod dijkstra;
+pub mod enumerate;
+pub mod generators;
+pub mod graph;
+pub mod ids;
+pub mod ordered;
+pub mod path;
+
+pub use dijkstra::{Dijkstra, ShortestPathResult};
+pub use graph::{Edge, Graph, GraphBuilder, GraphKind};
+pub use ids::{EdgeId, NodeId};
+pub use ordered::OrderedF64;
+pub use path::Path;

@@ -1,0 +1,233 @@
+//! Simple paths through a [`Graph`].
+
+use crate::graph::Graph;
+use crate::ids::{EdgeId, NodeId};
+
+/// A simple path: a node sequence plus the edges connecting consecutive
+/// nodes. `nodes.len() == edges.len() + 1` always holds; a request routed
+/// over `k` edges stores `k + 1` nodes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Path {
+    nodes: Vec<NodeId>,
+    edges: Vec<EdgeId>,
+}
+
+impl Path {
+    /// Assemble a path from its node and edge sequences, checking the
+    /// structural invariant. Endpoint/adjacency consistency against a graph
+    /// is checked separately by [`Path::validate`].
+    pub fn new(nodes: Vec<NodeId>, edges: Vec<EdgeId>) -> Self {
+        assert_eq!(
+            nodes.len(),
+            edges.len() + 1,
+            "path must have exactly one more node than edges"
+        );
+        Path { nodes, edges }
+    }
+
+    /// The trivial single-vertex path (zero edges). Useful as a base case
+    /// in enumeration; never a legal routing (requests have `s != t`).
+    pub fn trivial(node: NodeId) -> Self {
+        Path {
+            nodes: vec![node],
+            edges: Vec::new(),
+        }
+    }
+
+    /// First vertex.
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Last vertex.
+    #[inline]
+    pub fn target(&self) -> NodeId {
+        *self.nodes.last().expect("paths are never empty")
+    }
+
+    /// Number of edges (hops).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when the path has no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Edge sequence.
+    #[inline]
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Node sequence.
+    #[inline]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Sum of `weights[e]` over the path's edges — the quantity
+    /// `|p| = Σ_{e∈p} y_e` from the paper.
+    pub fn weight(&self, weights: &[f64]) -> f64 {
+        self.edges.iter().map(|e| weights[e.index()]).sum()
+    }
+
+    /// Minimum residual capacity along the path under `residual[e]`.
+    pub fn bottleneck(&self, residual: &[f64]) -> f64 {
+        self.edges
+            .iter()
+            .map(|e| residual[e.index()])
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Check that the path is a well-formed *simple* path of `graph`:
+    /// consecutive nodes joined by the recorded edge (respecting direction
+    /// in directed graphs), no repeated vertex.
+    pub fn validate(&self, graph: &Graph) -> Result<(), PathError> {
+        for window in self.nodes.windows(2) {
+            let (a, b) = (window[0], window[1]);
+            if a.index() >= graph.num_nodes() || b.index() >= graph.num_nodes() {
+                return Err(PathError::NodeOutOfRange);
+            }
+        }
+        for (i, &eid) in self.edges.iter().enumerate() {
+            if eid.index() >= graph.num_edges() {
+                return Err(PathError::EdgeOutOfRange);
+            }
+            let e = graph.edge(eid);
+            let (a, b) = (self.nodes[i], self.nodes[i + 1]);
+            let forward = e.src == a && e.dst == b;
+            let backward = e.src == b && e.dst == a;
+            let ok = match graph.kind() {
+                crate::graph::GraphKind::Directed => forward,
+                crate::graph::GraphKind::Undirected => forward || backward,
+            };
+            if !ok {
+                return Err(PathError::EdgeMismatch { position: i });
+            }
+        }
+        let mut seen = vec![false; graph.num_nodes()];
+        for &n in &self.nodes {
+            if seen[n.index()] {
+                return Err(PathError::RepeatedNode(n));
+            }
+            seen[n.index()] = true;
+        }
+        Ok(())
+    }
+}
+
+/// Violations reported by [`Path::validate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PathError {
+    /// A node id exceeds the graph's node count.
+    NodeOutOfRange,
+    /// An edge id exceeds the graph's edge count.
+    EdgeOutOfRange,
+    /// The edge at `position` does not join its adjacent nodes.
+    EdgeMismatch {
+        /// Index into the edge sequence.
+        position: usize,
+    },
+    /// The path visits a vertex twice (not simple).
+    RepeatedNode(NodeId),
+}
+
+impl std::fmt::Display for PathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathError::NodeOutOfRange => write!(f, "path node out of range"),
+            PathError::EdgeOutOfRange => write!(f, "path edge out of range"),
+            PathError::EdgeMismatch { position } => {
+                write!(f, "edge at position {position} does not join its endpoints")
+            }
+            PathError::RepeatedNode(n) => write!(f, "path revisits node {n}"),
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn line_graph() -> (Graph, Vec<EdgeId>) {
+        let mut b = GraphBuilder::directed(4);
+        let edges = vec![
+            b.add_edge(NodeId(0), NodeId(1), 1.0),
+            b.add_edge(NodeId(1), NodeId(2), 2.0),
+            b.add_edge(NodeId(2), NodeId(3), 3.0),
+        ];
+        (b.build(), edges)
+    }
+
+    #[test]
+    fn valid_path_passes() {
+        let (g, e) = line_graph();
+        let p = Path::new(
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            e.clone(),
+        );
+        assert!(p.validate(&g).is_ok());
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.source(), NodeId(0));
+        assert_eq!(p.target(), NodeId(3));
+    }
+
+    #[test]
+    fn weight_and_bottleneck() {
+        let (g, e) = line_graph();
+        let p = Path::new(
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            e,
+        );
+        let w = vec![0.5, 0.25, 0.125];
+        assert!((p.weight(&w) - 0.875).abs() < 1e-12);
+        let residual: Vec<f64> = g.edges().iter().map(|e| e.capacity).collect();
+        assert_eq!(p.bottleneck(&residual), 1.0);
+    }
+
+    #[test]
+    fn wrong_direction_rejected_in_directed_graph() {
+        let (g, e) = line_graph();
+        let p = Path::new(vec![NodeId(1), NodeId(0)], vec![e[0]]);
+        assert_eq!(p.validate(&g), Err(PathError::EdgeMismatch { position: 0 }));
+    }
+
+    #[test]
+    fn backward_traversal_allowed_in_undirected_graph() {
+        let mut b = GraphBuilder::undirected(2);
+        let e = b.add_edge(NodeId(0), NodeId(1), 1.0);
+        let g = b.build();
+        let p = Path::new(vec![NodeId(1), NodeId(0)], vec![e]);
+        assert!(p.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn repeated_node_rejected() {
+        let mut b = GraphBuilder::undirected(2);
+        let e = b.add_edge(NodeId(0), NodeId(1), 1.0);
+        let g = b.build();
+        let p = Path::new(vec![NodeId(0), NodeId(1), NodeId(0)], vec![e, e]);
+        assert_eq!(p.validate(&g), Err(PathError::RepeatedNode(NodeId(0))));
+    }
+
+    #[test]
+    fn trivial_path() {
+        let p = Path::trivial(NodeId(7));
+        assert!(p.is_empty());
+        assert_eq!(p.source(), p.target());
+    }
+
+    #[test]
+    #[should_panic]
+    fn node_edge_count_invariant_enforced() {
+        let _ = Path::new(vec![NodeId(0)], vec![EdgeId(0)]);
+    }
+}

@@ -1,0 +1,410 @@
+//! # ufp-par
+//!
+//! A minimal data-parallel `map` over a **persistent** worker pool.
+//!
+//! The paper's Algorithm 1 runs, in every iteration, one shortest-path
+//! computation per remaining request ("for all r ∈ L … let p_r be the
+//! shortest path"). Those computations are independent, so the natural
+//! parallelization is a fan-out over requests with a deterministic
+//! reduction — but the fan-out happens *thousands of times per run*, so
+//! spawning scoped threads per call (the obvious `crossbeam::scope`
+//! pattern) pays thread-creation latency every iteration and can easily
+//! cost more than the work itself. This crate instead keeps one global
+//! set of workers alive (created lazily, sized to the hardware) and
+//! dispatches borrowed closures to them with a completion latch, the
+//! same architecture as rayon-core / scoped_threadpool:
+//!
+//! * [`Pool::map_with`] — parallel indexed map with a **per-thread
+//!   workspace** (each worker owns one reusable Dijkstra scratch space),
+//!   dynamic chunked work distribution via an atomic cursor, and results
+//!   returned in input order regardless of scheduling.
+//! * [`Pool::map`] — the workspace-free convenience wrapper.
+//! * [`Pool::argmin_by_key`] — deterministic parallel argmin.
+//!
+//! Determinism: output is ordered by input index, so parallel and
+//! sequential execution produce identical results.
+//!
+//! ## Safety
+//!
+//! Jobs sent to the long-lived workers are boxed closures whose borrows
+//! are *not* `'static`; the lifetime is erased with one `transmute`
+//! (see `dispatch`). This is sound because `map_with` blocks on a latch
+//! until every job has finished (or recorded a panic) before returning,
+//! so no borrow outlives the call — exactly the guarantee scoped threads
+//! provide, amortized over one thread spawn per process instead of one
+//! per call.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+
+/// A type-erased unit of work with its lifetime erased to `'static`
+/// (see module-level safety note).
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct GlobalPool {
+    tx: Sender<Job>,
+    workers: usize,
+}
+
+fn global_pool() -> &'static GlobalPool {
+    static POOL: OnceLock<GlobalPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let (tx, rx) = unbounded::<Job>();
+        for i in 0..workers {
+            let rx = rx.clone();
+            std::thread::Builder::new()
+                .name(format!("ufp-par-{i}"))
+                .spawn(move || {
+                    for job in rx.iter() {
+                        job();
+                    }
+                })
+                .expect("failed to spawn worker thread");
+        }
+        GlobalPool { tx, workers }
+    })
+}
+
+/// Completion latch: counts outstanding jobs and records panics.
+struct Latch {
+    remaining: Mutex<usize>,
+    cv: Condvar,
+    panicked: AtomicUsize,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(count),
+            cv: Condvar::new(),
+            panicked: AtomicUsize::new(0),
+        }
+    }
+
+    fn job_done(&self) {
+        let mut left = self.remaining.lock();
+        *left -= 1;
+        if *left == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = self.remaining.lock();
+        while *left > 0 {
+            self.cv.wait(&mut left);
+        }
+    }
+}
+
+/// A lightweight handle describing how much parallelism to use. Cheap to
+/// copy; all pools share the single global worker set — `threads` only
+/// caps how many workers a call fans out to.
+#[derive(Clone, Copy, Debug)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// Use at most `threads` workers (values 0 and 1 both mean
+    /// sequential).
+    pub fn new(threads: usize) -> Self {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Use all available hardware parallelism.
+    pub fn auto() -> Self {
+        let t = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Pool { threads: t }
+    }
+
+    /// Strictly sequential execution (useful for debugging and as the
+    /// baseline in the parallel-speedup experiment).
+    pub fn sequential() -> Self {
+        Pool { threads: 1 }
+    }
+
+    /// Number of worker threads this pool will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Parallel indexed map with per-thread workspaces.
+    ///
+    /// `init()` runs once per participating worker to build its private
+    /// workspace `W` (e.g. a Dijkstra scratch space);
+    /// `f(&mut w, i, &items[i])` computes the result for item `i`. Work
+    /// is distributed dynamically in chunks, so uneven per-item cost
+    /// balances automatically. Results come back in input order.
+    pub fn map_with<T, U, W, I, F>(&self, items: &[T], init: I, f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        I: Fn() -> W + Sync,
+        F: Fn(&mut W, usize, &T) -> U + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n.max(1)).min(global_pool().workers);
+        if workers <= 1 {
+            let mut w = init();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, t)| f(&mut w, i, t))
+                .collect();
+        }
+
+        // Dynamic scheduling through an atomic cursor; 4x chunk
+        // oversubscription balances uneven costs.
+        let chunk = (n / (workers * 4)).max(1);
+        let cursor = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(n));
+        let latch = Arc::new(Latch::new(workers));
+
+        {
+            let cursor = &cursor;
+            let collected = &collected;
+            let init = &init;
+            let f = &f;
+            for _ in 0..workers {
+                let latch = Arc::clone(&latch);
+                let body = move || {
+                    // Catch panics so the latch always resolves; the
+                    // panic is surfaced to the caller below.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut workspace = init();
+                        let mut local: Vec<(usize, U)> = Vec::new();
+                        loop {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= n {
+                                break;
+                            }
+                            let end = (start + chunk).min(n);
+                            for i in start..end {
+                                local.push((i, f(&mut workspace, i, &items[i])));
+                            }
+                        }
+                        if !local.is_empty() {
+                            collected.lock().append(&mut local);
+                        }
+                    }));
+                    if result.is_err() {
+                        latch.panicked.fetch_add(1, Ordering::SeqCst);
+                    }
+                    latch.job_done();
+                };
+                dispatch(body);
+            }
+        }
+        latch.wait();
+        if latch.panicked.load(Ordering::SeqCst) > 0 {
+            panic!("worker thread panicked during Pool::map_with");
+        }
+
+        let mut pairs = collected.into_inner();
+        debug_assert_eq!(pairs.len(), n);
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        pairs.into_iter().map(|(_, u)| u).collect()
+    }
+
+    /// Parallel indexed map without a per-thread workspace.
+    pub fn map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        self.map_with(items, || (), |_, i, t| f(i, t))
+    }
+
+    /// Parallel argmin: the index and key minimizing `key(i, &items[i])`,
+    /// ties broken toward the smaller index (the deterministic tie-break
+    /// every solver in this workspace relies on). `None` on empty input.
+    pub fn argmin_by_key<T, K, F>(&self, items: &[T], key: F) -> Option<(usize, K)>
+    where
+        T: Sync,
+        K: PartialOrd + Send,
+        F: Fn(usize, &T) -> K + Sync,
+    {
+        let keys = self.map(items, &key);
+        let mut best: Option<(usize, K)> = None;
+        for (i, k) in keys.into_iter().enumerate() {
+            let better = match &best {
+                None => true,
+                Some((_, bk)) => k < *bk,
+            };
+            if better {
+                best = Some((i, k));
+            }
+        }
+        best
+    }
+}
+
+/// Send a borrowed closure to the global workers, erasing its lifetime.
+///
+/// # Safety
+/// Callers must not return until the job has run to completion (enforced
+/// in `map_with` by `Latch::wait`), so the erased borrows stay valid for
+/// the job's whole execution.
+fn dispatch<'a, F: FnOnce() + Send + 'a>(job: F) {
+    let boxed: Box<dyn FnOnce() + Send + 'a> = Box::new(job);
+    // SAFETY: see function docs — completion is awaited before any
+    // borrow captured by `job` can expire.
+    let boxed: Job = unsafe { std::mem::transmute(boxed) };
+    global_pool()
+        .tx
+        .send(boxed)
+        .expect("global worker pool disconnected");
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::auto()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_matches_sequential() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            let par = pool.map(&items, |_, &x| x * x);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_with_reuses_workspace() {
+        // Count workspace initializations: at most `threads` per call.
+        let inits = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..256).collect();
+        let pool = Pool::new(4);
+        let out = pool.map_with(
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                Vec::<u32>::new()
+            },
+            |w, _, &x| {
+                w.push(x);
+                x + 1
+            },
+        );
+        assert_eq!(out, (1..257).collect::<Vec<_>>());
+        assert!(inits.load(Ordering::SeqCst) <= 4);
+    }
+
+    #[test]
+    fn empty_input() {
+        let pool = Pool::new(4);
+        let out: Vec<u32> = pool.map(&[] as &[u32], |_, &x| x);
+        assert!(out.is_empty());
+        assert!(pool.argmin_by_key(&[] as &[u32], |_, &x| x).is_none());
+    }
+
+    #[test]
+    fn single_item() {
+        let pool = Pool::new(8);
+        assert_eq!(pool.map(&[5u32], |_, &x| x * 2), vec![10]);
+    }
+
+    #[test]
+    fn argmin_breaks_ties_toward_lower_index() {
+        let items = vec![3.0f64, 1.0, 2.0, 1.0, 5.0];
+        for threads in [1, 4] {
+            let pool = Pool::new(threads);
+            let (i, k) = pool.argmin_by_key(&items, |_, &x| x).unwrap();
+            assert_eq!(i, 1);
+            assert_eq!(k, 1.0);
+        }
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        let items: Vec<u64> = (0..64).collect();
+        let pool = Pool::new(4);
+        let out = pool.map(&items, |_, &x| {
+            let mut acc = 0u64;
+            for i in 0..(x % 7) * 10_000 {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc).0
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn zero_threads_treated_as_one() {
+        let pool = Pool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.map(&[1u8, 2, 3], |_, &x| x), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = Pool::new(2);
+        let items: Vec<u32> = (0..100).collect();
+        let result = std::panic::catch_unwind(|| {
+            pool.map(&items, |_, &x| {
+                if x == 50 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(result.is_err());
+        // The global pool must still function after a job panicked.
+        let ok = pool.map(&items, |_, &x| x + 1);
+        assert_eq!(ok[0], 1);
+        assert_eq!(ok[99], 100);
+    }
+
+    #[test]
+    fn many_repeated_calls_amortize() {
+        // Regression guard for the per-call spawn problem: thousands of
+        // tiny maps must complete quickly (no thread creation per call).
+        let pool = Pool::new(4);
+        let items: Vec<u32> = (0..64).collect();
+        let start = std::time::Instant::now();
+        let mut acc = 0u64;
+        for _ in 0..2000 {
+            acc += pool.map(&items, |_, &x| x as u64).iter().sum::<u64>();
+        }
+        assert_eq!(acc, 2000 * (63 * 64 / 2));
+        // Generous bound: scoped-spawn versions took seconds here.
+        assert!(
+            start.elapsed().as_secs_f64() < 5.0,
+            "repeated dispatch too slow: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn nested_borrows_stay_valid() {
+        // Borrowed captures (the unsafe lifetime erasure) under stress.
+        let data: Vec<Vec<u64>> = (0..32).map(|i| vec![i as u64; 100]).collect();
+        let pool = Pool::new(4);
+        for _ in 0..50 {
+            let sums = pool.map(&data, |_, row| row.iter().sum::<u64>());
+            for (i, s) in sums.iter().enumerate() {
+                assert_eq!(*s, (i as u64) * 100);
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Random multi-unit auction workloads in the large-multiplicity regime.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use ufp_auction::{AuctionInstance, Bid, ItemId};
+
+/// Item popularity when sampling bundles.
+#[derive(Clone, Copy, Debug)]
+pub enum Popularity {
+    /// Items equally likely.
+    Uniform,
+    /// Zipf-like: item `u` drawn with weight `1/(u+1)^s` — a few hot
+    /// items contested by most bundles, as in spectrum auctions.
+    Zipf {
+        /// Skew exponent.
+        s: f64,
+    },
+}
+
+/// Configuration for [`random_auction`].
+#[derive(Clone, Copy, Debug)]
+pub struct RandomAuctionConfig {
+    /// Number of distinct items `m`.
+    pub items: usize,
+    /// Number of bids.
+    pub bids: usize,
+    /// Bundle size range (inclusive).
+    pub bundle_size: (usize, usize),
+    /// ε for which `B ≥ ln(m)/ε²` will hold.
+    pub epsilon_target: f64,
+    /// Value range; values additionally scale with bundle size.
+    pub value_per_item: (f64, f64),
+    /// Item popularity.
+    pub popularity: Popularity,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomAuctionConfig {
+    fn default() -> Self {
+        RandomAuctionConfig {
+            items: 40,
+            bids: 200,
+            bundle_size: (1, 5),
+            epsilon_target: 0.25,
+            value_per_item: (0.5, 2.0),
+            popularity: Popularity::Uniform,
+            seed: 1,
+        }
+    }
+}
+
+/// Minimum multiplicity needed for `B ≥ ln(m)/ε²`.
+pub fn required_multiplicity(items: usize, epsilon: f64) -> f64 {
+    (items.max(2) as f64).ln() / (epsilon * epsilon)
+}
+
+/// Generate a random single-minded multi-unit auction.
+pub fn random_auction(config: &RandomAuctionConfig) -> AuctionInstance {
+    assert!(config.items >= 1 && config.bids >= 1);
+    let (blo, bhi) = config.bundle_size;
+    assert!(1 <= blo && blo <= bhi && bhi <= config.items);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let b = required_multiplicity(config.items, config.epsilon_target).ceil();
+    // Multiplicities in [B, 2B].
+    let multiplicities: Vec<f64> = (0..config.items)
+        .map(|_| rng.random_range(b..=2.0 * b).floor())
+        .collect();
+
+    // Popularity weights (cumulative, for sampling without replacement we
+    // shuffle a weighted pool instead).
+    let weights: Vec<f64> = (0..config.items)
+        .map(|u| match config.popularity {
+            Popularity::Uniform => 1.0,
+            Popularity::Zipf { s } => 1.0 / ((u + 1) as f64).powf(s),
+        })
+        .collect();
+    let total_w: f64 = weights.iter().sum();
+
+    let mut pool: Vec<u32> = (0..config.items as u32).collect();
+    let mut bids = Vec::with_capacity(config.bids);
+    for _ in 0..config.bids {
+        let size = rng.random_range(blo..=bhi);
+        let bundle: Vec<ItemId> = match config.popularity {
+            Popularity::Uniform => {
+                pool.shuffle(&mut rng);
+                pool[..size].iter().map(|&u| ItemId(u)).collect()
+            }
+            Popularity::Zipf { .. } => {
+                // Weighted sampling without replacement by rejection.
+                let mut chosen: Vec<u32> = Vec::with_capacity(size);
+                while chosen.len() < size {
+                    let mut pick = rng.random_range(0.0..total_w);
+                    let mut item = 0usize;
+                    for (u, &w) in weights.iter().enumerate() {
+                        if pick < w {
+                            item = u;
+                            break;
+                        }
+                        pick -= w;
+                    }
+                    if !chosen.contains(&(item as u32)) {
+                        chosen.push(item as u32);
+                    }
+                }
+                chosen.into_iter().map(ItemId).collect()
+            }
+        };
+        let (vlo, vhi) = config.value_per_item;
+        let value = bundle.len() as f64 * rng.random_range(vlo..=vhi);
+        bids.push(Bid::new(bundle, value));
+    }
+    AuctionInstance::new(multiplicities, bids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meets_multiplicity_bound() {
+        let config = RandomAuctionConfig::default();
+        let a = random_auction(&config);
+        assert_eq!(a.num_bids(), 200);
+        assert!(a.meets_large_multiplicity_bound(config.epsilon_target));
+    }
+
+    #[test]
+    fn bundle_sizes_in_range() {
+        let a = random_auction(&RandomAuctionConfig {
+            bundle_size: (2, 4),
+            ..Default::default()
+        });
+        for bid in a.bids() {
+            assert!(bid.size() >= 2 && bid.size() <= 4);
+        }
+    }
+
+    #[test]
+    fn zipf_concentrates_on_hot_items() {
+        let a = random_auction(&RandomAuctionConfig {
+            popularity: Popularity::Zipf { s: 1.5 },
+            bids: 400,
+            seed: 3,
+            ..Default::default()
+        });
+        let mut counts = vec![0usize; a.num_items()];
+        for bid in a.bids() {
+            for u in &bid.bundle {
+                counts[u.index()] += 1;
+            }
+        }
+        // item 0 must be far hotter than the median item
+        let mut sorted = counts.clone();
+        sorted.sort_unstable();
+        let median = sorted[a.num_items() / 2];
+        assert!(
+            counts[0] > median * 3,
+            "item 0 count {} vs median {median}",
+            counts[0]
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = RandomAuctionConfig::default();
+        let a = random_auction(&config);
+        let b = random_auction(&config);
+        assert_eq!(a.num_bids(), b.num_bids());
+        for (x, y) in a.bids().iter().zip(b.bids()) {
+            assert_eq!(x, y);
+        }
+    }
+}

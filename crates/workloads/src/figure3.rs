@@ -1,0 +1,133 @@
+//! The Figure 3 construction (Theorem 3.12): the 7-vertex undirected
+//! instance showing a 4/3 lower bound for every reasonable iterative
+//! path-minimizing algorithm, for arbitrarily large `B`.
+//!
+//! Vertices `v_1..v_7`; the hub is `v_7`. Edges (all capacity `B`):
+//! `v1–v2, v2–v3` and `v4–v5, v5–v6` (the two "private" 2-hop corridors),
+//! plus the hub star `v1–v7, v7–v3, v7–v4, v7–v6`. Requests, unit demand
+//! and value: `B×(v1,v3)`, `B×(v4,v6)`, `B×(v1,v6)`, `B×(v3,v4)`, in that
+//! block order.
+//!
+//! `OPT = 4B` (corridors for the first two blocks, hub for the last two).
+//! The adversarial schedule — realized by preferring hub paths among
+//! tied minimizers — burns the hub on the first two blocks and caps any
+//! algorithm at `3B`: every `v1→v6` or `v3→v4` path crosses the cut
+//! `{v1–v7, v3–v7}`, whose residual totals `B` after the first phase.
+
+use ufp_core::{Request, UfpInstance};
+use ufp_netgraph::graph::GraphBuilder;
+use ufp_netgraph::ids::NodeId;
+
+/// `v_k` (1-based, matching the paper's labels).
+pub fn figure3_vertex(k: usize) -> NodeId {
+    debug_assert!((1..=7).contains(&k));
+    NodeId((k - 1) as u32)
+}
+
+/// The hub vertex `v_7` (tie-break target for the adversary).
+pub fn figure3_hub() -> NodeId {
+    figure3_vertex(7)
+}
+
+/// Build the Figure 3 instance. `b` must be even (the proof proceeds in
+/// `B/2` phases of four iterations).
+pub fn figure3(b: usize) -> UfpInstance {
+    assert!(b >= 2 && b.is_multiple_of(2), "Figure 3 needs even B ≥ 2");
+    let v = figure3_vertex;
+    let cap = b as f64;
+    let mut gb = GraphBuilder::undirected(7);
+    // corridors
+    gb.add_edge(v(1), v(2), cap);
+    gb.add_edge(v(2), v(3), cap);
+    gb.add_edge(v(4), v(5), cap);
+    gb.add_edge(v(5), v(6), cap);
+    // hub star
+    gb.add_edge(v(1), v(7), cap);
+    gb.add_edge(v(7), v(3), cap);
+    gb.add_edge(v(7), v(4), cap);
+    gb.add_edge(v(7), v(6), cap);
+
+    let mut requests = Vec::with_capacity(4 * b);
+    let blocks = [(1, 3), (4, 6), (1, 6), (3, 4)];
+    for (s, t) in blocks {
+        for _ in 0..b {
+            requests.push(Request::new(v(s), v(t), 1.0, 1.0));
+        }
+    }
+    UfpInstance::new(gb.build(), requests)
+}
+
+/// `OPT = 4B`.
+pub fn figure3_optimum(b: usize) -> f64 {
+    (4 * b) as f64
+}
+
+/// The adversarial algorithm's ceiling: `3B`.
+pub fn figure3_algorithm_bound(b: usize) -> f64 {
+    (3 * b) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufp_netgraph::bfs;
+
+    #[test]
+    fn structure() {
+        let inst = figure3(4);
+        let g = inst.graph();
+        assert_eq!(g.num_nodes(), 7);
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(inst.num_requests(), 16);
+        assert_eq!(g.min_capacity(), 4.0);
+        // connectivity of every request pair
+        for r in inst.requests() {
+            assert!(bfs::is_reachable(g, r.src, r.dst));
+        }
+    }
+
+    #[test]
+    fn optimum_achieves_4b() {
+        let inst = figure3(2);
+        let res = ufp_core::exact_optimum(&inst, &ufp_core::ExactConfig::default());
+        assert_eq!(res.value, figure3_optimum(2));
+        assert!(res.exhaustive);
+    }
+
+    #[test]
+    #[should_panic]
+    fn odd_b_rejected() {
+        figure3(3);
+    }
+
+    #[test]
+    fn the_cut_argument_holds() {
+        // Removing edges v1–v7 and v3–v7 must disconnect v1 from v6 and
+        // v3 from v4 — the heart of the 4/3 proof.
+        let inst = figure3(2);
+        let g = inst.graph();
+        let v = figure3_vertex;
+        // Identify the two cut edge ids.
+        let mut cut = Vec::new();
+        for (e, edge) in g.edges().iter().enumerate() {
+            let pair = (edge.src, edge.dst);
+            if pair == (v(1), v(7)) || pair == (v(7), v(3)) {
+                cut.push(e);
+            }
+        }
+        assert_eq!(cut.len(), 2);
+        // BFS avoiding the cut: rebuild the graph without those edges.
+        let mut gb = GraphBuilder::undirected(7);
+        for (e, edge) in g.edges().iter().enumerate() {
+            if !cut.contains(&e) {
+                gb.add_edge(edge.src, edge.dst, edge.capacity);
+            }
+        }
+        let g2 = gb.build();
+        assert!(!bfs::is_reachable(&g2, v(1), v(6)));
+        assert!(!bfs::is_reachable(&g2, v(3), v(4)));
+        // but the corridors survive
+        assert!(bfs::is_reachable(&g2, v(1), v(3)));
+        assert!(bfs::is_reachable(&g2, v(4), v(6)));
+    }
+}

@@ -1,0 +1,148 @@
+//! The Figure 4 construction (Theorem 4.5): the auction instance showing
+//! a 4/3 lower bound for every reasonable iterative bundle-minimizing
+//! algorithm.
+//!
+//! Items `U` are partitioned into `p·(p+1)` cells `U_{i,j}` (`i = 1..p`,
+//! `j = 1..p+1`), each of `m/(p(p+1))` items, all with multiplicity `B`.
+//! Unit-value bids:
+//!
+//! * **Type 1** — for each row `ℓ`: `B/2` bids on `U_ℓ = ∪_j U_{ℓ,j}`.
+//! * **Type 2** — for each column pair `ℓ = 1..(p+1)/2`: `B/2` bids on
+//!   `U_{1,2ℓ−1} ∪ U_{1,2ℓ} ∪ ∪_{i≥2} U_{i,2ℓ−1}` and `B/2` bids on
+//!   `U_{1,2ℓ−1} ∪ U_{1,2ℓ} ∪ ∪_{i≥2} U_{i,2ℓ}`.
+//!
+//! Every bundle has exactly `m/p` items, so all bids are score-tied at
+//! every symmetric state and the tie-break drives the schedule: with
+//! type-1 bids listed first, lowest-id tie-breaking makes the engine
+//! allocate all of them (`p·B/2` value), after which counting caps the
+//! total at `(3p+1)·B/4`, against `OPT = p·B` — ratio `4p/(3p+1) → 4/3`.
+
+use ufp_auction::{AuctionInstance, Bid, ItemId};
+
+/// Build the Figure 4 instance. Requirements: odd `p ≥ 3`, even `b ≥ 2`,
+/// and `m` a positive multiple of `p(p+1)` (pass `m = p·(p+1)` for the
+/// smallest version, one item per cell).
+pub fn figure4(p: usize, b: usize, m: usize) -> AuctionInstance {
+    assert!(p >= 3 && p % 2 == 1, "Figure 4 needs odd p ≥ 3");
+    assert!(b >= 2 && b.is_multiple_of(2), "Figure 4 needs even B ≥ 2");
+    assert!(
+        m >= p * (p + 1) && m.is_multiple_of(p * (p + 1)),
+        "m must be a positive multiple of p(p+1)"
+    );
+    let cell = m / (p * (p + 1));
+    // Cell (i, j), 1-based, holds items [start, start+cell).
+    let cell_items = |i: usize, j: usize| -> Vec<ItemId> {
+        let idx = (i - 1) * (p + 1) + (j - 1);
+        let start = idx * cell;
+        (start..start + cell).map(|u| ItemId(u as u32)).collect()
+    };
+
+    let mut bids = Vec::new();
+    // Type 1: rows.
+    for row in 1..=p {
+        let mut bundle = Vec::with_capacity(cell * (p + 1));
+        for j in 1..=p + 1 {
+            bundle.extend(cell_items(row, j));
+        }
+        for _ in 0..b / 2 {
+            bids.push(Bid::new(bundle.clone(), 1.0));
+        }
+    }
+    // Type 2: column pairs, two variants each.
+    for pair in 1..=p.div_ceil(2) {
+        let (ca, cb) = (2 * pair - 1, 2 * pair);
+        for variant in 0..2 {
+            let col = if variant == 0 { ca } else { cb };
+            let mut bundle = Vec::new();
+            bundle.extend(cell_items(1, ca));
+            bundle.extend(cell_items(1, cb));
+            for i in 2..=p {
+                bundle.extend(cell_items(i, col));
+            }
+            for _ in 0..b / 2 {
+                bids.push(Bid::new(bundle.clone(), 1.0));
+            }
+        }
+    }
+    AuctionInstance::new(vec![b as f64; m], bids)
+}
+
+/// `OPT = p·B` (drop only the `B/2` row-1 bids).
+pub fn figure4_optimum(p: usize, b: usize) -> f64 {
+    (p * b) as f64
+}
+
+/// The adversarial engine's ceiling `(3p+1)·B/4`.
+pub fn figure4_algorithm_bound(p: usize, b: usize) -> f64 {
+    (3 * p + 1) as f64 * b as f64 / 4.0
+}
+
+/// The lower-bound ratio `4p/(3p+1)`, approaching 4/3.
+pub fn figure4_predicted_ratio(p: usize) -> f64 {
+    4.0 * p as f64 / (3 * p + 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufp_auction::AuctionSolution;
+
+    #[test]
+    fn structure() {
+        let a = figure4(3, 4, 12);
+        assert_eq!(a.num_items(), 12);
+        // type-1: 3 rows × B/2 = 6; type-2: 2 pairs × 2 variants × 2 = 8
+        assert_eq!(a.num_bids(), 14);
+        assert_eq!(a.bound_b(), 4.0);
+        // every bundle has m/p = 4 items
+        for bid in a.bids() {
+            assert_eq!(bid.size(), 4);
+            assert_eq!(bid.value, 1.0);
+        }
+    }
+
+    #[test]
+    fn optimum_allocation_is_feasible() {
+        // Select everything except the row-1 type-1 bids: value pB.
+        let (p, b) = (3usize, 4usize);
+        let a = figure4(p, b, 12);
+        let winners: Vec<_> = a
+            .bid_ids()
+            .enumerate()
+            .filter(|(i, _)| *i >= b / 2) // skip the B/2 row-1 bids
+            .map(|(_, id)| id)
+            .collect();
+        let sol = AuctionSolution { winners };
+        assert!(sol.check_feasible(&a).is_ok());
+        assert_eq!(sol.value(&a), figure4_optimum(p, b));
+    }
+
+    #[test]
+    fn optimum_matches_exact_solver() {
+        let a = figure4(3, 2, 12);
+        let (opt, sol) = ufp_auction::exact_auction_optimum(&a);
+        assert_eq!(opt, figure4_optimum(3, 2));
+        assert!(sol.check_feasible(&a).is_ok());
+    }
+
+    #[test]
+    fn predicted_ratio_tends_to_4_thirds() {
+        assert!((figure4_predicted_ratio(3) - 1.2).abs() < 1e-12);
+        assert!((figure4_predicted_ratio(101) - 4.0 / 3.0).abs() < 0.005);
+        assert!(figure4_predicted_ratio(5) < figure4_predicted_ratio(101));
+    }
+
+    #[test]
+    fn scaled_m_keeps_bundle_proportions() {
+        let a = figure4(3, 2, 24); // two items per cell
+        for bid in a.bids() {
+            assert_eq!(bid.size(), 8); // m/p = 8
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn even_p_rejected() {
+        figure4(4, 2, 20);
+    }
+}

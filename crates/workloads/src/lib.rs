@@ -1,0 +1,38 @@
+//! # ufp-workloads
+//!
+//! Instance generators for the experiment suite:
+//!
+//! * [`figure2()`] — the directed `e/(e−1)` lower-bound family of
+//!   Theorem 3.11 (plain and subdivided tie-break-free variants), with
+//!   its known optimum and predicted adversarial ratio.
+//! * [`figure3()`] — the 7-vertex undirected `4/3` lower-bound instance of
+//!   Theorem 3.12, with the cut structure its proof relies on.
+//! * [`figure4()`] — the auction `4/3` lower-bound family of Theorem 4.5.
+//! * [`random_ufp()`] — random `G(n,m)` and grid UFP workloads guaranteed
+//!   to satisfy the `B ≥ ln(m)/ε²` precondition, with several demand /
+//!   value models.
+//! * [`auctions`] — random multi-unit auctions (uniform and Zipf item
+//!   popularity) in the large-multiplicity regime.
+//!
+//! All generators are deterministic functions of their seed, so every
+//! number in EXPERIMENTS.md is reproducible.
+
+pub mod auctions;
+pub mod figure2;
+pub mod figure3;
+pub mod figure4;
+pub mod random_ufp;
+
+pub use auctions::{random_auction, required_multiplicity, Popularity, RandomAuctionConfig};
+pub use figure2::{
+    figure2, figure2_optimum, figure2_predicted_ratio, figure2_subdivided, Figure2Layout,
+};
+pub use figure3::{
+    figure3, figure3_algorithm_bound, figure3_hub, figure3_optimum, figure3_vertex,
+};
+pub use figure4::{
+    figure4, figure4_algorithm_bound, figure4_optimum, figure4_predicted_ratio,
+};
+pub use random_ufp::{
+    random_grid_ufp, random_ufp, required_b, RandomUfpConfig, ValueModel,
+};

@@ -1,0 +1,277 @@
+//! Random UFP workloads in the large-capacity regime.
+//!
+//! Generators guarantee the theorem's precondition `B ≥ ln(m)/ε²` for a
+//! caller-chosen target ε, so experiments can sweep ε and stay inside the
+//! regime the guarantees cover. Endpoints are rejection-sampled to be
+//! connected, so every request is routable in the uncongested network.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ufp_core::{Request, UfpInstance};
+use ufp_netgraph::bfs;
+use ufp_netgraph::generators;
+use ufp_netgraph::graph::Graph;
+use ufp_netgraph::ids::NodeId;
+
+/// How request values relate to demands.
+#[derive(Clone, Copy, Debug)]
+pub enum ValueModel {
+    /// Values uniform in the range, independent of demand.
+    Uniform(f64, f64),
+    /// Value = demand × factor, factor uniform in the range (models
+    /// per-bandwidth pricing).
+    PerUnitDemand(f64, f64),
+    /// Pareto-like heavy tail: `lo / u^s` for uniform `u ∈ (0,1]`,
+    /// truncated at `100·lo` (a few whales, many minnows).
+    HeavyTail {
+        /// Scale (minimum value).
+        lo: f64,
+        /// Tail exponent (larger = heavier).
+        s: f64,
+    },
+}
+
+impl ValueModel {
+    fn sample<R: Rng>(&self, demand: f64, rng: &mut R) -> f64 {
+        match *self {
+            ValueModel::Uniform(lo, hi) => rng.random_range(lo..=hi),
+            ValueModel::PerUnitDemand(lo, hi) => demand * rng.random_range(lo..=hi),
+            ValueModel::HeavyTail { lo, s } => {
+                let u: f64 = rng.random_range(1e-4..1.0);
+                (lo / u.powf(s)).min(lo * 100.0)
+            }
+        }
+    }
+}
+
+/// Configuration for [`random_ufp`].
+#[derive(Clone, Copy, Debug)]
+pub struct RandomUfpConfig {
+    /// Vertices in the random digraph.
+    pub nodes: usize,
+    /// Arcs in the random digraph.
+    pub edges: usize,
+    /// Number of requests.
+    pub requests: usize,
+    /// The ε whose `B ≥ ln(m)/ε²` precondition the instance satisfies.
+    pub epsilon_target: f64,
+    /// Demand range within `(0, 1]`.
+    pub demand_range: (f64, f64),
+    /// Value model.
+    pub values: ValueModel,
+    /// When set, all requests are drawn from this many fixed
+    /// source/target "hotspot" pairs instead of uniformly random
+    /// endpoints — concentrating demand so the capacity regime (and the
+    /// paper's guard) actually binds.
+    pub hotspot_pairs: Option<usize>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomUfpConfig {
+    fn default() -> Self {
+        RandomUfpConfig {
+            nodes: 30,
+            edges: 150,
+            requests: 200,
+            epsilon_target: 0.25,
+            demand_range: (0.2, 1.0),
+            values: ValueModel::Uniform(0.5, 2.0),
+            hotspot_pairs: None,
+            seed: 1,
+        }
+    }
+}
+
+/// Minimum capacity needed for `B ≥ ln(m)/ε²` with `m` edges.
+pub fn required_b(num_edges: usize, epsilon: f64) -> f64 {
+    (num_edges.max(2) as f64).ln() / (epsilon * epsilon)
+}
+
+/// Generate a random large-capacity UFP instance on a `G(n,m)` digraph.
+pub fn random_ufp(config: &RandomUfpConfig) -> UfpInstance {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let b = required_b(config.edges, config.epsilon_target).ceil();
+    // Capacities in [B, 2B]: the minimum meets the bound, variation keeps
+    // the instance non-degenerate.
+    let graph = generators::gnm_digraph(config.nodes, config.edges, (b, 2.0 * b), &mut rng);
+    let requests = sample_requests(&graph, config, &mut rng);
+    UfpInstance::new(graph, requests)
+}
+
+/// Same demand/value machinery on an undirected grid (the "ISP backbone"
+/// shape from the routing example).
+pub fn random_grid_ufp(
+    rows: usize,
+    cols: usize,
+    requests: usize,
+    epsilon_target: f64,
+    seed: u64,
+) -> UfpInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = 2 * rows * cols - rows - cols;
+    let b = required_b(m, epsilon_target).ceil();
+    let graph = generators::grid(rows, cols, b);
+    let config = RandomUfpConfig {
+        nodes: rows * cols,
+        edges: m,
+        requests,
+        epsilon_target,
+        ..Default::default()
+    };
+    let requests = sample_requests(&graph, &config, &mut rng);
+    UfpInstance::new(graph, requests)
+}
+
+fn sample_requests<R: Rng>(
+    graph: &Graph,
+    config: &RandomUfpConfig,
+    rng: &mut R,
+) -> Vec<Request> {
+    let n = graph.num_nodes();
+    let (dlo, dhi) = config.demand_range;
+    assert!(0.0 < dlo && dlo <= dhi && dhi <= 1.0, "demands must lie in (0,1]");
+    // Cache reachability per sampled source.
+    let mut reach_cache: Vec<Option<Vec<usize>>> = vec![None; n];
+    let mut requests = Vec::with_capacity(config.requests);
+    let mut attempts = 0usize;
+    // Hotspot mode: pre-draw the pair set, then sample endpoints from it.
+    let mut hotspots: Vec<(NodeId, NodeId)> = Vec::new();
+    while requests.len() < config.requests {
+        attempts += 1;
+        assert!(
+            attempts < config.requests * 1000 + 100_000,
+            "graph too disconnected to sample {} connected request pairs",
+            config.requests
+        );
+        let (src, dst) = if let Some(k) = config.hotspot_pairs {
+            if hotspots.len() < k {
+                // Draw the next hotspot pair (connected).
+                let src = NodeId(rng.random_range(0..n as u32));
+                let reachable = reach_cache[src.index()].get_or_insert_with(|| {
+                    bfs::hop_distances(graph, src)
+                        .into_iter()
+                        .enumerate()
+                        .filter(|&(v, d)| d != usize::MAX && v != src.index())
+                        .map(|(v, _)| v)
+                        .collect()
+                });
+                if reachable.is_empty() {
+                    continue;
+                }
+                let dst = NodeId(reachable[rng.random_range(0..reachable.len())] as u32);
+                hotspots.push((src, dst));
+                (src, dst)
+            } else {
+                hotspots[rng.random_range(0..hotspots.len())]
+            }
+        } else {
+            let src = NodeId(rng.random_range(0..n as u32));
+            let reachable = reach_cache[src.index()].get_or_insert_with(|| {
+                bfs::hop_distances(graph, src)
+                    .into_iter()
+                    .enumerate()
+                    .filter(|&(v, d)| d != usize::MAX && v != src.index())
+                    .map(|(v, _)| v)
+                    .collect()
+            });
+            if reachable.is_empty() {
+                continue;
+            }
+            let dst = NodeId(reachable[rng.random_range(0..reachable.len())] as u32);
+            (src, dst)
+        };
+        let demand = if dlo == dhi {
+            dlo
+        } else {
+            rng.random_range(dlo..=dhi)
+        };
+        let value = config.values.sample(demand, rng);
+        requests.push(Request::new(src, dst, demand, value));
+    }
+    requests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meets_the_capacity_bound() {
+        let config = RandomUfpConfig::default();
+        let inst = random_ufp(&config);
+        assert_eq!(inst.num_requests(), 200);
+        assert!(inst.is_normalized());
+        assert!(
+            inst.meets_large_capacity_bound(config.epsilon_target),
+            "B = {} below ln(m)/eps^2 = {}",
+            inst.bound_b(),
+            required_b(config.edges, config.epsilon_target)
+        );
+    }
+
+    #[test]
+    fn all_requests_connected() {
+        let inst = random_ufp(&RandomUfpConfig::default());
+        for r in inst.requests() {
+            assert!(bfs::is_reachable(inst.graph(), r.src, r.dst));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = RandomUfpConfig::default();
+        let a = random_ufp(&config);
+        let b = random_ufp(&config);
+        assert_eq!(a.requests(), b.requests());
+        let c = random_ufp(&RandomUfpConfig {
+            seed: 2,
+            ..config
+        });
+        assert_ne!(a.requests(), c.requests());
+    }
+
+    #[test]
+    fn grid_workload() {
+        let inst = random_grid_ufp(4, 5, 50, 0.3, 9);
+        assert_eq!(inst.num_requests(), 50);
+        assert!(inst.meets_large_capacity_bound(0.3));
+        assert_eq!(inst.graph().num_edges(), 2 * 4 * 5 - 4 - 5);
+    }
+
+    #[test]
+    fn hotspot_mode_concentrates_pairs() {
+        let inst = random_ufp(&RandomUfpConfig {
+            hotspot_pairs: Some(3),
+            requests: 100,
+            ..Default::default()
+        });
+        let mut pairs = std::collections::HashSet::new();
+        for r in inst.requests() {
+            pairs.insert((r.src, r.dst));
+        }
+        assert!(pairs.len() <= 3, "expected at most 3 hotspot pairs, got {}", pairs.len());
+        for r in inst.requests() {
+            assert!(bfs::is_reachable(inst.graph(), r.src, r.dst));
+        }
+    }
+
+    #[test]
+    fn value_models_produce_positive_values() {
+        for values in [
+            ValueModel::Uniform(0.1, 1.0),
+            ValueModel::PerUnitDemand(1.0, 3.0),
+            ValueModel::HeavyTail { lo: 0.5, s: 1.2 },
+        ] {
+            let inst = random_ufp(&RandomUfpConfig {
+                values,
+                requests: 50,
+                ..Default::default()
+            });
+            for r in inst.requests() {
+                assert!(r.value > 0.0 && r.value.is_finite());
+            }
+        }
+    }
+}

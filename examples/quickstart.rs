@@ -1,0 +1,77 @@
+//! Quickstart: build a network, submit requests, run the truthful
+//! mechanism, inspect allocation + payments + the certified ratio.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use truthful_ufp::prelude::*;
+
+fn main() {
+    // A small backbone: two routers connected by parallel 2-hop routes,
+    // every link with capacity 12 (the "large capacity" regime).
+    let mut gb = GraphBuilder::directed(4);
+    let (a, x, y, b) = (NodeId(0), NodeId(1), NodeId(2), NodeId(3));
+    gb.add_edge(a, x, 12.0);
+    gb.add_edge(x, b, 12.0);
+    gb.add_edge(a, y, 12.0);
+    gb.add_edge(y, b, 12.0);
+    let graph = gb.build();
+
+    // 40 connection requests a -> b with varied bandwidth demands and
+    // declared values. Demands are normalized into (0, 1].
+    let requests: Vec<Request> = (0..40)
+        .map(|i| {
+            let demand = 0.4 + 0.15 * ((i % 5) as f64);
+            let value = 1.0 + 0.5 * ((i % 7) as f64);
+            Request::new(a, b, demand, value)
+        })
+        .collect();
+    let instance = UfpInstance::new(graph, requests);
+    println!(
+        "instance: {} requests, B = {}, total declared value {:.1}",
+        instance.num_requests(),
+        instance.bound_b(),
+        instance.total_value()
+    );
+
+    // --- Algorithm 1: the monotone primal-dual allocation -----------------
+    let config = BoundedUfpConfig::with_epsilon(0.25);
+    let result = bounded_ufp(&instance, &config);
+    result
+        .solution
+        .check_feasible(&instance, false)
+        .expect("Lemma 3.3: output is always feasible");
+    println!(
+        "\nBounded-UFP(0.25): routed {} requests, value {:.2} (stopped: {:?})",
+        result.solution.len(),
+        result.solution.value(&instance),
+        result.trace.stop_reason,
+    );
+    if let Some(ratio) = result.certified_ratio(&instance) {
+        println!(
+            "certified approximation ratio ≤ {ratio:.4}  (theorem bound: {:.4})",
+            (1.0 + 6.0 * 0.25) * std::f64::consts::E / (std::f64::consts::E - 1.0)
+        );
+    }
+
+    // --- Theorem 2.3: the truthful mechanism on top -----------------------
+    let mechanism = CriticalValueMechanism::new(UfpAllocator { config });
+    let outcome = mechanism.run(&instance);
+    println!(
+        "\nmechanism: {} winners, revenue {:.2}",
+        outcome.num_winners(),
+        outcome.revenue()
+    );
+    for agent in 0..instance.num_requests().min(8) {
+        if outcome.selected[agent] {
+            let bid = instance.request(RequestId(agent as u32)).value;
+            println!(
+                "  agent {agent:2}: bid {bid:.2}, pays {:.2}, utility {:.2}",
+                outcome.payments[agent],
+                outcome.utility(agent, bid)
+            );
+        }
+    }
+    println!("  (winners always pay at most their bid — individual rationality)");
+}

@@ -1,0 +1,99 @@
+//! Cross-crate integration: the three lower-bound theorems reproduced
+//! end-to-end through the generic engines (small parameters; the full
+//! sweeps live in the experiments binary).
+
+use truthful_ufp::ufp_auction::{
+    exact_auction_optimum, iterative_bundle_minimizer, BundleEngineConfig, MucaPrimalDualScore,
+};
+use truthful_ufp::ufp_core::{
+    exact_optimum, iterative_path_minimizer, EngineConfig, ExactConfig, PrimalDualScore,
+    TieBreak,
+};
+use truthful_ufp::ufp_workloads as w;
+
+#[test]
+fn figure3_realizes_exactly_3b() {
+    for b in [2usize, 4, 8, 16] {
+        let inst = w::figure3(b);
+        let mut cfg = EngineConfig::default();
+        cfg.tie = TieBreak::ViaHub(w::figure3_hub());
+        let run = iterative_path_minimizer(&inst, &PrimalDualScore, &cfg);
+        assert_eq!(
+            run.solution.value(&inst),
+            w::figure3_algorithm_bound(b),
+            "B={b}: adversarial schedule must reach exactly 3B"
+        );
+        run.solution.check_feasible(&inst, false).unwrap();
+    }
+}
+
+#[test]
+fn figure3_optimum_is_4b() {
+    let inst = w::figure3(2);
+    let exact = exact_optimum(&inst, &ExactConfig::default());
+    assert_eq!(exact.value, w::figure3_optimum(2));
+    assert!(exact.exhaustive);
+}
+
+#[test]
+fn figure4_realizes_exactly_the_counting_bound() {
+    for (p, b) in [(3usize, 2usize), (3, 4), (5, 4), (7, 2)] {
+        let a = w::figure4(p, b, p * (p + 1));
+        let run =
+            iterative_bundle_minimizer(&a, &MucaPrimalDualScore, &BundleEngineConfig::default());
+        assert_eq!(
+            run.solution.value(&a),
+            w::figure4_algorithm_bound(p, b),
+            "p={p} B={b}: engine must reach exactly (3p+1)B/4"
+        );
+        run.solution.check_feasible(&a).unwrap();
+    }
+}
+
+#[test]
+fn figure4_optimum_matches_branch_and_bound() {
+    let a = w::figure4(3, 2, 12);
+    let (opt, _) = exact_auction_optimum(&a);
+    assert_eq!(opt, w::figure4_optimum(3, 2));
+}
+
+#[test]
+fn figure2_engine_and_simulator_agree_and_track_the_formula() {
+    // Generic engine at a size it can afford…
+    let (ell, b) = (8usize, 2usize);
+    let inst = w::figure2(ell, b);
+    let mut cfg = EngineConfig::default();
+    cfg.tie = TieBreak::HighestSecondNode;
+    let run = iterative_path_minimizer(&inst, &PrimalDualScore, &cfg);
+    let engine_alg = run.solution.value(&inst);
+    // …must agree with the fast simulator…
+    let sim_alg = w::figure2::simulate_figure2_adversary(ell, b, cfg.epsilon);
+    assert_eq!(engine_alg, sim_alg);
+    // …and a larger simulated run must sit in the proof's corridor.
+    let (ell, b) = (256usize, 8usize);
+    let alg = w::figure2::simulate_figure2_adversary(ell, b, 0.5);
+    let opt = w::figure2_optimum(ell, b);
+    let ratio = opt / alg;
+    assert!(
+        ratio > 1.55 && ratio <= w::figure2_predicted_ratio(b) + 1e-9,
+        "B={b}: ratio {ratio} outside (1.55, predicted]"
+    );
+}
+
+#[test]
+fn lower_bound_instances_have_large_capacity_structure() {
+    // The constructions themselves satisfy the basic shape the theorems
+    // assume: uniform capacities equal to B, unit demands/values.
+    let inst = w::figure2(6, 3);
+    assert_eq!(inst.graph().min_capacity(), 3.0);
+    assert_eq!(inst.graph().max_capacity(), 3.0);
+    assert!(inst.requests().iter().all(|r| r.demand == 1.0 && r.value == 1.0));
+
+    let inst3 = w::figure3(4);
+    assert_eq!(inst3.graph().min_capacity(), 4.0);
+    assert!(inst3.requests().iter().all(|r| r.demand == 1.0));
+
+    let a = w::figure4(3, 4, 12);
+    assert!(a.multiplicities().iter().all(|&c| c == 4.0));
+    assert!(a.bids().iter().all(|bid| bid.value == 1.0));
+}

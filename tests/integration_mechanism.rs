@@ -1,0 +1,148 @@
+//! Cross-crate integration: the mechanism layer on top of both
+//! algorithms, plus cross-algorithm incentive comparisons.
+
+use truthful_ufp::prelude::*;
+use truthful_ufp::ufp_auction::BoundedMucaConfig;
+use truthful_ufp::ufp_core::baselines::BkvConfig;
+use truthful_ufp::ufp_mechanism::{
+    critical_value, verify_ufp_type_truthfulness, verify_value_monotonicity,
+    verify_value_truthfulness, BkvAllocator, PaymentConfig, SingleParamAllocator,
+};
+use truthful_ufp::ufp_workloads::{
+    random_auction, random_ufp, RandomAuctionConfig, RandomUfpConfig, ValueModel,
+};
+
+fn small_contended_ufp(seed: u64) -> UfpInstance {
+    random_ufp(&RandomUfpConfig {
+        nodes: 10,
+        edges: 40,
+        requests: 18,
+        epsilon_target: 0.4,
+        demand_range: (0.4, 1.0),
+        values: ValueModel::Uniform(0.5, 3.0),
+        hotspot_pairs: Some(2),
+        seed,
+    })
+}
+
+#[test]
+fn bounded_ufp_mechanism_truthful_across_seeds() {
+    let cfg = BoundedUfpConfig::with_epsilon(0.4);
+    for seed in [1u64, 5, 9] {
+        let inst = small_contended_ufp(seed);
+        let mech = CriticalValueMechanism::new(UfpAllocator { config: cfg.clone() });
+        let report = verify_value_truthfulness(&mech, &inst, &[0.3, 0.7, 1.4, 3.0]);
+        assert!(report.passed(), "seed {seed}: {report:?}");
+        let joint = verify_ufp_type_truthfulness(&inst, &cfg, 5, seed);
+        assert!(joint.passed(), "seed {seed} joint lies: {joint:?}");
+    }
+}
+
+#[test]
+fn muca_mechanism_truthful_and_ir() {
+    let a = random_auction(&RandomAuctionConfig {
+        items: 10,
+        bids: 15,
+        bundle_size: (1, 3),
+        epsilon_target: 0.4,
+        seed: 21,
+        ..Default::default()
+    });
+    let mech = CriticalValueMechanism::new(MucaAllocator {
+        config: BoundedMucaConfig::with_epsilon(0.4),
+    });
+    let outcome = mech.run(&a);
+    for agent in 0..a.num_bids() {
+        let declared = a.bid(BidId(agent as u32)).value;
+        if outcome.selected[agent] {
+            assert!(outcome.payments[agent] <= declared + 1e-6, "IR violated");
+            assert!(outcome.payments[agent] >= -1e-12);
+        } else {
+            assert_eq!(outcome.payments[agent], 0.0);
+        }
+    }
+    let report = verify_value_truthfulness(&mech, &a, &[0.25, 0.6, 1.5, 4.0]);
+    assert!(report.passed(), "{report:?}");
+}
+
+#[test]
+fn bkv_baseline_is_also_monotone_just_worse() {
+    // The BKV reconstruction must itself be monotone (it was a truthful
+    // mechanism) — the paper's improvement is allocation quality, not
+    // incentives.
+    let inst = small_contended_ufp(33);
+    let alloc = BkvAllocator {
+        config: BkvConfig { epsilon: 0.4 },
+    };
+    let report = verify_value_monotonicity(&alloc, &inst, &[1.5, 4.0, 20.0]);
+    assert!(report.passed(), "{report:?}");
+}
+
+#[test]
+fn payments_are_thresholds() {
+    // Declaring just above the computed payment wins; just below loses.
+    // Deterministic contested link: capacity 6, ten distinct-value bids —
+    // the guard rations slots, so thresholds are strictly positive.
+    let mut gb = GraphBuilder::directed(2);
+    gb.add_edge(NodeId(0), NodeId(1), 6.0);
+    let inst = UfpInstance::new(
+        gb.build(),
+        (0..10)
+            .map(|i| Request::new(NodeId(0), NodeId(1), 1.0, 1.0 + 0.8 * i as f64))
+            .collect(),
+    );
+    let alloc = UfpAllocator {
+        config: BoundedUfpConfig::with_epsilon(0.4),
+    };
+    let selected = alloc.selected(&inst);
+    let cfg = PaymentConfig::default();
+    let mut checked = 0;
+    for agent in 0..inst.num_requests() {
+        if !selected[agent] {
+            continue;
+        }
+        let pay = critical_value(&alloc, &inst, agent, &cfg);
+        if pay <= 1e-9 {
+            continue; // wins at any bid: nothing to bracket
+        }
+        let above = alloc.with_value(&inst, agent, pay * (1.0 + 1e-6));
+        assert!(
+            alloc.selected(&above)[agent],
+            "agent {agent} loses just above its payment"
+        );
+        let below = alloc.with_value(&inst, agent, pay * (1.0 - 1e-6));
+        assert!(
+            !alloc.selected(&below)[agent],
+            "agent {agent} still wins just below its payment"
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "no positive payments to bracket — weak fixture");
+}
+
+#[test]
+fn losers_cannot_win_profitably() {
+    // A losing agent can force its way in only by bidding above its
+    // critical value — which exceeds its true value, so utility < 0.
+    let inst = small_contended_ufp(55);
+    let cfg = BoundedUfpConfig::with_epsilon(0.4);
+    let alloc = UfpAllocator { config: cfg };
+    let selected = alloc.selected(&inst);
+    for agent in 0..inst.num_requests() {
+        if selected[agent] {
+            continue;
+        }
+        let true_value = inst.request(RequestId(agent as u32)).value;
+        // Try overbidding aggressively.
+        for factor in [2.0, 10.0] {
+            let lie = alloc.with_value(&inst, agent, true_value * factor);
+            if alloc.selected(&lie)[agent] {
+                let pay = critical_value(&alloc, &lie, agent, &PaymentConfig::default());
+                assert!(
+                    pay >= true_value - 1e-5,
+                    "agent {agent} bought a slot below its true value: pay {pay}"
+                );
+            }
+        }
+    }
+}
