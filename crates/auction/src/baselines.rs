@@ -178,8 +178,7 @@ pub fn exact_auction_optimum(instance: &AuctionInstance) -> (f64, AuctionSolutio
                 self.best_value = value;
                 self.best = self.chosen.clone();
             }
-            if depth == self.order.len() || value + self.suffix[depth] <= self.best_value + 1e-12
-            {
+            if depth == self.order.len() || value + self.suffix[depth] <= self.best_value + 1e-12 {
                 return;
             }
             let id = self.order[depth];

@@ -217,10 +217,7 @@ impl AuctionSolution {
 
     /// Total value of the winners.
     pub fn value(&self, instance: &AuctionInstance) -> f64 {
-        self.winners
-            .iter()
-            .map(|w| instance.bid(*w).value)
-            .sum()
+        self.winners.iter().map(|w| instance.bid(*w).value).sum()
     }
 
     /// Number of winners.
@@ -324,10 +321,10 @@ mod tests {
 
     #[test]
     fn multiplicity_violation_detected() {
-        let a = AuctionInstance::new(vec![1.0], vec![
-            Bid::new(vec![u(0)], 1.0),
-            Bid::new(vec![u(0)], 1.0),
-        ]);
+        let a = AuctionInstance::new(
+            vec![1.0],
+            vec![Bid::new(vec![u(0)], 1.0), Bid::new(vec![u(0)], 1.0)],
+        );
         let sol = AuctionSolution {
             winners: vec![BidId(0), BidId(1)],
         };

@@ -183,10 +183,7 @@ mod tests {
     fn ties_break_to_lowest_bid() {
         let a = AuctionInstance::new(
             vec![1.0, 1.0],
-            vec![
-                Bid::new(vec![u(0)], 1.0),
-                Bid::new(vec![u(1)], 1.0),
-            ],
+            vec![Bid::new(vec![u(0)], 1.0), Bid::new(vec![u(1)], 1.0)],
         );
         let res =
             iterative_bundle_minimizer(&a, &MucaPrimalDualScore, &BundleEngineConfig::default());
@@ -225,7 +222,11 @@ mod tests {
                     .bundle
                     .iter()
                     .all(|it| loads[it.index()] + 1.0 <= a.multiplicity(*it) + 1e-9);
-                assert!(!fits, "score {} left {bid} unallocated but feasible", s.name());
+                assert!(
+                    !fits,
+                    "score {} left {bid} unallocated but feasible",
+                    s.name()
+                );
             }
         }
     }

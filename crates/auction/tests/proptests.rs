@@ -11,27 +11,25 @@ use ufp_auction::{
 };
 
 fn arb_auction() -> impl Strategy<Value = (AuctionInstance, f64)> {
-    (2usize..8, 1usize..12, any::<u64>(), 1usize..10).prop_map(
-        |(items, bids, seed, eps_decile)| {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mults: Vec<f64> = (0..items)
-                .map(|_| rng.random_range(1.0..8.0f64).floor())
-                .collect();
-            let bid_list: Vec<Bid> = (0..bids)
-                .map(|_| {
-                    let size = rng.random_range(1..=items);
-                    let mut bundle: Vec<u32> = (0..items as u32).collect();
-                    for i in (1..bundle.len()).rev() {
-                        bundle.swap(i, rng.random_range(0..=i));
-                    }
-                    let bundle = bundle[..size].iter().map(|&u| ItemId(u)).collect();
-                    Bid::new(bundle, rng.random_range(0.1..5.0))
-                })
-                .collect();
-            let eps = eps_decile as f64 / 10.0;
-            (AuctionInstance::new(mults, bid_list), eps)
-        },
-    )
+    (2usize..8, 1usize..12, any::<u64>(), 1usize..10).prop_map(|(items, bids, seed, eps_decile)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mults: Vec<f64> = (0..items)
+            .map(|_| rng.random_range(1.0..8.0f64).floor())
+            .collect();
+        let bid_list: Vec<Bid> = (0..bids)
+            .map(|_| {
+                let size = rng.random_range(1..=items);
+                let mut bundle: Vec<u32> = (0..items as u32).collect();
+                for i in (1..bundle.len()).rev() {
+                    bundle.swap(i, rng.random_range(0..=i));
+                }
+                let bundle = bundle[..size].iter().map(|&u| ItemId(u)).collect();
+                Bid::new(bundle, rng.random_range(0.1..5.0))
+            })
+            .collect();
+        let eps = eps_decile as f64 / 10.0;
+        (AuctionInstance::new(mults, bid_list), eps)
+    })
 }
 
 proptest! {

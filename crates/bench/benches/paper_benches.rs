@@ -49,8 +49,10 @@ fn fig2_lower_bound(c: &mut Criterion) {
         );
     }
     let inst = w::figure2(16, 2);
-    let mut cfg = EngineConfig::default();
-    cfg.tie = TieBreak::HighestSecondNode;
+    let cfg = EngineConfig {
+        tie: TieBreak::HighestSecondNode,
+        ..Default::default()
+    };
     group.bench_function("generic_engine_B2_l16", |bench| {
         bench.iter(|| black_box(iterative_path_minimizer(&inst, &PrimalDualScore, &cfg)))
     });
@@ -60,8 +62,10 @@ fn fig2_lower_bound(c: &mut Criterion) {
 /// E3/Figure 3: the hub-adversarial engine run.
 fn fig3_lower_bound(c: &mut Criterion) {
     let inst = w::figure3(32);
-    let mut cfg = EngineConfig::default();
-    cfg.tie = TieBreak::ViaHub(w::figure3_hub());
+    let cfg = EngineConfig {
+        tie: TieBreak::ViaHub(w::figure3_hub()),
+        ..Default::default()
+    };
     c.bench_function("fig3_lower_bound_B32", |bench| {
         bench.iter(|| black_box(iterative_path_minimizer(&inst, &PrimalDualScore, &cfg)))
     });

@@ -1,0 +1,269 @@
+//! `engine_sim` — trace-replay driver for the streaming admission-control
+//! engine.
+//!
+//! Generates a deterministic arrival trace (Poisson by default; diurnal /
+//! flash-crowd / churn variants via flags), replays it through
+//! [`ufp_engine::Engine`] on a random `G(n, m)` network, and prints a
+//! summary table. Everything written to **stdout** is a deterministic
+//! function of the flags (two runs with the same seed are byte-identical);
+//! wall-clock figures (latency percentiles, throughput) go to stderr.
+//!
+//! ```text
+//! cargo run -p ufp-bench --release --bin engine_sim
+//! cargo run -p ufp-bench --release --bin engine_sim -- \
+//!     --nodes 1000 --edges 5000 --epochs 200 --mean 550 --seed 7 \
+//!     --process diurnal --churn 20,60
+//! ```
+
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ufp_bench::table::{f2, Table};
+use ufp_core::StopReason;
+use ufp_engine::{Engine, EngineConfig, EventLevel};
+use ufp_netgraph::generators;
+use ufp_workloads::arrivals::{arrival_trace, ArrivalProcess, ArrivalTraceConfig};
+use ufp_workloads::random_ufp::required_b;
+
+struct Options {
+    nodes: usize,
+    edges: usize,
+    epochs: usize,
+    mean: f64,
+    hotspots: usize,
+    epsilon: f64,
+    seed: u64,
+    process: String,
+    churn: Option<(u32, u32)>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            nodes: 1000,
+            edges: 5000,
+            epochs: 200,
+            mean: 550.0,
+            hotspots: 32,
+            epsilon: 0.5,
+            seed: 7,
+            process: "poisson".to_string(),
+            churn: None,
+        }
+    }
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--nodes" => options.nodes = value("--nodes")?.parse().map_err(|e| format!("{e}"))?,
+            "--edges" => options.edges = value("--edges")?.parse().map_err(|e| format!("{e}"))?,
+            "--epochs" => {
+                options.epochs = value("--epochs")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--mean" => options.mean = value("--mean")?.parse().map_err(|e| format!("{e}"))?,
+            "--hotspots" => {
+                options.hotspots = value("--hotspots")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--eps" => options.epsilon = value("--eps")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => options.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--process" => options.process = value("--process")?,
+            "--churn" => {
+                let spec = value("--churn")?;
+                let (lo, hi) = spec
+                    .split_once(',')
+                    .ok_or_else(|| format!("--churn wants lo,hi, got {spec}"))?;
+                options.churn = Some((
+                    lo.parse().map_err(|e| format!("{e}"))?,
+                    hi.parse().map_err(|e| format!("{e}"))?,
+                ));
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_options() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("engine_sim: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Network: random digraph in the large-capacity regime for the chosen ε.
+    let b = required_b(options.edges, options.epsilon).ceil();
+    let mut graph_rng = StdRng::seed_from_u64(options.seed);
+    let graph = generators::gnm_digraph(options.nodes, options.edges, (b, 2.0 * b), &mut graph_rng);
+
+    let process = match options.process.as_str() {
+        "poisson" => ArrivalProcess::Poisson { mean: options.mean },
+        "diurnal" => ArrivalProcess::Diurnal {
+            mean: options.mean,
+            amplitude: 0.6,
+            period: 24,
+        },
+        "flash" => ArrivalProcess::FlashCrowd {
+            base: options.mean,
+            spike: 4.0 * options.mean,
+            at: (options.epochs / 2) as u32,
+            width: 5,
+        },
+        other => {
+            eprintln!("engine_sim: unknown process {other} (poisson|diurnal|flash)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace_config = ArrivalTraceConfig {
+        epochs: options.epochs,
+        process,
+        hotspot_pairs: Some(options.hotspots),
+        demand_range: (0.2, 1.0),
+        ttl_range: options.churn,
+        seed: options.seed,
+        ..Default::default()
+    };
+    let trace = arrival_trace(&graph, &trace_config);
+    let total_requests: usize = trace.iter().map(Vec::len).sum();
+
+    // Replay.
+    let engine_config = EngineConfig {
+        events: EventLevel::Epoch,
+        ..EngineConfig::with_epsilon(options.epsilon)
+    };
+    let mut engine = Engine::new(graph, engine_config);
+    let mut stop_counts = [0usize; 4];
+    let mut sampled_rows: Vec<Vec<String>> = Vec::new();
+    let sample_every = (options.epochs / 10).max(1);
+    for (t, batch) in trace.iter().enumerate() {
+        let report = engine.submit_batch(batch);
+        stop_counts[match report.stop {
+            StopReason::Exhausted => 0,
+            StopReason::Guard => 1,
+            StopReason::NoPath => 2,
+            StopReason::IterationCap => 3,
+        }] += 1;
+        if (t + 1) % sample_every == 0 || t + 1 == options.epochs {
+            let m = engine.metrics();
+            sampled_rows.push(vec![
+                report.epoch.to_string(),
+                report.arrivals.to_string(),
+                report.accepted.to_string(),
+                report.released.to_string(),
+                f2(100.0 * m.acceptance_rate()),
+                f2(100.0 * report.total_utilization),
+                f2(report.min_residual),
+            ]);
+        }
+    }
+
+    // Deterministic summary (stdout).
+    let metrics = engine.metrics();
+    let mut timeline = Table::new(
+        "SIM-T",
+        format!(
+            "engine timeline — {} nodes, {} edges, {} epochs, {} process, seed {}",
+            options.nodes, options.edges, options.epochs, options.process, options.seed
+        ),
+        &[
+            "epoch",
+            "arrivals",
+            "accepted",
+            "released",
+            "cum acc %",
+            "util %",
+            "min resid",
+        ],
+    );
+    for row in sampled_rows {
+        timeline.row(row);
+    }
+    print!("{}", timeline.render());
+
+    let mut summary = Table::new("SIM-S", "engine summary", &["metric", "value"]);
+    let kv = |t: &mut Table, k: &str, v: String| t.row(vec![k.to_string(), v]);
+    kv(
+        &mut summary,
+        "requests in trace",
+        total_requests.to_string(),
+    );
+    kv(&mut summary, "epochs", metrics.epochs.to_string());
+    kv(&mut summary, "accepted", metrics.accepted.to_string());
+    kv(&mut summary, "rejected", metrics.rejected.to_string());
+    kv(&mut summary, "released", metrics.released.to_string());
+    kv(
+        &mut summary,
+        "acceptance rate %",
+        f2(100.0 * metrics.acceptance_rate()),
+    );
+    kv(&mut summary, "value admitted", f2(metrics.value_admitted));
+    kv(&mut summary, "revenue", f2(metrics.revenue));
+    kv(
+        &mut summary,
+        "total utilization %",
+        f2(100.0 * engine.residual().total_utilization()),
+    );
+    let hist = engine.utilization_histogram(10);
+    kv(
+        &mut summary,
+        "edge util histogram",
+        hist.iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join("/"),
+    );
+    kv(
+        &mut summary,
+        "stops exh/guard/nopath/cap",
+        format!(
+            "{}/{}/{}/{}",
+            stop_counts[0], stop_counts[1], stop_counts[2], stop_counts[3]
+        ),
+    );
+
+    // Feasibility verdict: active always; cumulative too when no churn.
+    let instance = engine.instance();
+    let active_ok = engine.active_solution().check_feasible(&instance, false);
+    let mut feasible = active_ok.is_ok();
+    match &active_ok {
+        Ok(()) => summary.note("active solution: check_feasible PASS"),
+        Err(e) => summary.note(format!("active solution: check_feasible FAIL — {e}")),
+    }
+    if options.churn.is_none() {
+        let cumulative_ok = engine
+            .cumulative_solution()
+            .check_feasible(&instance, false);
+        feasible &= cumulative_ok.is_ok();
+        match cumulative_ok {
+            Ok(()) => summary.note("cumulative solution: check_feasible PASS"),
+            Err(e) => summary.note(format!("cumulative solution: check_feasible FAIL — {e}")),
+        }
+    } else {
+        summary.note("cumulative feasibility skipped (churn releases capacity)");
+    }
+    print!("{}", summary.render());
+
+    // Wall-clock figures (stderr; excluded from determinism).
+    eprintln!(
+        "latency p50 {} µs, p99 {} µs; throughput {:.0} requests/s",
+        metrics.p50_latency_us().unwrap_or(0),
+        metrics.p99_latency_us().unwrap_or(0),
+        metrics.requests_per_second().unwrap_or(0.0),
+    );
+
+    if feasible {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

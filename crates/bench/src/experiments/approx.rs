@@ -3,9 +3,7 @@
 use ufp_auction::{bounded_muca, exact_auction_optimum, BoundedMucaConfig};
 use ufp_core::{bounded_ufp, bounded_ufp_repeat, BoundedUfpConfig, RepeatConfig};
 use ufp_lp::solve_ufp_lp_exact;
-use ufp_workloads::{
-    random_auction, random_ufp, RandomAuctionConfig, RandomUfpConfig, ValueModel,
-};
+use ufp_workloads::{random_auction, random_ufp, RandomAuctionConfig, RandomUfpConfig, ValueModel};
 
 use crate::table::{f, Table};
 
@@ -23,7 +21,18 @@ pub fn e1_thm31_bounded_ufp() -> Table {
     let mut t = Table::new(
         "E1",
         "Theorem 3.1: Bounded-UFP(ε) is a (1+6ε)·e/(e−1)-approximation for B ≥ ln(m)/ε²",
-        &["block", "eps", "m", "|R|", "B", "ALG", "OPT bound", "ratio", "guarantee", "ok"],
+        &[
+            "block",
+            "eps",
+            "m",
+            "|R|",
+            "B",
+            "ALG",
+            "OPT bound",
+            "ratio",
+            "guarantee",
+            "ok",
+        ],
     );
 
     // Block A: exact fractional optimum via simplex on small instances.
@@ -106,7 +115,18 @@ pub fn e5_thm41_bounded_muca() -> Table {
     let mut t = Table::new(
         "E5",
         "Theorem 4.1: Bounded-MUCA(ε) is a (1+6ε)·e/(e−1)-approximation for B ≥ ln(m)/ε²",
-        &["block", "eps", "m", "bids", "B", "ALG", "OPT bound", "ratio", "guarantee", "ok"],
+        &[
+            "block",
+            "eps",
+            "m",
+            "bids",
+            "B",
+            "ALG",
+            "OPT bound",
+            "ratio",
+            "guarantee",
+            "ok",
+        ],
     );
 
     // Block A: exact integral optimum (branch and bound), small auctions.

@@ -1,7 +1,9 @@
 //! Comparison experiments: AGG vs prior art (E7) and the motivation
 //! experiments — integrality gap and rounding non-monotonicity (E12).
 
-use ufp_core::baselines::{bkv, greedy, randomized_rounding, BkvConfig, GreedyOrder, RoundingConfig};
+use ufp_core::baselines::{
+    bkv, greedy, randomized_rounding, BkvConfig, GreedyOrder, RoundingConfig,
+};
 use ufp_core::{
     bounded_ufp, exact_optimum, BoundedUfpConfig, ExactConfig, Request, RequestId, UfpInstance,
 };
@@ -19,7 +21,16 @@ pub fn e7_baseline_comparison() -> Table {
     let mut t = Table::new(
         "E7",
         "Bounded-UFP vs prior art: who wins, by what factor",
-        &["instance", "AGG", "BKV", "grd-val", "grd-dens", "rounding", "OPT bound", "AGG/BKV"],
+        &[
+            "instance",
+            "AGG",
+            "BKV",
+            "grd-val",
+            "grd-dens",
+            "rounding",
+            "OPT bound",
+            "AGG/BKV",
+        ],
     );
 
     let mut run_row = |name: String, inst: &UfpInstance, eps: f64| {

@@ -2,13 +2,13 @@
 //! Figure 3 (E3), Theorem 4.5 / Figure 4 (E4), and the reasonable-score
 //! ablation (E11).
 
-use ufp_core::{
-    iterative_path_minimizer, EngineConfig, HopScore, LengthBiasedScore, PathScore,
-    PrimalDualScore, ProductScore, TieBreak,
-};
 use ufp_auction::{
     iterative_bundle_minimizer, BundleEngineConfig, BundleSizeScore, LinearCongestionScore,
     MucaPrimalDualScore,
+};
+use ufp_core::{
+    iterative_path_minimizer, EngineConfig, HopScore, LengthBiasedScore, PathScore,
+    PrimalDualScore, ProductScore, TieBreak,
 };
 use ufp_par::Pool;
 use ufp_workloads::{
@@ -28,7 +28,16 @@ pub fn e2_figure2_lower_bound() -> Table {
     let mut t = Table::new(
         "E2",
         "Theorem 3.11 / Figure 2: reasonable path minimizers cannot beat e/(e−1) ≈ 1.5820",
-        &["variant", "B", "ell", "ALG", "OPT", "ratio", "predicted", "e/(e-1)"],
+        &[
+            "variant",
+            "B",
+            "ell",
+            "ALG",
+            "OPT",
+            "ratio",
+            "predicted",
+            "e/(e-1)",
+        ],
     );
 
     // Main series: the O(ℓ²)-per-iteration simulator (pinned to the
@@ -53,9 +62,11 @@ pub fn e2_figure2_lower_bound() -> Table {
     // under the neutral lowest-request tie-break, on the generic engine.
     for &(b, ell) in &[(2usize, 8usize), (3, 8), (4, 8)] {
         let inst = figure2_subdivided(ell, b);
-        let mut cfg = EngineConfig::default();
-        cfg.tie = TieBreak::LowestRequest;
-        cfg.pool = Pool::auto();
+        let cfg = EngineConfig {
+            tie: TieBreak::LowestRequest,
+            pool: Pool::auto(),
+            ..Default::default()
+        };
         let run = iterative_path_minimizer(&inst, &PrimalDualScore, &cfg);
         assert!(run.solution.check_feasible(&inst, false).is_ok());
         let alg = run.solution.value(&inst);
@@ -90,9 +101,11 @@ pub fn e3_figure3_lower_bound() -> Table {
     );
     for &b in &[2usize, 8, 32, 128] {
         let inst = figure3(b);
-        let mut cfg = EngineConfig::default();
-        cfg.tie = TieBreak::ViaHub(figure3_hub());
-        cfg.pool = Pool::auto();
+        let cfg = EngineConfig {
+            tie: TieBreak::ViaHub(figure3_hub()),
+            pool: Pool::auto(),
+            ..Default::default()
+        };
         let run = iterative_path_minimizer(&inst, &PrimalDualScore, &cfg);
         assert!(run.solution.check_feasible(&inst, false).is_ok());
         let alg = run.solution.value(&inst);
@@ -117,13 +130,24 @@ pub fn e4_figure4_lower_bound() -> Table {
     let mut t = Table::new(
         "E4",
         "Theorem 4.5 / Figure 4: reasonable bundle minimizers cannot beat 4/3 (ratio = 4p/(3p+1))",
-        &["p", "B", "m", "ALG", "(3p+1)B/4", "OPT", "ratio", "predicted", "4/3"],
+        &[
+            "p",
+            "B",
+            "m",
+            "ALG",
+            "(3p+1)B/4",
+            "OPT",
+            "ratio",
+            "predicted",
+            "4/3",
+        ],
     );
     for &p in &[3usize, 7, 15, 31] {
         let b = 4usize;
         let m = p * (p + 1);
         let a = figure4(p, b, m);
-        let run = iterative_bundle_minimizer(&a, &MucaPrimalDualScore, &BundleEngineConfig::default());
+        let run =
+            iterative_bundle_minimizer(&a, &MucaPrimalDualScore, &BundleEngineConfig::default());
         assert!(run.solution.check_feasible(&a).is_ok());
         let alg = run.solution.value(&a);
         let opt = figure4_optimum(p, b);
@@ -152,7 +176,9 @@ pub fn e11_score_ablation() -> Table {
     let mut t = Table::new(
         "E11",
         "Definition 3.9 ablation: every reasonable score obeys the lower bounds",
-        &["family", "score", "instance", "ALG", "OPT", "ratio", "floor"],
+        &[
+            "family", "score", "instance", "ALG", "OPT", "ratio", "floor",
+        ],
     );
 
     // UFP scores on Figure 2 (B=4, ℓ=64, adversarial ties).
@@ -164,9 +190,11 @@ pub fn e11_score_ablation() -> Table {
         Box::new(HopScore),
     ];
     for s in &scores {
-        let mut cfg = EngineConfig::default();
-        cfg.tie = TieBreak::HighestSecondNode;
-        cfg.pool = Pool::auto();
+        let cfg = EngineConfig {
+            tie: TieBreak::HighestSecondNode,
+            pool: Pool::auto(),
+            ..Default::default()
+        };
         let run = iterative_path_minimizer(&inst2, s.as_ref(), &cfg);
         assert!(run.solution.check_feasible(&inst2, false).is_ok());
         let alg = run.solution.value(&inst2);
@@ -185,9 +213,11 @@ pub fn e11_score_ablation() -> Table {
     // UFP scores on Figure 3 (B=16, hub ties).
     let inst3 = figure3(16);
     for s in &scores {
-        let mut cfg = EngineConfig::default();
-        cfg.tie = TieBreak::ViaHub(figure3_hub());
-        cfg.pool = Pool::auto();
+        let cfg = EngineConfig {
+            tie: TieBreak::ViaHub(figure3_hub()),
+            pool: Pool::auto(),
+            ..Default::default()
+        };
         let run = iterative_path_minimizer(&inst3, s.as_ref(), &cfg);
         assert!(run.solution.check_feasible(&inst3, false).is_ok());
         let alg = run.solution.value(&inst3);

@@ -58,7 +58,9 @@ pub fn e9_scaling() -> Table {
         hotspot_pairs: None,
         seed: 17,
     });
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut reference: Option<Vec<u32>> = None;
     for &threads in &[1usize, 2, 4] {
         let cfg = BoundedUfpConfig::with_epsilon(0.3).parallel(Pool::new(threads));
@@ -83,7 +85,9 @@ pub fn e9_scaling() -> Table {
     t.note("thread sweeps route identical request sequences (deterministic reduction);");
     t.note("speedup comes from the per-iteration Dijkstra fan-out (grouped by source,");
     t.note("persistent worker pool) and is bounded by the hardware parallelism of the");
-    t.note(format!("machine running this table (available_parallelism = {hw})."));
+    t.note(format!(
+        "machine running this table (available_parallelism = {hw})."
+    ));
     t
 }
 
@@ -93,7 +97,15 @@ pub fn e10_guard_geometry() -> Table {
     let mut t = Table::new(
         "E10",
         "Lemma 3.3: the stop guard preserves feasibility; utilization → 1 as B grows",
-        &["B", "eps", "routed", "capacity", "utilization", "stop", "feasible"],
+        &[
+            "B",
+            "eps",
+            "routed",
+            "capacity",
+            "utilization",
+            "stop",
+            "feasible",
+        ],
     );
     let eps = 0.3;
     for &b in &[8usize, 16, 32, 64, 128, 256] {

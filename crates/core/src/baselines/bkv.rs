@@ -49,7 +49,10 @@ pub struct BkvResult {
 
 /// Run the one-pass threshold primal–dual on a normalized instance.
 pub fn bkv(instance: &UfpInstance, config: &BkvConfig) -> BkvResult {
-    assert!(instance.is_normalized(), "BKV requires a normalized instance");
+    assert!(
+        instance.is_normalized(),
+        "BKV requires a normalized instance"
+    );
     assert!(
         config.epsilon > 0.0 && config.epsilon <= 1.0,
         "epsilon must lie in (0, 1]"
@@ -70,8 +73,7 @@ pub fn bkv(instance: &UfpInstance, config: &BkvConfig) -> BkvResult {
             break;
         }
         let req = instance.request(rid);
-        let Some(found) =
-            dij.shortest_path(graph, weights.weights(), req.src, req.dst, |_| true)
+        let Some(found) = dij.shortest_path(graph, weights.weights(), req.src, req.dst, |_| true)
         else {
             continue;
         };
@@ -117,7 +119,9 @@ mod tests {
         gb.add_edge(n(0), n(1), 10.0);
         let inst = UfpInstance::new(
             gb.build(),
-            (0..40).map(|_| Request::new(n(0), n(1), 1.0, 1.0)).collect(),
+            (0..40)
+                .map(|_| Request::new(n(0), n(1), 1.0, 1.0))
+                .collect(),
         );
         let res = bkv(&inst, &BkvConfig { epsilon: 0.3 });
         assert!(res.solution.check_feasible(&inst, false).is_ok());
@@ -131,10 +135,7 @@ mod tests {
         // Initial |p|_y = 1/2, so the test v >= d·|p| fails.
         let mut gb = GraphBuilder::directed(2);
         gb.add_edge(n(0), n(1), 2.0);
-        let inst = UfpInstance::new(
-            gb.build(),
-            vec![Request::new(n(0), n(1), 1.0, 1e-6)],
-        );
+        let inst = UfpInstance::new(gb.build(), vec![Request::new(n(0), n(1), 1.0, 1e-6)]);
         let res = bkv(&inst, &BkvConfig { epsilon: 0.5 });
         assert!(res.solution.is_empty());
     }

@@ -108,7 +108,11 @@ pub fn randomized_rounding(instance: &UfpInstance, config: &RoundingConfig) -> U
     for (rid, flow_idx) in sampled {
         let d = instance.request(rid).demand;
         let path = &frac.flows[flow_idx].path;
-        if path.edges().iter().all(|e| residual[e.index()] >= d - 1e-12) {
+        if path
+            .edges()
+            .iter()
+            .all(|e| residual[e.index()] >= d - 1e-12)
+        {
             for &e in path.edges() {
                 residual[e.index()] -= d;
             }

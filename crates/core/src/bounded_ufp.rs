@@ -7,10 +7,10 @@
 //! 1. `y_e ← 1/c_e` for every edge.
 //! 2. While requests remain and `Σ c_e y_e ≤ e^{ε(B−1)}`:
 //!    a. for every unrouted request `r`, find the shortest `s_r → t_r`
-//!       path `p_r` under weights `y`;
+//!    path `p_r` under weights `y`;
 //!    b. select `r̂` minimizing the *normalized length*
-//!       `(d_r / v_r)·|p_r|` (ties broken by request id — any fixed rule
-//!       preserves monotonicity);
+//!    `(d_r / v_r)·|p_r|` (ties broken by request id — any fixed rule
+//!    preserves monotonicity);
 //!    c. multiply `y_e ← y_e · e^{εB d_{r̂} / c_e}` along `p_{r̂}`;
 //!    d. route `r̂` on `p_{r̂}`.
 //!
@@ -120,8 +120,64 @@ struct PathFinding {
     path: Path,
 }
 
+/// Residual-epoch inputs that let `ufp-engine` reuse Algorithm 1
+/// incrementally across streaming batches. All three slices are indexed
+/// by edge id of the instance graph.
+///
+/// With a trivial context (full capacities, everything usable, zero
+/// carry) the epoch run produces the identical allocation — same
+/// selection order, same paths, bit-identical trace records — as the
+/// one-shot [`bounded_ufp`]; the engine/offline equivalence tests rely
+/// on that. The only difference: epoch runs never carry a Claim 3.6
+/// certificate (`dual_upper_bound()` is `None`), because the claim's
+/// premise does not survive masked edges or carried weights.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochContext<'a> {
+    /// Effective (residual) capacity per edge; replaces `c_e` in the
+    /// weight initialization, the guard bound `B`, and the line-10
+    /// exponent.
+    pub capacities: &'a [f64],
+    /// Edges admissible this epoch. Unusable (saturated) edges are
+    /// excluded from path search, from `B`, and from the guard sum `D₁`.
+    pub usable: &'a [bool],
+    /// Carried ln-space dual exponents from earlier epochs:
+    /// `y_e` starts at `e^{carry_e}/c_e` instead of `1/c_e`, preserving
+    /// congestion memory across batches.
+    pub carry: &'a [f64],
+}
+
+/// Result of a [`bounded_ufp_epoch`] run: the ordinary run result plus
+/// the carried-forward dual exponents (input carry + this epoch's
+/// line-10 bumps).
+#[derive(Clone, Debug)]
+pub struct EpochOutcome {
+    /// Allocation and trace, exactly as from [`bounded_ufp`].
+    pub run: UfpRunResult,
+    /// `carry_in + Σ bumps` per edge — hand this to the next epoch.
+    /// Empty for context-free (one-shot) runs, which have no next epoch;
+    /// tracking it there would tax every `critical_value` probe.
+    pub carry: Vec<f64>,
+}
+
 /// Run Algorithm 1. The instance must be normalized (`d_r ∈ (0,1]`).
 pub fn bounded_ufp(instance: &UfpInstance, config: &BoundedUfpConfig) -> UfpRunResult {
+    bounded_ufp_epoch(instance, config, None).run
+}
+
+/// Run Algorithm 1 over one epoch of a long-lived network. `ctx` carries
+/// the residual state; `None` reproduces the one-shot behavior exactly.
+///
+/// Per-epoch feasibility: with `B = min` *usable* residual capacity, the
+/// Lemma 3.3 argument gives load `≤ c_e(B−1)/B + d ≤ c_e` on every edge
+/// whenever every admitted demand satisfies `d ≤ c_e/B`, which holds for
+/// normalized demands as long as unusable edges are exactly those with
+/// residual below the caller's floor `≥ 1`. The streaming engine keeps
+/// cumulative feasibility by induction over epochs.
+pub fn bounded_ufp_epoch(
+    instance: &UfpInstance,
+    config: &BoundedUfpConfig,
+    ctx: Option<&EpochContext<'_>>,
+) -> EpochOutcome {
     assert!(
         instance.is_normalized(),
         "Bounded-UFP requires a normalized instance (demands in (0,1]); \
@@ -133,12 +189,33 @@ pub fn bounded_ufp(instance: &UfpInstance, config: &BoundedUfpConfig) -> UfpRunR
     );
     let graph = instance.graph();
     let eps = config.epsilon;
-    let b = graph.min_capacity();
+    let b = match ctx {
+        None => graph.min_capacity(),
+        Some(c) => {
+            assert_eq!(c.capacities.len(), graph.num_edges());
+            assert_eq!(c.usable.len(), graph.num_edges());
+            assert_eq!(c.carry.len(), graph.num_edges());
+            c.capacities
+                .iter()
+                .zip(c.usable)
+                .filter(|&(_, &u)| u)
+                .map(|(&cap, _)| cap)
+                .fold(f64::INFINITY, f64::min)
+        }
+    };
     let ln_guard = eps * (b - 1.0);
+    let usable = ctx.map(|c| c.usable);
 
-    let mut weights = DualWeights::new(graph);
+    let mut weights = match ctx {
+        None => DualWeights::new(graph),
+        Some(c) => DualWeights::with_context(c.capacities, c.usable, c.carry),
+    };
+    let mut carry: Option<Vec<f64>> = ctx.map(|c| c.carry.to_vec());
     let mut remaining: Vec<RequestId> = instance.request_ids().collect();
-    let mut residual: Vec<f64> = graph.edges().iter().map(|e| e.capacity).collect();
+    let mut residual: Vec<f64> = match ctx {
+        None => graph.edges().iter().map(|e| e.capacity).collect(),
+        Some(c) => c.capacities.to_vec(),
+    };
     let mut solution = UfpSolution::empty();
     let mut routed_value = 0.0f64;
     let mut records: Vec<IterationRecord> = Vec::with_capacity(remaining.len());
@@ -153,9 +230,16 @@ pub fn bounded_ufp(instance: &UfpInstance, config: &BoundedUfpConfig) -> UfpRunR
         }
 
         let findings = if config.respect_residual {
-            shortest_paths_residual(instance, &remaining, &weights, &residual, &config.pool)
+            shortest_paths_residual(
+                instance,
+                &remaining,
+                &weights,
+                &residual,
+                usable,
+                &config.pool,
+            )
         } else {
-            shortest_paths_grouped(instance, &remaining, &weights, &config.pool)
+            shortest_paths_grouped(instance, &remaining, &weights, usable, &config.pool)
         };
 
         // Select r̂ minimizing (d/v)·|p| — deterministic tie-break on
@@ -166,9 +250,7 @@ pub fn bounded_ufp(instance: &UfpInstance, config: &BoundedUfpConfig) -> UfpRunR
             let score = instance.request(f.request).density() * f.dist;
             let better = match best {
                 None => true,
-                Some((bs, bi)) => {
-                    score < bs || (score == bs && f.request < findings[bi].request)
-                }
+                Some((bs, bi)) => score < bs || (score == bs && f.request < findings[bi].request),
             };
             if better {
                 best = Some((score, i));
@@ -197,7 +279,11 @@ pub fn bounded_ufp(instance: &UfpInstance, config: &BoundedUfpConfig) -> UfpRunR
         // Line 10: y_e ← y_e · e^{εB d / c_e} along the chosen path.
         for &e in chosen.path.edges() {
             let c = weights.capacity(e);
-            weights.bump(e, eps * b * req.demand / c);
+            let exponent = eps * b * req.demand / c;
+            weights.bump(e, exponent);
+            if let Some(k) = carry.as_mut() {
+                k[e.index()] += exponent;
+            }
             residual[e.index()] -= req.demand;
         }
 
@@ -210,13 +296,16 @@ pub fn bounded_ufp(instance: &UfpInstance, config: &BoundedUfpConfig) -> UfpRunR
         records,
         ln_guard_threshold: ln_guard,
         stop_reason,
-        certificate: if config.respect_residual {
+        certificate: if config.respect_residual || ctx.is_some() {
             Certificate::None
         } else {
             Certificate::Claim36
         },
     };
-    UfpRunResult { solution, trace }
+    EpochOutcome {
+        run: UfpRunResult { solution, trace },
+        carry: carry.unwrap_or_default(),
+    }
 }
 
 /// Shortest paths for all remaining requests, one Dijkstra per *distinct
@@ -227,6 +316,7 @@ fn shortest_paths_grouped(
     instance: &UfpInstance,
     remaining: &[RequestId],
     weights: &DualWeights,
+    usable: Option<&[bool]>,
     pool: &Pool,
 ) -> Vec<PathFinding> {
     let graph = instance.graph();
@@ -247,9 +337,10 @@ fn shortest_paths_grouped(
         &groups,
         || Dijkstra::new(graph.num_nodes()),
         |dij, _, (src, members)| {
-            let targets: Vec<NodeId> =
-                members.iter().map(|r| instance.request(*r).dst).collect();
-            dij.run(graph, w, *src, Targets::Set(&targets), |_| true);
+            let targets: Vec<NodeId> = members.iter().map(|r| instance.request(*r).dst).collect();
+            dij.run(graph, w, *src, Targets::Set(&targets), |e| {
+                usable.is_none_or(|u| u[e.index()])
+            });
             members
                 .iter()
                 .filter_map(|&r| {
@@ -276,7 +367,7 @@ pub(crate) fn shortest_paths_grouped_for_repeat(
     weights: &DualWeights,
     pool: &Pool,
 ) -> Vec<(RequestId, f64, Path)> {
-    shortest_paths_grouped(instance, remaining, weights, pool)
+    shortest_paths_grouped(instance, remaining, weights, None, pool)
         .into_iter()
         .map(|f| (f.request, f.dist, f.path))
         .collect()
@@ -289,6 +380,7 @@ fn shortest_paths_residual(
     remaining: &[RequestId],
     weights: &DualWeights,
     residual: &[f64],
+    usable: Option<&[bool]>,
     pool: &Pool,
 ) -> Vec<PathFinding> {
     let graph = instance.graph();
@@ -301,7 +393,7 @@ fn shortest_paths_residual(
         |dij, _, &r| {
             let req = instance.request(r);
             let res = dij.shortest_path(graph, w, req.src, req.dst, |e| {
-                residual[e.index()] >= req.demand - 1e-12
+                usable.is_none_or(|u| u[e.index()]) && residual[e.index()] >= req.demand - 1e-12
             })?;
             Some(PathFinding {
                 request: r,
@@ -394,12 +486,18 @@ mod tests {
         gb.add_edge(n(2), n(3), 20.0);
         let inst = UfpInstance::new(
             gb.build(),
-            (0..30).map(|_| Request::new(n(0), n(3), 1.0, 1.0)).collect(),
+            (0..30)
+                .map(|_| Request::new(n(0), n(3), 1.0, 1.0))
+                .collect(),
         );
         let res = bounded_ufp(&inst, &BoundedUfpConfig::with_epsilon(0.5));
         assert!(res.solution.check_feasible(&inst, false).is_ok());
         // both paths must be used — one path alone holds only 20
-        assert!(res.solution.len() > 20, "routed {} requests", res.solution.len());
+        assert!(
+            res.solution.len() > 20,
+            "routed {} requests",
+            res.solution.len()
+        );
         let loads = res.solution.edge_loads(&inst);
         assert!(loads[0] > 0.0 && loads[2] > 0.0, "loads {loads:?}");
     }
@@ -447,7 +545,9 @@ mod tests {
         gb.add_edge(n(0), n(1), 10.0);
         let inst = UfpInstance::new(
             gb.build(),
-            (0..30).map(|_| Request::new(n(0), n(1), 1.0, 1.0)).collect(),
+            (0..30)
+                .map(|_| Request::new(n(0), n(1), 1.0, 1.0))
+                .collect(),
         );
         let res = bounded_ufp(&inst, &BoundedUfpConfig::with_epsilon(0.4));
         let bound = res.dual_upper_bound().expect("certificate applies");
@@ -459,10 +559,7 @@ mod tests {
     #[test]
     fn disconnected_requests_stop_cleanly() {
         let gb = GraphBuilder::directed(4);
-        let inst = UfpInstance::new(
-            gb.build(),
-            vec![Request::new(n(0), n(1), 1.0, 1.0)],
-        );
+        let inst = UfpInstance::new(gb.build(), vec![Request::new(n(0), n(1), 1.0, 1.0)]);
         let res = bounded_ufp(&inst, &BoundedUfpConfig::default());
         assert!(res.solution.is_empty());
         assert_eq!(res.trace.stop_reason, StopReason::NoPath);
@@ -489,11 +586,122 @@ mod tests {
     fn rejects_unnormalized_instances() {
         let mut gb = GraphBuilder::directed(2);
         gb.add_edge(n(0), n(1), 10.0);
+        let inst = UfpInstance::new(gb.build(), vec![Request::new(n(0), n(1), 2.0, 1.0)]);
+        bounded_ufp(&inst, &BoundedUfpConfig::default());
+    }
+
+    #[test]
+    fn trivial_epoch_context_is_bit_identical_to_one_shot() {
+        let mut gb = GraphBuilder::directed(4);
+        gb.add_edge(n(0), n(1), 12.0);
+        gb.add_edge(n(1), n(3), 9.0);
+        gb.add_edge(n(0), n(2), 11.0);
+        gb.add_edge(n(2), n(3), 10.0);
         let inst = UfpInstance::new(
             gb.build(),
-            vec![Request::new(n(0), n(1), 2.0, 1.0)],
+            (0..25)
+                .map(|i| {
+                    Request::new(
+                        n(0),
+                        n(3),
+                        0.5 + 0.05 * (i % 10) as f64,
+                        1.0 + (i % 4) as f64,
+                    )
+                })
+                .collect(),
         );
-        bounded_ufp(&inst, &BoundedUfpConfig::default());
+        let cfg = BoundedUfpConfig::with_epsilon(0.4);
+        let one_shot = bounded_ufp(&inst, &cfg);
+        let caps: Vec<f64> = inst.graph().edges().iter().map(|e| e.capacity).collect();
+        let usable = vec![true; caps.len()];
+        let carry = vec![0.0; caps.len()];
+        let ctx = EpochContext {
+            capacities: &caps,
+            usable: &usable,
+            carry: &carry,
+        };
+        let epoch = bounded_ufp_epoch(&inst, &cfg, Some(&ctx));
+        assert_eq!(
+            one_shot.solution.routed.len(),
+            epoch.run.solution.routed.len()
+        );
+        for (a, b) in one_shot
+            .solution
+            .routed
+            .iter()
+            .zip(&epoch.run.solution.routed)
+        {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.nodes(), b.1.nodes());
+        }
+        // Carry must record exactly the line-10 exponents of this run.
+        let loads = epoch.run.solution.edge_loads(&inst);
+        for (e, &k) in epoch.carry.iter().enumerate() {
+            let expected = 0.4 * inst.graph().min_capacity() * loads[e] / caps[e];
+            assert!(
+                (k - expected).abs() < 1e-9,
+                "edge {e}: carry {k} != {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn saturated_edges_do_not_stall_the_epoch() {
+        // Edge 0 is saturated (residual 0, unusable); the bottom path must
+        // still admit traffic even though min-over-all-residuals is 0.
+        let mut gb = GraphBuilder::directed(4);
+        gb.add_edge(n(0), n(1), 10.0); // saturated top
+        gb.add_edge(n(1), n(3), 10.0);
+        gb.add_edge(n(0), n(2), 10.0); // free bottom
+        gb.add_edge(n(2), n(3), 10.0);
+        let inst = UfpInstance::new(
+            gb.build(),
+            (0..6).map(|_| Request::new(n(0), n(3), 1.0, 1.0)).collect(),
+        );
+        let caps = [0.0, 10.0, 10.0, 10.0];
+        let usable = [false, true, true, true];
+        let carry = [0.0; 4];
+        let ctx = EpochContext {
+            capacities: &caps,
+            usable: &usable,
+            carry: &carry,
+        };
+        let cfg = BoundedUfpConfig::with_epsilon(0.5);
+        let epoch = bounded_ufp_epoch(&inst, &cfg, Some(&ctx));
+        assert!(!epoch.run.solution.is_empty(), "bottom path should admit");
+        let loads = epoch.run.solution.edge_loads(&inst);
+        assert_eq!(loads[0], 0.0, "saturated edge must stay untouched");
+        assert!(loads[2] > 0.0);
+    }
+
+    #[test]
+    fn carried_weights_steer_later_epochs() {
+        // Same diamond; heavy carry on the top path pushes epoch-2 routes
+        // to the bottom even with full residual capacity everywhere.
+        let mut gb = GraphBuilder::directed(4);
+        gb.add_edge(n(0), n(1), 20.0);
+        gb.add_edge(n(1), n(3), 20.0);
+        gb.add_edge(n(0), n(2), 20.0);
+        gb.add_edge(n(2), n(3), 20.0);
+        let inst = UfpInstance::new(
+            gb.build(),
+            (0..4).map(|_| Request::new(n(0), n(3), 1.0, 1.0)).collect(),
+        );
+        let caps = [20.0; 4];
+        let usable = [true; 4];
+        let carry = [5.0, 5.0, 0.0, 0.0];
+        let ctx = EpochContext {
+            capacities: &caps,
+            usable: &usable,
+            carry: &carry,
+        };
+        let cfg = BoundedUfpConfig::with_epsilon(0.5);
+        let epoch = bounded_ufp_epoch(&inst, &cfg, Some(&ctx));
+        let loads = epoch.run.solution.edge_loads(&inst);
+        assert!(
+            loads[0] == 0.0 && loads[2] > 0.0,
+            "carry ignored: {loads:?}"
+        );
     }
 
     #[test]

@@ -74,10 +74,7 @@ pub fn exact_optimum(instance: &UfpInstance, config: &ExactConfig) -> ExactResul
 
     // Order by descending value for stronger pruning.
     candidates.sort_by(|a, b| {
-        let (va, vb) = (
-            instance.request(a.0).value,
-            instance.request(b.0).value,
-        );
+        let (va, vb) = (instance.request(a.0).value, instance.request(b.0).value);
         vb.partial_cmp(&va).unwrap().then_with(|| a.0.cmp(&b.0))
     });
 
@@ -217,10 +214,7 @@ mod tests {
     fn rejects_oversized_demands() {
         let mut gb = GraphBuilder::directed(2);
         gb.add_edge(n(0), n(1), 0.5);
-        let inst = UfpInstance::new(
-            gb.build(),
-            vec![Request::new(n(0), n(1), 1.0, 10.0)],
-        );
+        let inst = UfpInstance::new(gb.build(), vec![Request::new(n(0), n(1), 1.0, 10.0)]);
         let res = exact_optimum(&inst, &ExactConfig::default());
         assert_eq!(res.value, 0.0);
         assert!(res.solution.is_empty());
@@ -252,6 +246,10 @@ mod tests {
         assert!(exact.value >= a - 1e-9);
         // top 6 of the 8 values 1.0 + 0.3·i, i.e. i = 2..7
         let expected = 6.0 * 1.0 + (2.0 + 3.0 + 4.0 + 5.0 + 6.0 + 7.0) * 0.3;
-        assert!((exact.value - expected).abs() < 1e-9, "{} vs {expected}", exact.value);
+        assert!(
+            (exact.value - expected).abs() < 1e-9,
+            "{} vs {expected}",
+            exact.value
+        );
     }
 }

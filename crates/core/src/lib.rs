@@ -34,12 +34,14 @@ pub mod solution;
 pub mod trace;
 pub mod weights;
 
-pub use bounded_ufp::{bounded_ufp, BoundedUfpConfig, UfpRunResult};
+pub use bounded_ufp::{
+    bounded_ufp, bounded_ufp_epoch, BoundedUfpConfig, EpochContext, EpochOutcome, UfpRunResult,
+};
 pub use exact::{exact_optimum, ExactConfig, ExactResult};
 pub use instance::UfpInstance;
 pub use reasonable::{
-    iterative_path_minimizer, EngineConfig, EngineResult, HopScore, LengthBiasedScore,
-    PathScore, PrimalDualScore, ProductScore, ScoreCtx, TieBreak,
+    iterative_path_minimizer, EngineConfig, EngineResult, HopScore, LengthBiasedScore, PathScore,
+    PrimalDualScore, ProductScore, ScoreCtx, TieBreak,
 };
 pub use repeat::{bounded_ufp_repeat, RepeatConfig, RepeatRunResult};
 pub use request::{Request, RequestId};

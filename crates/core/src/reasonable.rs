@@ -220,7 +220,10 @@ pub fn iterative_path_minimizer(
     score: &dyn PathScore,
     config: &EngineConfig,
 ) -> EngineResult {
-    assert!(instance.is_normalized(), "engine requires normalized demands");
+    assert!(
+        instance.is_normalized(),
+        "engine requires normalized demands"
+    );
     let graph = instance.graph();
     let b = graph.min_capacity();
     let mut flow = vec![0.0f64; graph.num_edges()];
@@ -380,8 +383,10 @@ mod tests {
         // Two parallel 2-hop routes 0->1->3 and 0->2->3, equal everything:
         // the tie-break must pick the one through node 2.
         let inst = diamond_instance(2.0, 1);
-        let mut cfg = EngineConfig::default();
-        cfg.tie = TieBreak::HighestSecondNode;
+        let cfg = EngineConfig {
+            tie: TieBreak::HighestSecondNode,
+            ..Default::default()
+        };
         let res = iterative_path_minimizer(&inst, &PrimalDualScore, &cfg);
         assert_eq!(res.solution.routed[0].1.nodes()[1], n(2));
     }
@@ -389,8 +394,10 @@ mod tests {
     #[test]
     fn via_hub_tiebreak() {
         let inst = diamond_instance(2.0, 1);
-        let mut cfg = EngineConfig::default();
-        cfg.tie = TieBreak::ViaHub(n(1));
+        let cfg = EngineConfig {
+            tie: TieBreak::ViaHub(n(1)),
+            ..Default::default()
+        };
         let res = iterative_path_minimizer(&inst, &PrimalDualScore, &cfg);
         assert_eq!(res.solution.routed[0].1.nodes()[1], n(1));
     }
@@ -425,8 +432,10 @@ mod tests {
     fn parallel_matches_sequential() {
         let inst = diamond_instance(5.0, 12);
         let seq = iterative_path_minimizer(&inst, &PrimalDualScore, &EngineConfig::default());
-        let mut cfg = EngineConfig::default();
-        cfg.pool = Pool::new(4);
+        let cfg = EngineConfig {
+            pool: Pool::new(4),
+            ..Default::default()
+        };
         let par = iterative_path_minimizer(&inst, &PrimalDualScore, &cfg);
         assert_eq!(seq.solution.len(), par.solution.len());
         for (a, b) in seq.solution.routed.iter().zip(&par.solution.routed) {

@@ -128,8 +128,7 @@ pub fn bounded_ufp_repeat(instance: &UfpInstance, config: &RepeatConfig) -> Repe
             break StopReason::Guard;
         }
 
-        let findings =
-            shortest_paths_grouped_for_repeat(instance, &all, &weights, &config.pool);
+        let findings = shortest_paths_grouped_for_repeat(instance, &all, &weights, &config.pool);
         let mut best: Option<(f64, usize)> = None;
         for (i, f) in findings.iter().enumerate() {
             let score = instance.request(f.0).density() * f.1;
@@ -195,10 +194,7 @@ mod tests {
     fn repeats_a_single_request_to_fill_capacity() {
         let mut gb = GraphBuilder::directed(2);
         gb.add_edge(n(0), n(1), 20.0);
-        let inst = UfpInstance::new(
-            gb.build(),
-            vec![Request::new(n(0), n(1), 1.0, 1.0)],
-        );
+        let inst = UfpInstance::new(gb.build(), vec![Request::new(n(0), n(1), 1.0, 1.0)]);
         let res = bounded_ufp_repeat(&inst, &RepeatConfig::with_epsilon(0.3));
         // With repetitions the single request is routed many times; output
         // must stay capacity-feasible.
@@ -213,10 +209,7 @@ mod tests {
         // Single edge, capacity 100, one unit request: OPT_repeat = 100.
         let mut gb = GraphBuilder::directed(2);
         gb.add_edge(n(0), n(1), 100.0);
-        let inst = UfpInstance::new(
-            gb.build(),
-            vec![Request::new(n(0), n(1), 1.0, 1.0)],
-        );
+        let inst = UfpInstance::new(gb.build(), vec![Request::new(n(0), n(1), 1.0, 1.0)]);
         let eps = 0.1; // needs B >= ln(1)/eps^2 — trivially satisfied
         let res = bounded_ufp_repeat(&inst, &RepeatConfig::with_epsilon(eps));
         let val = res.solution.value(&inst);
@@ -233,10 +226,7 @@ mod tests {
     fn respects_iteration_cap_override() {
         let mut gb = GraphBuilder::directed(2);
         gb.add_edge(n(0), n(1), 50.0);
-        let inst = UfpInstance::new(
-            gb.build(),
-            vec![Request::new(n(0), n(1), 1.0, 1.0)],
-        );
+        let inst = UfpInstance::new(gb.build(), vec![Request::new(n(0), n(1), 1.0, 1.0)]);
         let mut cfg = RepeatConfig::with_epsilon(0.5);
         cfg.max_iterations = Some(3);
         let res = bounded_ufp_repeat(&inst, &cfg);
@@ -249,10 +239,7 @@ mod tests {
         let mut gb = GraphBuilder::directed(3);
         gb.add_edge(n(0), n(1), 8.0);
         gb.add_edge(n(1), n(2), 4.0);
-        let inst = UfpInstance::new(
-            gb.build(),
-            vec![Request::new(n(0), n(2), 0.5, 1.0)],
-        );
+        let inst = UfpInstance::new(gb.build(), vec![Request::new(n(0), n(2), 0.5, 1.0)]);
         let res = bounded_ufp_repeat(&inst, &RepeatConfig::with_epsilon(0.5));
         // bound = ceil(m * c_max / d_min) + 1 = ceil(2 * 8 / 0.5) + 1 = 33
         assert_eq!(res.iteration_bound, 33);

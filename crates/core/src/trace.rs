@@ -130,7 +130,11 @@ mod tests {
     #[test]
     fn bound_is_minimum_over_iterations() {
         let trace = RunTrace {
-            records: vec![record(0.0, 3.0, 0.0), record(1.0, 2.0, 4.0), record(0.0, 5.0, 1.0)],
+            records: vec![
+                record(0.0, 3.0, 0.0),
+                record(1.0, 2.0, 4.0),
+                record(0.0, 5.0, 1.0),
+            ],
             ln_guard_threshold: 10.0,
             stop_reason: StopReason::Guard,
             certificate: Certificate::Claim36,

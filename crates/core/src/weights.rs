@@ -38,22 +38,74 @@ pub struct DualWeights {
     shift: f64,
     max_ln_y: f64,
     caps: Vec<f64>,
+    /// `None` = every edge participates in the dual sum (the one-shot
+    /// algorithm). `Some(mask)` = epoch mode: saturated edges are frozen
+    /// out of `D₁` so a full link cannot trip the guard for the whole
+    /// residual network.
+    active: Option<Vec<bool>>,
 }
 
 impl DualWeights {
     /// Initialize `y_e = 1/c_e` (line 4 of Algorithm 1).
     pub fn new(graph: &Graph) -> Self {
         let caps: Vec<f64> = graph.edges().iter().map(|e| e.capacity).collect();
-        let ln_y: Vec<f64> = caps.iter().map(|c| -(c.ln())).collect();
-        let max_ln_y = ln_y.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self::from_parts(caps, None, None)
+    }
+
+    /// Epoch-mode initialization for the streaming engine: effective
+    /// (residual) capacities, an admissibility mask, and carried
+    /// ln-space exponents from earlier epochs, so
+    /// `ln y_e = −ln c_e + carry_e` for usable edges. Unusable edges hold
+    /// an inert placeholder entry (`ln y = 0`, weight `0`): Dijkstra
+    /// filters them out of paths, [`DualWeights::ln_dual_sum`] skips
+    /// them, and crucially they do not participate in the log-sum-exp
+    /// `shift` — a saturated zero-residual edge must not push every real
+    /// weight into the subnormal range.
+    pub fn with_context(capacities: &[f64], usable: &[bool], carry: &[f64]) -> Self {
+        assert_eq!(capacities.len(), usable.len());
+        assert_eq!(capacities.len(), carry.len());
+        Self::from_parts(capacities.to_vec(), Some(usable.to_vec()), Some(carry))
+    }
+
+    #[inline]
+    fn is_active(&self, i: usize) -> bool {
+        self.active.as_ref().is_none_or(|m| m[i])
+    }
+
+    fn from_parts(caps: Vec<f64>, active: Option<Vec<bool>>, carry: Option<&[f64]>) -> Self {
+        let usable = |i: usize| active.as_ref().is_none_or(|m| m[i]);
+        let ln_y: Vec<f64> = caps
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                if usable(i) {
+                    -(c.ln()) + carry.map_or(0.0, |k| k[i])
+                } else {
+                    // Inert placeholder: masked edges (possibly residual 0)
+                    // never enter paths, sums, or the shift scale.
+                    0.0
+                }
+            })
+            .collect();
+        let max_ln_y = ln_y
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| usable(i))
+            .map(|(_, &l)| l)
+            .fold(f64::NEG_INFINITY, f64::max);
         let shift = if max_ln_y.is_finite() { max_ln_y } else { 0.0 };
-        let w = ln_y.iter().map(|l| (l - shift).exp()).collect();
+        let w = ln_y
+            .iter()
+            .enumerate()
+            .map(|(i, l)| if usable(i) { (l - shift).exp() } else { 0.0 })
+            .collect();
         DualWeights {
             ln_y,
             w,
             shift,
             max_ln_y,
             caps,
+            active,
         }
     }
 
@@ -69,16 +121,19 @@ impl DualWeights {
         self.shift
     }
 
-    /// `ln y_e`, exact.
+    /// `ln y_e`, exact (masked edges hold an inert `0.0` placeholder).
     #[inline]
     pub fn ln_y(&self, e: EdgeId) -> f64 {
         self.ln_y[e.index()]
     }
 
     /// Apply the multiplicative update `y_e ← y_e · e^{exponent}`
-    /// (line 10: `exponent = εB d / c_e`), re-centering if needed.
+    /// (line 10: `exponent = εB d / c_e`), re-centering if needed. Must
+    /// only be called on usable edges (routed paths never cross masked
+    /// ones).
     pub fn bump(&mut self, e: EdgeId, exponent: f64) {
         debug_assert!(exponent >= 0.0, "weight updates only grow");
+        debug_assert!(self.is_active(e.index()), "bump on a masked edge");
         let i = e.index();
         self.ln_y[i] += exponent;
         if self.ln_y[i] > self.max_ln_y {
@@ -93,19 +148,29 @@ impl DualWeights {
 
     fn recenter(&mut self) {
         self.shift = self.max_ln_y;
-        for (w, l) in self.w.iter_mut().zip(&self.ln_y) {
-            *w = (l - self.shift).exp();
+        for i in 0..self.w.len() {
+            self.w[i] = if self.is_active(i) {
+                (self.ln_y[i] - self.shift).exp()
+            } else {
+                0.0
+            };
         }
     }
 
     /// `ln Σ_e c_e y_e` — the guard quantity `D₁`, via stable log-sum-exp.
+    /// In epoch mode the sum runs over usable edges only.
     pub fn ln_dual_sum(&self) -> f64 {
-        let sum: f64 = self
-            .w
-            .iter()
-            .zip(&self.caps)
-            .map(|(w, c)| w * c)
-            .sum();
+        let sum: f64 = match &self.active {
+            None => self.w.iter().zip(&self.caps).map(|(w, c)| w * c).sum(),
+            Some(mask) => self
+                .w
+                .iter()
+                .zip(&self.caps)
+                .zip(mask)
+                .filter(|&(_, &a)| a)
+                .map(|((w, c), _)| w * c)
+                .sum(),
+        };
         sum.ln() + self.shift
     }
 
@@ -194,6 +259,69 @@ mod tests {
         w.bump(EdgeId(0), 600.0);
         let r2 = (w.ln_y(EdgeId(0)) - w.ln_y(EdgeId(1))).abs();
         assert!((r2 - 650.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epoch_context_matches_fresh_weights() {
+        // Trivial context (full caps, all usable, zero carry) must be
+        // bit-identical to DualWeights::new — the engine/offline
+        // equivalence hinges on it.
+        let g = graph_with_caps(&[2.0, 4.0, 8.0]);
+        let fresh = DualWeights::new(&g);
+        let caps: Vec<f64> = g.edges().iter().map(|e| e.capacity).collect();
+        let ctx = DualWeights::with_context(&caps, &[true; 3], &[0.0; 3]);
+        assert_eq!(fresh.weights(), ctx.weights());
+        assert_eq!(fresh.shift(), ctx.shift());
+        assert_eq!(fresh.ln_dual_sum(), ctx.ln_dual_sum());
+    }
+
+    #[test]
+    fn masked_edges_leave_the_dual_sum() {
+        let g = graph_with_caps(&[1.0, 1.0]);
+        let caps: Vec<f64> = g.edges().iter().map(|e| e.capacity).collect();
+        let all = DualWeights::with_context(&caps, &[true, true], &[0.0, 0.0]);
+        let one = DualWeights::with_context(&caps, &[true, false], &[0.0, 0.0]);
+        // D1 = 2 with both edges, 1 with one edge.
+        assert!((all.ln_dual_sum() - (2.0f64).ln()).abs() < 1e-12);
+        assert!(one.ln_dual_sum().abs() < 1e-12);
+    }
+
+    #[test]
+    fn carry_preloads_congestion() {
+        let g = graph_with_caps(&[1.0, 1.0]);
+        let caps: Vec<f64> = g.edges().iter().map(|e| e.capacity).collect();
+        let w = DualWeights::with_context(&caps, &[true, true], &[3.0, 0.0]);
+        assert!((w.ln_y(EdgeId(0)) - 3.0).abs() < 1e-12);
+        assert!((w.weights()[0] / w.weights()[1] - 3.0f64.exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_residual_capacity_survives() {
+        let _g = graph_with_caps(&[4.0, 4.0]);
+        let caps = [0.0, 4.0];
+        let w = DualWeights::with_context(&caps, &[false, true], &[0.0, 0.0]);
+        assert!(w.weights().iter().all(|x| x.is_finite()));
+        assert!(w.ln_dual_sum().is_finite());
+        // The masked zero-residual edge must not poison the shift scale:
+        // the usable edge materializes at full precision (w = 1 at the
+        // shift), not as a subnormal.
+        assert_eq!(w.weights()[1], 1.0);
+        assert_eq!(w.weights()[0], 0.0);
+        assert!(w.ln_dual_sum().abs() < 1e-12, "D1 = c·(1/c) = 1, ln = 0");
+    }
+
+    #[test]
+    fn masked_edges_survive_recenter() {
+        let _g = graph_with_caps(&[1.0, 1.0]);
+        let caps = [0.0, 1.0];
+        let mut w = DualWeights::with_context(&caps, &[false, true], &[0.0, 0.0]);
+        // Push the usable edge far enough to force a recenter.
+        for _ in 0..8 {
+            w.bump(EdgeId(1), 100.0);
+        }
+        assert_eq!(w.weights()[0], 0.0, "masked edge stays inert");
+        assert!((w.ln_y(EdgeId(1)) - 800.0).abs() < 1e-9);
+        assert!((w.ln_dual_sum() - 800.0).abs() < 1e-6);
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Engine configuration.
+
+use ufp_core::BoundedUfpConfig;
+use ufp_mechanism::PaymentConfig;
+use ufp_par::Pool;
+
+/// How winners are charged.
+#[derive(Clone, Copy, Debug)]
+pub enum PaymentPolicy {
+    /// No payments (pure admission control); revenue stays 0.
+    None,
+    /// Critical-value payments against the epoch's frozen residual state
+    /// (Theorem 2.3 applied per epoch). Each winner costs
+    /// `O(log(1/tol))` counterfactual allocation runs — meant for
+    /// moderate batch sizes.
+    CriticalValue(PaymentConfig),
+}
+
+impl PaymentPolicy {
+    /// Critical-value payments with default bisection tolerances.
+    pub fn critical_value() -> Self {
+        PaymentPolicy::CriticalValue(PaymentConfig::default())
+    }
+}
+
+/// When does a consumed edge stop participating in an epoch?
+///
+/// The guard bound `B` is the *minimum usable residual capacity*, and the
+/// admission threshold `e^{ε(B−1)}` must stay above the initial dual mass
+/// `≈ m`. A single drained edge that remains usable therefore throttles
+/// admission for the whole network (`ε(B−1) < ln m` ⇒ every epoch
+/// guard-trips immediately). The floor controls that trade-off.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ResidualFloor {
+    /// Freeze edges whose residual drops below `ln(m)/ε²` — the paper's
+    /// large-capacity regime bound, so the per-epoch approximation
+    /// guarantee keeps applying to the edges still in play. Hot edges
+    /// stop accepting new flow while they are still partially free, but
+    /// the rest of the network keeps admitting. The default.
+    Regime,
+    /// Freeze only edges whose residual cannot fit a normalized demand
+    /// (`< 1`). Maximizes achievable utilization but lets one nearly-full
+    /// edge throttle global admission; useful for small networks and for
+    /// equivalence testing.
+    Permissive,
+    /// Fixed floor (must be ≥ 1, the normalized maximum demand).
+    Fixed(f64),
+}
+
+impl ResidualFloor {
+    /// The concrete floor for a graph with `num_edges` edges under
+    /// accuracy `epsilon`.
+    pub fn resolve(&self, num_edges: usize, epsilon: f64) -> f64 {
+        match *self {
+            ResidualFloor::Regime => {
+                ((num_edges.max(2) as f64).ln() / (epsilon * epsilon)).max(1.0)
+            }
+            ResidualFloor::Permissive => 1.0,
+            ResidualFloor::Fixed(f) => f,
+        }
+    }
+}
+
+/// Event-log granularity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventLevel {
+    /// Only epoch boundaries — constant events per epoch, so a
+    /// long-lived engine's log stays bounded by its epoch count. The
+    /// default.
+    Epoch,
+    /// Epoch boundaries plus one event per admitted / rejected /
+    /// released request. Opt-in: the log grows with traffic, so pair it
+    /// with regular [`crate::Engine::take_events`] drains.
+    Request,
+}
+
+/// Configuration of a streaming [`crate::Engine`].
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Accuracy parameter handed to the per-epoch Bounded-UFP run.
+    pub epsilon: f64,
+    /// Parallelism for the per-iteration shortest-path fan-out.
+    pub pool: Pool,
+    /// Multiplier applied to the carried dual exponents at the start of
+    /// every epoch, in `[0, 1]`: `0.0` forgets congestion each epoch,
+    /// `1.0` never forgets. Exponential half-life memory in between.
+    pub carry_decay: f64,
+    /// Consumed edges whose residual capacity falls below this floor are
+    /// frozen out of the epoch (excluded from paths, from `B`, and from
+    /// the guard sum). Untouched edges are always usable, so a fresh
+    /// network behaves exactly like the one-shot algorithm.
+    pub residual_floor: ResidualFloor,
+    /// Payment computation.
+    pub payments: PaymentPolicy,
+    /// Event-log granularity.
+    pub events: EventLevel,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            epsilon: 0.3,
+            pool: Pool::sequential(),
+            carry_decay: 0.5,
+            residual_floor: ResidualFloor::Regime,
+            payments: PaymentPolicy::None,
+            events: EventLevel::Epoch,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Default configuration with the given ε.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "epsilon must lie in (0, 1], got {epsilon}"
+        );
+        EngineConfig {
+            epsilon,
+            ..Default::default()
+        }
+    }
+
+    /// Same configuration with a parallel pool.
+    pub fn parallel(mut self, pool: Pool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Same configuration with the given payment policy.
+    pub fn with_payments(mut self, payments: PaymentPolicy) -> Self {
+        self.payments = payments;
+        self
+    }
+
+    /// The per-epoch allocator configuration this engine drives.
+    pub fn allocator_config(&self) -> BoundedUfpConfig {
+        let mut cfg = BoundedUfpConfig::with_epsilon(self.epsilon);
+        cfg.pool = self.pool;
+        cfg
+    }
+
+    /// Validate field ranges (called by [`crate::Engine::new`]).
+    pub fn validate(&self) {
+        assert!(
+            self.epsilon > 0.0 && self.epsilon <= 1.0,
+            "epsilon must lie in (0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.carry_decay),
+            "carry_decay must lie in [0, 1], got {}",
+            self.carry_decay
+        );
+        if let ResidualFloor::Fixed(f) = self.residual_floor {
+            assert!(
+                f >= 1.0,
+                "residual_floor must be >= 1 (the normalized max demand), got {f}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        EngineConfig::default().validate();
+        EngineConfig::with_epsilon(0.5).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "carry_decay")]
+    fn bad_decay_rejected() {
+        let cfg = EngineConfig {
+            carry_decay: 1.5,
+            ..Default::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "residual_floor")]
+    fn sub_demand_floor_rejected() {
+        let cfg = EngineConfig {
+            residual_floor: ResidualFloor::Fixed(0.5),
+            ..Default::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn floor_resolution() {
+        let eps = 0.5;
+        let regime = ResidualFloor::Regime.resolve(5000, eps);
+        assert!((regime - (5000f64).ln() / 0.25).abs() < 1e-9);
+        assert_eq!(ResidualFloor::Permissive.resolve(5000, eps), 1.0);
+        assert_eq!(ResidualFloor::Fixed(7.0).resolve(5000, eps), 7.0);
+        // Tiny graphs never resolve below the normalized max demand.
+        assert!(ResidualFloor::Regime.resolve(2, 1.0) >= 1.0);
+    }
+
+    #[test]
+    fn allocator_config_inherits_epsilon_and_pool() {
+        let cfg = EngineConfig::with_epsilon(0.7).parallel(Pool::new(3));
+        let a = cfg.allocator_config();
+        assert_eq!(a.epsilon, 0.7);
+        assert_eq!(a.pool.threads(), 3);
+        assert!(!a.respect_residual);
+    }
+}

@@ -1,0 +1,655 @@
+//! The streaming admission-control engine.
+
+use std::time::Instant;
+
+use ufp_core::{
+    bounded_ufp_epoch, BoundedUfpConfig, EpochContext, Request, RequestId, StopReason, UfpInstance,
+    UfpSolution,
+};
+use ufp_mechanism::critical_value;
+use ufp_netgraph::graph::Graph;
+use ufp_netgraph::residual::ResidualCaps;
+
+use crate::allocator::EpochAllocator;
+use crate::config::{EngineConfig, EventLevel, PaymentPolicy};
+use crate::event::EngineEvent;
+use crate::metrics::EngineMetrics;
+
+/// One arriving request, optionally with a lifetime.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Arrival {
+    /// The request (normalized demand in `(0, 1]`).
+    pub request: Request,
+    /// Lifetime in epochs: `Some(k)` releases the admission at the start
+    /// of the `k`-th epoch after admission; `None` holds forever.
+    pub ttl: Option<u32>,
+}
+
+impl Arrival {
+    /// A permanent arrival (no expiry).
+    pub fn permanent(request: Request) -> Self {
+        Arrival { request, ttl: None }
+    }
+
+    /// An arrival released after `ttl` epochs.
+    pub fn with_ttl(request: Request, ttl: u32) -> Self {
+        assert!(ttl >= 1, "ttl must be at least one epoch");
+        Arrival {
+            request,
+            ttl: Some(ttl),
+        }
+    }
+}
+
+/// A committed admission.
+#[derive(Clone, Debug)]
+pub struct Admission {
+    /// Global request id (index into [`Engine::instance`]).
+    pub request: RequestId,
+    /// The assigned route.
+    pub path: ufp_netgraph::path::Path,
+    /// Epoch of admission (1-based).
+    pub epoch: u64,
+    /// Epoch at whose start the admission is released, if any.
+    pub expires_at: Option<u64>,
+    /// Charged payment.
+    pub payment: f64,
+    /// Whether the admission has been released.
+    pub released: bool,
+}
+
+/// Summary of one [`Engine::submit_batch`] call.
+#[derive(Clone, Debug)]
+pub struct EpochReport {
+    /// Epoch number (1-based).
+    pub epoch: u64,
+    /// Requests in the batch.
+    pub arrivals: usize,
+    /// Requests admitted.
+    pub accepted: usize,
+    /// Requests rejected.
+    pub rejected: usize,
+    /// Admissions released at the epoch start.
+    pub released: usize,
+    /// Declared value admitted this epoch.
+    pub value_admitted: f64,
+    /// Payments charged this epoch.
+    pub revenue: f64,
+    /// Why the allocation loop ended.
+    pub stop: StopReason,
+    /// Smallest residual capacity after the epoch.
+    pub min_residual: f64,
+    /// Total load / total capacity after the epoch.
+    pub total_utilization: f64,
+    /// Wall-clock time spent in this call.
+    pub elapsed: std::time::Duration,
+}
+
+/// Loads at or below this are "no committed traffic" for the usable-edge
+/// mask: floating-point commit/release round-trips leave residue around
+/// 1e-16 per operation, far below any real normalized demand (> 0).
+const LOAD_EPSILON: f64 = 1e-9;
+
+/// The long-lived engine. See the crate docs for the epoch / residual
+/// model.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    graph: Graph,
+    config: EngineConfig,
+    allocator_config: BoundedUfpConfig,
+    /// Resolved residual floor (see [`crate::config::ResidualFloor`]).
+    floor: f64,
+    residual: ResidualCaps,
+    carry: Vec<f64>,
+    /// Append-only global request registry.
+    requests: Vec<Request>,
+    /// All admissions ever made (including released ones).
+    admissions: Vec<Admission>,
+    /// Live TTL'd admissions indexed by expiry epoch, so releasing is
+    /// O(expiring this epoch) instead of a scan over all history.
+    expiry_index: std::collections::BTreeMap<u64, Vec<usize>>,
+    epoch: u64,
+    events: Vec<EngineEvent>,
+    metrics: EngineMetrics,
+}
+
+impl Engine {
+    /// Create an engine over `graph`.
+    pub fn new(graph: Graph, config: EngineConfig) -> Self {
+        config.validate();
+        let allocator_config = config.allocator_config();
+        let floor = config
+            .residual_floor
+            .resolve(graph.num_edges(), config.epsilon);
+        let residual = ResidualCaps::new(&graph);
+        let carry = vec![0.0; graph.num_edges()];
+        Engine {
+            graph,
+            config,
+            allocator_config,
+            floor,
+            residual,
+            carry,
+            requests: Vec::new(),
+            admissions: Vec::new(),
+            expiry_index: std::collections::BTreeMap::new(),
+            epoch: 0,
+            events: Vec::new(),
+            metrics: EngineMetrics::default(),
+        }
+    }
+
+    /// Process one batch of arrivals as a new epoch: release expired
+    /// admissions, allocate with the monotone rule over the residual
+    /// network, charge payments, commit routes.
+    pub fn submit_batch(&mut self, arrivals: &[Arrival]) -> EpochReport {
+        let start = Instant::now();
+        self.epoch += 1;
+        let epoch = self.epoch;
+
+        // Every epoch opens with a Started event (paired with the
+        // unconditional EpochCompleted below, so consumers can bracket
+        // epochs even when a time-driven trigger submits empty batches).
+        self.events.push(EngineEvent::EpochStarted {
+            epoch,
+            arrivals: arrivals.len(),
+        });
+
+        // 1. Churn: release expired admissions.
+        let released = self.release_expired();
+
+        // 2. Register arrivals globally and build the epoch instance.
+        let base = self.requests.len() as u32;
+        for a in arrivals {
+            assert!(
+                a.request.demand <= 1.0 + 1e-12,
+                "engine requires normalized demands in (0, 1]"
+            );
+            self.requests.push(a.request);
+        }
+        let batch: Vec<Request> = arrivals.iter().map(|a| a.request).collect();
+        let epoch_instance = UfpInstance::new(self.graph.clone(), batch);
+
+        // 3. Residual view + decayed carry, frozen for the whole epoch
+        //    (allocation and every payment probe see the same state).
+        for k in &mut self.carry {
+            *k *= self.config.carry_decay;
+        }
+        let capacities = self.residual.residuals();
+        let usable: Vec<bool> = (0..capacities.len())
+            .map(|e| {
+                let eid = ufp_netgraph::ids::EdgeId(e as u32);
+                // Tolerance, not exact equality: commit/release arithmetic
+                // leaves ~1e-16 load residue, and an effectively-empty
+                // edge below the floor must not be frozen out forever.
+                self.residual.load(eid) <= LOAD_EPSILON || capacities[e] >= self.floor
+            })
+            .collect();
+        let carry_in = self.carry.clone();
+        let ctx = EpochContext {
+            capacities: &capacities,
+            usable: &usable,
+            carry: &carry_in,
+        };
+
+        // 4. The monotone allocation run.
+        let outcome = bounded_ufp_epoch(&epoch_instance, &self.allocator_config, Some(&ctx));
+        let stop = outcome.run.trace.stop_reason;
+
+        // 5. Payments against the frozen epoch state.
+        let payments = self.compute_payments(&epoch_instance, &outcome.run.solution, &ctx);
+
+        // 6. Commit.
+        self.carry = outcome.carry;
+        let mut accepted = 0usize;
+        let mut value_admitted = 0.0f64;
+        let mut revenue = 0.0f64;
+        let mut admitted_local = vec![false; arrivals.len()];
+        for (local, path) in &outcome.run.solution.routed {
+            let arrival = &arrivals[local.index()];
+            let global = RequestId(base + local.0);
+            let payment = payments[local.index()];
+            self.residual.commit(path, arrival.request.demand);
+            let expires_at = arrival.ttl.map(|t| epoch + t as u64);
+            if let Some(expiry) = expires_at {
+                self.expiry_index
+                    .entry(expiry)
+                    .or_default()
+                    .push(self.admissions.len());
+            }
+            self.admissions.push(Admission {
+                request: global,
+                path: path.clone(),
+                epoch,
+                expires_at,
+                payment,
+                released: false,
+            });
+            admitted_local[local.index()] = true;
+            accepted += 1;
+            value_admitted += arrival.request.value;
+            revenue += payment;
+            if self.config.events == EventLevel::Request {
+                self.events.push(EngineEvent::Admitted {
+                    epoch,
+                    request: global,
+                    hops: path.edges().len(),
+                    payment,
+                });
+            }
+        }
+        if self.config.events == EventLevel::Request {
+            for (local, admitted) in admitted_local.iter().enumerate() {
+                if !admitted {
+                    self.events.push(EngineEvent::Rejected {
+                        epoch,
+                        request: RequestId(base + local as u32),
+                    });
+                }
+            }
+        }
+
+        // Full-history feasibility audit: debug builds only, and only
+        // while the history is small — the check is O(total admissions)
+        // per epoch and would make long debug replays quadratic. The
+        // proptest suite covers the property at every epoch boundary.
+        #[cfg(debug_assertions)]
+        if self.admissions.len() <= 10_000 {
+            assert!(
+                self.active_solution()
+                    .check_feasible(&self.instance(), false)
+                    .is_ok(),
+                "epoch {epoch} violated cumulative feasibility"
+            );
+        }
+
+        let rejected = arrivals.len() - accepted;
+        self.events.push(EngineEvent::EpochCompleted {
+            epoch,
+            accepted,
+            rejected,
+            released,
+            value: value_admitted,
+            revenue,
+            stop,
+        });
+        let elapsed = start.elapsed();
+        self.metrics.record_batch(
+            arrivals.len(),
+            accepted,
+            released,
+            value_admitted,
+            revenue,
+            elapsed,
+        );
+        EpochReport {
+            epoch,
+            arrivals: arrivals.len(),
+            accepted,
+            rejected,
+            released,
+            value_admitted,
+            revenue,
+            stop,
+            min_residual: self.residual.min_residual(),
+            total_utilization: self.residual.total_utilization(),
+            elapsed,
+        }
+    }
+
+    /// Convenience: submit permanent (no-TTL) requests.
+    pub fn submit_requests(&mut self, requests: &[Request]) -> EpochReport {
+        let arrivals: Vec<Arrival> = requests.iter().copied().map(Arrival::permanent).collect();
+        self.submit_batch(&arrivals)
+    }
+
+    fn release_expired(&mut self) -> usize {
+        let epoch = self.epoch;
+        let mut released = 0usize;
+        let record = self.config.events == EventLevel::Request;
+        while let Some(entry) = self.expiry_index.first_entry() {
+            if *entry.key() > epoch {
+                break;
+            }
+            for idx in entry.remove() {
+                let adm = &mut self.admissions[idx];
+                debug_assert!(!adm.released, "expiry index entry released twice");
+                self.residual
+                    .release(&adm.path, self.requests[adm.request.index()].demand);
+                adm.released = true;
+                released += 1;
+                if record {
+                    self.events.push(EngineEvent::Released {
+                        epoch,
+                        request: adm.request,
+                    });
+                }
+            }
+        }
+        released
+    }
+
+    fn compute_payments(
+        &self,
+        epoch_instance: &UfpInstance,
+        solution: &UfpSolution,
+        ctx: &EpochContext<'_>,
+    ) -> Vec<f64> {
+        let mut payments = vec![0.0; epoch_instance.num_requests()];
+        let PaymentPolicy::CriticalValue(payment_config) = self.config.payments else {
+            return payments;
+        };
+        let allocator = EpochAllocator {
+            config: &self.allocator_config,
+            capacities: ctx.capacities,
+            usable: ctx.usable,
+            carry: ctx.carry,
+        };
+        // Winners in ascending agent order, matching
+        // `CriticalValueMechanism::run` for the equivalence tests.
+        let mut winners: Vec<usize> = solution.routed.iter().map(|(r, _)| r.index()).collect();
+        winners.sort_unstable();
+        for agent in winners {
+            payments[agent] = critical_value(&allocator, epoch_instance, agent, &payment_config);
+        }
+        payments
+    }
+
+    // ------------------------------------------------------------------
+    // Read-out.
+    // ------------------------------------------------------------------
+
+    /// The base network.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Completed epochs.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Running metrics.
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// The event log accumulated so far.
+    pub fn events(&self) -> &[EngineEvent] {
+        &self.events
+    }
+
+    /// Drain the event log (long-running deployments ship events
+    /// elsewhere and keep the engine's memory bounded).
+    pub fn take_events(&mut self) -> Vec<EngineEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Residual-capacity tracker.
+    pub fn residual(&self) -> &ResidualCaps {
+        &self.residual
+    }
+
+    /// Per-edge utilization histogram over `buckets` bins (see
+    /// [`ResidualCaps::utilization_histogram`]).
+    pub fn utilization_histogram(&self, buckets: usize) -> Vec<usize> {
+        self.residual.utilization_histogram(buckets)
+    }
+
+    /// All admissions ever made, including released ones.
+    pub fn admissions(&self) -> &[Admission] {
+        &self.admissions
+    }
+
+    /// The whole submitted history as one instance over the base graph;
+    /// request ids are global.
+    pub fn instance(&self) -> UfpInstance {
+        UfpInstance::new(self.graph.clone(), self.requests.clone())
+    }
+
+    /// Every admission ever made, as a solution over [`Engine::instance`].
+    /// Feasible against the base capacities whenever no TTL was used
+    /// (without churn, cumulative == active).
+    pub fn cumulative_solution(&self) -> UfpSolution {
+        UfpSolution {
+            routed: self
+                .admissions
+                .iter()
+                .map(|a| (a.request, a.path.clone()))
+                .collect(),
+        }
+    }
+
+    /// Currently-held admissions, as a solution over [`Engine::instance`].
+    /// Always feasible against the base capacities.
+    pub fn active_solution(&self) -> UfpSolution {
+        UfpSolution {
+            routed: self
+                .admissions
+                .iter()
+                .filter(|a| !a.released)
+                .map(|a| (a.request, a.path.clone()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PaymentPolicy;
+    use ufp_netgraph::graph::GraphBuilder;
+    use ufp_netgraph::ids::NodeId;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn one_link(cap: f64) -> Graph {
+        let mut gb = GraphBuilder::directed(2);
+        gb.add_edge(n(0), n(1), cap);
+        gb.build()
+    }
+
+    fn unit_requests(k: usize, value: impl Fn(usize) -> f64) -> Vec<Request> {
+        (0..k)
+            .map(|i| Request::new(n(0), n(1), 1.0, value(i)))
+            .collect()
+    }
+
+    #[test]
+    fn single_epoch_routes_and_reports() {
+        let mut engine = Engine::new(one_link(100.0), EngineConfig::with_epsilon(0.5));
+        let report = engine.submit_requests(&unit_requests(10, |_| 1.0));
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.accepted, 10);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.value_admitted, 10.0);
+        assert_eq!(report.stop, StopReason::Exhausted);
+        assert!(engine
+            .cumulative_solution()
+            .check_feasible(&engine.instance(), false)
+            .is_ok());
+        assert_eq!(engine.metrics().acceptance_rate(), 1.0);
+    }
+
+    #[test]
+    fn capacity_is_consumed_across_epochs() {
+        // Capacity 10; three epochs of 8 unit requests each must admit
+        // at most 10 in total, and later epochs see less room.
+        let mut engine = Engine::new(one_link(10.0), EngineConfig::with_epsilon(1.0));
+        let mut total = 0;
+        let mut per_epoch = Vec::new();
+        for _ in 0..3 {
+            let r = engine.submit_requests(&unit_requests(8, |i| 1.0 + i as f64));
+            total += r.accepted;
+            per_epoch.push(r.accepted);
+        }
+        assert!(total <= 10, "admitted {total} > capacity 10");
+        assert!(
+            per_epoch[0] >= per_epoch[2],
+            "later epochs can't admit more"
+        );
+        assert!(engine
+            .cumulative_solution()
+            .check_feasible(&engine.instance(), false)
+            .is_ok());
+    }
+
+    #[test]
+    fn ttl_release_restores_capacity() {
+        // carry_decay 0: isolate the TTL/release mechanics from the
+        // congestion-memory throttle (which a default engine keeps).
+        let cfg = EngineConfig {
+            carry_decay: 0.0,
+            ..EngineConfig::with_epsilon(1.0)
+        };
+        let mut engine = Engine::new(one_link(4.0), cfg);
+        // Epoch 1: fill with TTL-1 admissions.
+        let arrivals: Vec<Arrival> = unit_requests(4, |_| 2.0)
+            .into_iter()
+            .map(|r| Arrival::with_ttl(r, 1))
+            .collect();
+        let r1 = engine.submit_batch(&arrivals);
+        assert!(r1.accepted > 0);
+        let held = r1.accepted;
+        // Epoch 2: previous admissions expire at its start, so the same
+        // demand fits again.
+        let r2 = engine.submit_requests(&unit_requests(4, |_| 2.0));
+        assert_eq!(r2.released, held);
+        assert_eq!(r2.accepted, held, "released capacity must be reusable");
+        // Active solution stays feasible; cumulative would overcommit the
+        // link, which is exactly why releases exist.
+        assert!(engine
+            .active_solution()
+            .check_feasible(&engine.instance(), false)
+            .is_ok());
+        assert_eq!(engine.metrics().released, held as u64);
+    }
+
+    #[test]
+    fn below_floor_edge_unfreezes_after_full_release() {
+        // Edge capacity (4) sits below the fixed floor (10), so the edge
+        // is usable only while effectively empty. Fractional demands
+        // leave ~1e-17 load residue after release; the usable mask must
+        // treat that as empty or the edge freezes forever.
+        let cfg = EngineConfig {
+            residual_floor: crate::config::ResidualFloor::Fixed(10.0),
+            carry_decay: 0.0,
+            ..EngineConfig::with_epsilon(1.0)
+        };
+        let mut engine = Engine::new(one_link(4.0), cfg);
+        let arrivals: Vec<Arrival> = [0.1, 0.2]
+            .iter()
+            .map(|&d| Arrival::with_ttl(Request::new(n(0), n(1), d, 1.0), 1))
+            .collect();
+        let r1 = engine.submit_batch(&arrivals);
+        assert_eq!(r1.accepted, 2);
+        // Epoch 2 releases both; load is now float residue, not 0.0.
+        let r2 = engine.submit_batch(&arrivals);
+        assert_eq!(r2.released, 2);
+        assert_eq!(r2.accepted, 2, "released edge must become usable again");
+    }
+
+    #[test]
+    fn payments_charged_under_critical_value_policy() {
+        let cfg = EngineConfig::with_epsilon(1.0).with_payments(PaymentPolicy::critical_value());
+        let mut engine = Engine::new(one_link(2.0), cfg);
+        // Two slots, three bids: winners pay, revenue is positive.
+        let report = engine.submit_requests(&unit_requests(3, |i| [5.0, 3.0, 2.0][i]));
+        assert_eq!(report.accepted, 2);
+        assert!(report.revenue > 0.0, "competition must price the slots");
+        for adm in engine.admissions() {
+            let declared = engine.instance().request(adm.request).value;
+            assert!(adm.payment <= declared + 1e-6);
+        }
+    }
+
+    #[test]
+    fn events_trace_the_run() {
+        let cfg = EngineConfig {
+            events: EventLevel::Request,
+            ..EngineConfig::with_epsilon(1.0)
+        };
+        let mut engine = Engine::new(one_link(2.0), cfg);
+        engine.submit_requests(&unit_requests(3, |i| 1.0 + i as f64));
+        let events = engine.take_events();
+        assert!(matches!(
+            events[0],
+            EngineEvent::EpochStarted { arrivals: 3, .. }
+        ));
+        let admitted = events
+            .iter()
+            .filter(|e| matches!(e, EngineEvent::Admitted { .. }))
+            .count();
+        let rejected = events
+            .iter()
+            .filter(|e| matches!(e, EngineEvent::Rejected { .. }))
+            .count();
+        assert_eq!(admitted + rejected, 3);
+        assert!(matches!(
+            events.last(),
+            Some(EngineEvent::EpochCompleted { .. })
+        ));
+        assert!(engine.events().is_empty(), "take_events drains");
+    }
+
+    #[test]
+    fn epoch_event_level_skips_per_request_events() {
+        // Epoch granularity is the default — a long-lived engine must not
+        // grow its log with traffic unless per-request events are opted
+        // into.
+        let mut engine = Engine::new(one_link(10.0), EngineConfig::with_epsilon(1.0));
+        engine.submit_requests(&unit_requests(5, |_| 1.0));
+        assert!(engine.events().iter().all(|e| matches!(
+            e,
+            EngineEvent::EpochStarted { .. } | EngineEvent::EpochCompleted { .. }
+        )));
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let run = || {
+            let mut gb = GraphBuilder::directed(4);
+            gb.add_edge(n(0), n(1), 12.0);
+            gb.add_edge(n(1), n(3), 12.0);
+            gb.add_edge(n(0), n(2), 12.0);
+            gb.add_edge(n(2), n(3), 12.0);
+            let mut engine = Engine::new(gb.build(), EngineConfig::with_epsilon(0.5));
+            for e in 0..4 {
+                let reqs: Vec<Request> = (0..6)
+                    .map(|i| {
+                        Request::new(
+                            n(0),
+                            n(3),
+                            0.5 + 0.1 * (i % 3) as f64,
+                            1.0 + ((e + i) % 5) as f64,
+                        )
+                    })
+                    .collect();
+                engine.submit_requests(&reqs);
+            }
+            engine
+                .cumulative_solution()
+                .routed
+                .iter()
+                .map(|(r, p)| (r.0, p.nodes().to_vec()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_batches_are_cheap_noops() {
+        let mut engine = Engine::new(one_link(5.0), EngineConfig::default());
+        let r = engine.submit_batch(&[]);
+        assert_eq!(r.accepted, 0);
+        assert_eq!(r.stop, StopReason::Exhausted);
+        assert_eq!(engine.metrics().epochs, 1);
+    }
+}

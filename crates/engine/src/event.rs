@@ -1,0 +1,73 @@
+//! Structured event log.
+
+use ufp_core::{RequestId, StopReason};
+
+/// One structured engine event. Granularity is controlled by
+/// [`crate::EventLevel`]; request ids are global (indices into
+/// [`crate::Engine::instance`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineEvent {
+    /// A batch was accepted for processing.
+    EpochStarted {
+        /// Epoch number (1-based).
+        epoch: u64,
+        /// Requests in the batch.
+        arrivals: usize,
+    },
+    /// A request was admitted and routed.
+    Admitted {
+        /// Epoch of admission.
+        epoch: u64,
+        /// Global request id.
+        request: RequestId,
+        /// Hop count of the assigned route.
+        hops: usize,
+        /// Charged payment (0 under [`crate::PaymentPolicy::None`]).
+        payment: f64,
+    },
+    /// A request was present in the batch but not admitted.
+    Rejected {
+        /// Epoch of rejection.
+        epoch: u64,
+        /// Global request id.
+        request: RequestId,
+    },
+    /// An admitted request's TTL expired; its capacity returned to the
+    /// residual network.
+    Released {
+        /// Epoch at whose start the release happened.
+        epoch: u64,
+        /// Global request id.
+        request: RequestId,
+    },
+    /// The epoch's allocation run finished.
+    EpochCompleted {
+        /// Epoch number.
+        epoch: u64,
+        /// Admitted requests.
+        accepted: usize,
+        /// Rejected requests.
+        rejected: usize,
+        /// Requests released at the epoch start.
+        released: usize,
+        /// Declared value admitted this epoch.
+        value: f64,
+        /// Payments charged this epoch.
+        revenue: f64,
+        /// Why the per-epoch allocation loop ended.
+        stop: StopReason,
+    },
+}
+
+impl EngineEvent {
+    /// The epoch this event belongs to.
+    pub fn epoch(&self) -> u64 {
+        match *self {
+            EngineEvent::EpochStarted { epoch, .. }
+            | EngineEvent::Admitted { epoch, .. }
+            | EngineEvent::Rejected { epoch, .. }
+            | EngineEvent::Released { epoch, .. }
+            | EngineEvent::EpochCompleted { epoch, .. } => epoch,
+        }
+    }
+}

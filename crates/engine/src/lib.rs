@@ -1,0 +1,70 @@
+//! # ufp-engine
+//!
+//! A long-lived, stateful **online admission-control engine** built on the
+//! monotone primal–dual allocation rule of Algorithm 1 (Azar–Gamzu–Gutner,
+//! SPAA 2007). Where `ufp_core::bounded_ufp` answers one-shot batch
+//! questions, this crate serves *streams*: requests arrive in batches over
+//! time, capacity is consumed and (with churn) released, and congestion
+//! memory persists.
+//!
+//! ## The epoch / residual model
+//!
+//! The engine advances in **epochs**. One epoch = one call to
+//! [`Engine::submit_batch`], which:
+//!
+//! 1. **Releases** admissions whose TTL expired, returning their demand to
+//!    the residual capacities (tracked by
+//!    [`ufp_netgraph::ResidualCaps`]).
+//! 2. **Decays** the carried dual exponents by
+//!    [`EngineConfig::carry_decay`] — exponential forgetting of past
+//!    congestion.
+//! 3. Builds the epoch's **residual view**: effective capacity
+//!    `c_e − load_e` per edge, with consumed edges under the
+//!    [`EngineConfig::residual_floor`] frozen out (a saturated link must
+//!    not drag the guard bound `B` to zero for the whole network).
+//! 4. Runs [`ufp_core::bounded_ufp_epoch`] — the *same monotone selection
+//!    rule as the paper's algorithm*, initialized from the residual view
+//!    and the carried weights. Within a fresh network and a single epoch
+//!    this produces the identical allocation and payments as one-shot
+//!    [`ufp_core::bounded_ufp`] (only the Claim 3.6 certificate is
+//!    withheld in epoch mode), which
+//!    is what makes the engine's truthfulness story inherit from
+//!    Theorem 2.3: per-epoch the allocation is value-monotone, and
+//!    critical-value payments are computed against the same frozen
+//!    residual state every probe sees.
+//! 5. **Commits** accepted routes (loads, global solution, event log) and
+//!    computes payments per [`EngineConfig::payments`].
+//!
+//! Feasibility is inductive: epoch `k` allocates within the residual
+//! capacities left by epochs `1..k`, so the cumulative active allocation
+//! never violates a base capacity — [`Engine::active_solution`] passes
+//! `check_feasible` at every epoch boundary, by construction and by the
+//! engine's debug assertions.
+//!
+//! ## Identity across epochs
+//!
+//! Requests keep **global ids**: the engine registers every arrival in an
+//! append-only registry, and [`Engine::instance`] /
+//! [`Engine::cumulative_solution`] express the whole history as one
+//! `UfpInstance` + `UfpSolution` pair, so offline tooling (feasibility
+//! checks, value accounting, LP bounds) applies unchanged to an online
+//! run.
+//!
+//! ## Observability
+//!
+//! Every epoch appends structured [`EngineEvent`]s (granularity set by
+//! [`EventLevel`]) and updates the running [`EngineMetrics`]: acceptance
+//! rate, carried value, revenue, release counts, per-batch latency
+//! percentiles (p50/p99), and the edge-utilization histogram.
+
+pub mod allocator;
+pub mod config;
+pub mod engine;
+pub mod event;
+pub mod metrics;
+
+pub use allocator::EpochAllocator;
+pub use config::{EngineConfig, EventLevel, PaymentPolicy, ResidualFloor};
+pub use engine::{Admission, Arrival, Engine, EpochReport};
+pub use event::EngineEvent;
+pub use metrics::EngineMetrics;

@@ -1,0 +1,147 @@
+//! Running engine metrics.
+
+use std::time::Duration;
+
+/// Cumulative counters plus per-batch latency series. Counters are
+/// deterministic functions of the input stream; latencies are wall-clock
+/// and excluded from any determinism guarantee.
+#[derive(Clone, Debug, Default)]
+pub struct EngineMetrics {
+    /// Completed epochs.
+    pub epochs: u64,
+    /// Requests submitted across all batches.
+    pub arrivals: u64,
+    /// Requests admitted.
+    pub accepted: u64,
+    /// Requests rejected.
+    pub rejected: u64,
+    /// Admissions released by TTL expiry.
+    pub released: u64,
+    /// Total declared value admitted.
+    pub value_admitted: f64,
+    /// Total payments charged.
+    pub revenue: f64,
+    /// Ring buffer of recent per-batch wall-clock latencies (µs) —
+    /// bounded so a long-lived engine's metrics stay O(1) memory;
+    /// percentiles describe the most recent [`LATENCY_WINDOW`] batches.
+    batch_latency_us: Vec<u64>,
+    /// Next write position in the ring buffer.
+    latency_cursor: usize,
+    /// Lifetime sum of batch latencies (µs), for throughput.
+    total_latency_us: u64,
+}
+
+/// Number of recent batches the latency percentiles cover.
+pub const LATENCY_WINDOW: usize = 4096;
+
+impl EngineMetrics {
+    /// Record one completed batch.
+    pub(crate) fn record_batch(
+        &mut self,
+        arrivals: usize,
+        accepted: usize,
+        released: usize,
+        value: f64,
+        revenue: f64,
+        elapsed: Duration,
+    ) {
+        self.epochs += 1;
+        self.arrivals += arrivals as u64;
+        self.accepted += accepted as u64;
+        self.rejected += (arrivals - accepted) as u64;
+        self.released += released as u64;
+        self.value_admitted += value;
+        self.revenue += revenue;
+        let us = elapsed.as_micros() as u64;
+        self.total_latency_us += us;
+        if self.batch_latency_us.len() < LATENCY_WINDOW {
+            self.batch_latency_us.push(us);
+        } else {
+            self.batch_latency_us[self.latency_cursor] = us;
+        }
+        self.latency_cursor = (self.latency_cursor + 1) % LATENCY_WINDOW;
+    }
+
+    /// Fraction of all arrivals admitted (0 when nothing arrived).
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.arrivals == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.arrivals as f64
+        }
+    }
+
+    /// Latency percentile over the most recent [`LATENCY_WINDOW`]
+    /// batches, in microseconds (`p` in `[0, 100]`); `None` before the
+    /// first batch.
+    pub fn latency_percentile_us(&self, p: f64) -> Option<u64> {
+        if self.batch_latency_us.is_empty() {
+            return None;
+        }
+        let mut sorted = self.batch_latency_us.clone();
+        sorted.sort_unstable();
+        let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+        Some(sorted[rank.min(sorted.len() - 1)])
+    }
+
+    /// Median per-batch latency in microseconds.
+    pub fn p50_latency_us(&self) -> Option<u64> {
+        self.latency_percentile_us(50.0)
+    }
+
+    /// Tail (p99) per-batch latency in microseconds.
+    pub fn p99_latency_us(&self) -> Option<u64> {
+        self.latency_percentile_us(99.0)
+    }
+
+    /// Throughput over all completed batches: requests per second of
+    /// engine wall-clock (admitted + rejected both count — admission
+    /// control does work for either outcome).
+    pub fn requests_per_second(&self) -> Option<f64> {
+        if self.total_latency_us == 0 {
+            return None;
+        }
+        Some(self.arrivals as f64 / (self.total_latency_us as f64 / 1e6))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = EngineMetrics::default();
+        m.record_batch(10, 7, 1, 14.0, 3.5, Duration::from_micros(100));
+        m.record_batch(10, 3, 0, 6.0, 0.0, Duration::from_micros(300));
+        assert_eq!(m.epochs, 2);
+        assert_eq!(m.arrivals, 20);
+        assert_eq!(m.accepted, 10);
+        assert_eq!(m.rejected, 10);
+        assert_eq!(m.released, 1);
+        assert_eq!(m.acceptance_rate(), 0.5);
+        assert_eq!(m.value_admitted, 20.0);
+        assert_eq!(m.revenue, 3.5);
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let mut m = EngineMetrics::default();
+        assert!(m.p50_latency_us().is_none());
+        for us in [100u64, 200, 300, 400, 1000] {
+            m.record_batch(1, 1, 0, 1.0, 0.0, Duration::from_micros(us));
+        }
+        assert_eq!(m.p50_latency_us(), Some(300));
+        assert_eq!(m.p99_latency_us(), Some(1000));
+        assert_eq!(m.latency_percentile_us(0.0), Some(100));
+        let rps = m.requests_per_second().unwrap();
+        assert!((rps - 5.0 / 0.002).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_rates() {
+        let m = EngineMetrics::default();
+        assert_eq!(m.acceptance_rate(), 0.0);
+        assert!(m.requests_per_second().is_none());
+    }
+}

@@ -71,10 +71,7 @@ impl Matrix {
         let cols = self.cols;
         if r1 < r2 {
             let (lo, hi) = self.data.split_at_mut(r2 * cols);
-            (
-                &mut lo[r1 * cols..(r1 + 1) * cols],
-                &hi[..cols],
-            )
+            (&mut lo[r1 * cols..(r1 + 1) * cols], &hi[..cols])
         } else {
             let (lo, hi) = self.data.split_at_mut(r1 * cols);
             (&mut hi[..cols], &lo[r2 * cols..(r2 + 1) * cols])

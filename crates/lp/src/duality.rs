@@ -74,7 +74,10 @@ mod tests {
         let s = solve(&lp).expect_optimal("knapsack");
         assert!(is_dual_feasible(&lp, &s.duals, 1e-7));
         let gap = weak_duality_gap(&lp, &s.x, &s.duals, 1e-7);
-        assert!(gap.abs() < 1e-6, "strong duality should give zero gap, got {gap}");
+        assert!(
+            gap.abs() < 1e-6,
+            "strong duality should give zero gap, got {gap}"
+        );
     }
 
     #[test]

@@ -28,6 +28,6 @@ pub use mcf::{solve_fractional_ufp, Commodity, FracFlow, FracUfpSolution};
 pub use packing::{solve_packing, Column, ColumnOracle, PackingConfig, PackingSolution};
 pub use simplex::{solve, LpOutcome, LpProblem, LpSolution, Relation};
 pub use ufp_lp::{
-    build_ufp_lp, build_ufp_repetition_lp, solve_ufp_lp_exact,
-    solve_ufp_repetition_lp_exact, ExactFracSolution,
+    build_ufp_lp, build_ufp_repetition_lp, solve_ufp_lp_exact, solve_ufp_repetition_lp_exact,
+    ExactFracSolution,
 };

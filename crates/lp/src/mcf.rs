@@ -89,10 +89,7 @@ impl<'a> ColumnOracle for UfpOracle<'a> {
         // One shortest-path tree per distinct source covers all of its
         // commodities.
         for (src, members) in &self.by_source {
-            let targets: Vec<NodeId> = members
-                .iter()
-                .map(|&r| self.commodities[r].dst)
-                .collect();
+            let targets: Vec<NodeId> = members.iter().map(|&r| self.commodities[r].dst).collect();
             dij.run(self.graph, &y[..m], *src, Targets::Set(&targets), |_| true);
             for &r in members {
                 let c = &self.commodities[r];
@@ -141,7 +138,10 @@ pub fn solve_fractional_ufp(
     max_iterations: usize,
 ) -> FracUfpSolution {
     for c in commodities {
-        assert!(c.demand > 0.0 && c.value > 0.0, "commodities must be positive");
+        assert!(
+            c.demand > 0.0 && c.value > 0.0,
+            "commodities must be positive"
+        );
     }
     let mut by_source: Vec<(NodeId, Vec<usize>)> = Vec::new();
     {
@@ -301,7 +301,10 @@ mod tests {
             }
         }
         for (e, &l) in loads.iter().enumerate() {
-            assert!(l <= g.edges()[e].capacity + 1e-7, "edge {e} overloaded: {l}");
+            assert!(
+                l <= g.edges()[e].capacity + 1e-7,
+                "edge {e} overloaded: {l}"
+            );
         }
         for (r, &t) in per_req.iter().enumerate() {
             assert!(t <= 1.0 + 1e-7, "request {r} routed more than once: {t}");

@@ -179,10 +179,7 @@ pub fn solve_packing<O: ColumnOracle>(oracle: &O, config: PackingConfig) -> Pack
         .fold(0.0f64, f64::max);
     let scale = if overload > 1.0 { 1.0 / overload } else { 1.0 };
     let primal_value = raw_value * scale;
-    let columns = raw
-        .into_iter()
-        .map(|(c, amt)| (c, amt * scale))
-        .collect();
+    let columns = raw.into_iter().map(|(c, amt)| (c, amt * scale)).collect();
     PackingSolution {
         primal_value,
         dual_bound: best_dual,
@@ -233,15 +230,16 @@ mod tests {
         // max 3a + 1b s.t. a + b <= 10 => put all 10 into a => 30
         let oracle = Explicit {
             b: vec![10.0],
-            cols: vec![
-                col(3.0, vec![(0, 1.0)], 0),
-                col(1.0, vec![(0, 1.0)], 1),
-            ],
+            cols: vec![col(3.0, vec![(0, 1.0)], 0), col(1.0, vec![(0, 1.0)], 1)],
         };
         let sol = solve_packing(&oracle, PackingConfig::default());
         assert!(sol.primal_value <= 30.0 + 1e-9);
         assert!(sol.dual_bound >= 30.0 - 1e-9);
-        assert!(sol.certified_ratio() <= 1.06, "ratio {}", sol.certified_ratio());
+        assert!(
+            sol.certified_ratio() <= 1.06,
+            "ratio {}",
+            sol.certified_ratio()
+        );
         assert!(sol.primal_value >= 30.0 / 1.06);
     }
 
@@ -325,7 +323,7 @@ mod tests {
                 lp.objective[j] = value;
                 cols.push(col(value, entries, j as u64));
             }
-            for i in 0..rows {
+            for (i, &cap) in b.iter().enumerate().take(rows) {
                 let terms: Vec<(usize, f64)> = cols
                     .iter()
                     .enumerate()
@@ -336,7 +334,7 @@ mod tests {
                             .map(move |&(_, a)| (j, a))
                     })
                     .collect();
-                lp.add_constraint(terms, Relation::Le, b[i]);
+                lp.add_constraint(terms, Relation::Le, cap);
             }
             let exact = solve(&lp).expect_optimal("random packing LP");
             let oracle = Explicit { b, cols };

@@ -63,7 +63,10 @@ impl LpProblem {
         rhs: f64,
     ) -> usize {
         for &(j, _) in &terms {
-            assert!(j < self.num_vars(), "constraint references variable {j} out of range");
+            assert!(
+                j < self.num_vars(),
+                "constraint references variable {j} out of range"
+            );
         }
         self.constraints.push(Constraint {
             terms,
@@ -148,6 +151,10 @@ struct Tableau {
     row_dual_sign: Vec<f64>,
 }
 
+/// A constraint row normalized to `rhs >= 0`:
+/// `(terms, relation, rhs, flipped)`.
+type NormalizedRow = (Vec<(usize, f64)>, Relation, f64, bool);
+
 /// Solve the LP to optimality with the two-phase primal simplex.
 pub fn solve(lp: &LpProblem) -> LpOutcome {
     let m = lp.constraints.len();
@@ -158,7 +165,7 @@ pub fn solve(lp: &LpProblem) -> LpOutcome {
     // surplus plus an artificial (basic), Eq rows get an artificial (basic).
     let mut n_slack = 0;
     let mut n_art = 0;
-    let mut normalized: Vec<(Vec<(usize, f64)>, Relation, f64, bool)> = Vec::with_capacity(m);
+    let mut normalized: Vec<NormalizedRow> = Vec::with_capacity(m);
     for c in &lp.constraints {
         let mut terms = c.terms.clone();
         let mut rel = c.relation;
@@ -325,9 +332,9 @@ pub fn solve(lp: &LpProblem) -> LpOutcome {
         }
     }
     let mut duals = vec![0.0; m];
-    for i in 0..m {
+    for (i, d) in duals.iter_mut().enumerate() {
         let raw = tab.t.get(m, tab.row_dual_col[i]) * tab.row_dual_sign[i];
-        duals[i] = if tab.row_flip[i] { -raw } else { raw };
+        *d = if tab.row_flip[i] { -raw } else { raw };
         let _ = tab.row_relation[i];
     }
     let objective = tab.t.get(m, rhs_col);
@@ -364,8 +371,7 @@ fn run_simplex(tab: &mut Tableau, enter_limit: usize) -> bool {
                 let better = match leave {
                     None => true,
                     Some((li, lr)) => {
-                        ratio < lr - TOL
-                            || (ratio < lr + TOL && tab.basis[i] < tab.basis[li])
+                        ratio < lr - TOL || (ratio < lr + TOL && tab.basis[i] < tab.basis[li])
                     }
                 };
                 if better {

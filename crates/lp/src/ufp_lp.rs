@@ -128,7 +128,8 @@ pub fn build_ufp_repetition_lp(
     // capacity) is shared with Figure 1. The x_r variables stay, now
     // unbounded above — exactly the Figure 5 relaxation.
     let selection_rows = commodities.len();
-    lp.constraints.truncate(lp.constraints.len() - selection_rows);
+    lp.constraints
+        .truncate(lp.constraints.len() - selection_rows);
     (lp, layout)
 }
 
@@ -243,7 +244,11 @@ mod tests {
         let g = b.build();
         let c = vec![commodity(0, 1, 1.0, 1.0), commodity(1, 0, 1.0, 1.0)];
         let sol = solve_ufp_lp_exact(&g, &c);
-        assert!((sol.objective - 1.0).abs() < 1e-7, "objective {}", sol.objective);
+        assert!(
+            (sol.objective - 1.0).abs() < 1e-7,
+            "objective {}",
+            sol.objective
+        );
     }
 
     #[test]
@@ -266,7 +271,11 @@ mod tests {
         let fig1 = solve_ufp_lp_exact(&g, &c);
         assert!((fig1.objective - 1.0).abs() < 1e-7);
         let fig5 = solve_ufp_repetition_lp_exact(&g, &c);
-        assert!((fig5.objective - 5.0).abs() < 1e-7, "got {}", fig5.objective);
+        assert!(
+            (fig5.objective - 5.0).abs() < 1e-7,
+            "got {}",
+            fig5.objective
+        );
         assert!((fig5.routed_fraction[0] - 5.0).abs() < 1e-7);
     }
 

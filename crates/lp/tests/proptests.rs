@@ -133,10 +133,10 @@ proptest! {
                 covered[j] += a * y;
             }
         }
-        for j in 0..lp.num_vars() {
+        for (j, &cov) in covered.iter().enumerate() {
             if sol.x[j] > 1e-7 {
-                prop_assert!((covered[j] - lp.objective[j]).abs() < 1e-6,
-                    "x_{j} basic but reduced cost {}", covered[j] - lp.objective[j]);
+                prop_assert!((cov - lp.objective[j]).abs() < 1e-6,
+                    "x_{j} basic but reduced cost {}", cov - lp.objective[j]);
             }
         }
     }

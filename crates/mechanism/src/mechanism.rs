@@ -102,12 +102,7 @@ mod tests {
                 .collect(),
         );
         let outcome = ufp_mechanism().run(&inst);
-        for (agent, (&sel, &pay)) in outcome
-            .selected
-            .iter()
-            .zip(&outcome.payments)
-            .enumerate()
-        {
+        for (agent, (&sel, &pay)) in outcome.selected.iter().zip(&outcome.payments).enumerate() {
             if sel {
                 let declared = inst.request(ufp_core::RequestId(agent as u32)).value;
                 assert!(
@@ -158,7 +153,9 @@ mod tests {
         assert!(outcome.num_winners() >= 1);
         for (agent, &sel) in outcome.selected.iter().enumerate() {
             if sel {
-                assert!(outcome.payments[agent] <= a.bid(ufp_auction::BidId(agent as u32)).value + 1e-6);
+                assert!(
+                    outcome.payments[agent] <= a.bid(ufp_auction::BidId(agent as u32)).value + 1e-6
+                );
             }
         }
     }

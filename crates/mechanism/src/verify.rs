@@ -50,8 +50,8 @@ pub fn verify_value_monotonicity<A: SingleParamAllocator>(
 ) -> VerificationReport {
     let mut report = VerificationReport::default();
     let selected = allocator.selected(inst);
-    for agent in 0..allocator.num_agents(inst) {
-        if !selected[agent] {
+    for (agent, &sel) in selected.iter().enumerate() {
+        if !sel {
             continue;
         }
         let v = allocator.declared_value(inst, agent);
@@ -77,12 +77,12 @@ pub fn verify_value_truthfulness<A: SingleParamAllocator>(
 ) -> VerificationReport {
     let mut report = VerificationReport::default();
     let selected = mechanism.allocator.selected(inst);
-    for agent in 0..mechanism.allocator.num_agents(inst) {
+    for (agent, &is_winner) in selected.iter().enumerate() {
         let true_value = mechanism.allocator.declared_value(inst, agent);
         // Truthful utility: only this agent's payment is needed, so skip
         // the full mechanism run (payments for other winners are
         // irrelevant to this agent's incentive).
-        let u_truth = if selected[agent] {
+        let u_truth = if is_winner {
             true_value
                 - crate::payment::critical_value(
                     &mechanism.allocator,
@@ -216,8 +216,7 @@ mod tests {
         let alloc = UfpAllocator {
             config: BoundedUfpConfig::with_epsilon(0.4),
         };
-        let report =
-            verify_value_monotonicity(&alloc, &fixture(), &[1.0, 1.5, 2.0, 10.0, 100.0]);
+        let report = verify_value_monotonicity(&alloc, &fixture(), &[1.0, 1.5, 2.0, 10.0, 100.0]);
         assert!(report.passed(), "{report:?}");
         assert!(report.probes > 0);
     }
@@ -227,23 +226,16 @@ mod tests {
         let mech = CriticalValueMechanism::new(UfpAllocator {
             config: BoundedUfpConfig::with_epsilon(0.4),
         });
-        let report = verify_value_truthfulness(
-            &mech,
-            &fixture(),
-            &[0.1, 0.5, 0.9, 1.0, 1.1, 2.0, 10.0],
-        );
+        let report =
+            verify_value_truthfulness(&mech, &fixture(), &[0.1, 0.5, 0.9, 1.0, 1.1, 2.0, 10.0]);
         assert!(report.passed(), "{report:?}");
         assert!(report.worst_gain <= 1e-5);
     }
 
     #[test]
     fn bounded_ufp_mechanism_is_truthful_on_joint_type() {
-        let report = verify_ufp_type_truthfulness(
-            &fixture(),
-            &BoundedUfpConfig::with_epsilon(0.4),
-            8,
-            7,
-        );
+        let report =
+            verify_ufp_type_truthfulness(&fixture(), &BoundedUfpConfig::with_epsilon(0.4), 8, 7);
         assert!(report.passed(), "{report:?}");
     }
 

@@ -8,8 +8,8 @@ use rand::{Rng, SeedableRng};
 
 use ufp_core::{BoundedUfpConfig, Request, UfpInstance};
 use ufp_mechanism::{
-    critical_value, verify_value_monotonicity, verify_value_truthfulness,
-    CriticalValueMechanism, PaymentConfig, SingleParamAllocator, UfpAllocator,
+    critical_value, verify_value_monotonicity, verify_value_truthfulness, CriticalValueMechanism,
+    PaymentConfig, SingleParamAllocator, UfpAllocator,
 };
 use ufp_netgraph::graph::GraphBuilder;
 use ufp_netgraph::ids::NodeId;
@@ -23,14 +23,7 @@ fn arb_link_auction() -> impl Strategy<Value = (UfpInstance, f64)> {
             let mut gb = GraphBuilder::directed(2);
             gb.add_edge(NodeId(0), NodeId(1), capacity as f64);
             let requests: Vec<Request> = (0..bidders)
-                .map(|_| {
-                    Request::new(
-                        NodeId(0),
-                        NodeId(1),
-                        1.0,
-                        rng.random_range(0.2..5.0),
-                    )
-                })
+                .map(|_| Request::new(NodeId(0), NodeId(1), 1.0, rng.random_range(0.2..5.0)))
                 .collect();
             (
                 UfpInstance::new(gb.build(), requests),

@@ -102,8 +102,14 @@ mod tests {
         assert_eq!(
             csr.neighbors(n(0)),
             &[
-                AdjEntry { to: n(1), edge: e(1) },
-                AdjEntry { to: n(2), edge: e(2) }
+                AdjEntry {
+                    to: n(1),
+                    edge: e(1)
+                },
+                AdjEntry {
+                    to: n(2),
+                    edge: e(2)
+                }
             ]
         );
         assert_eq!(csr.neighbors(n(1)), &[]);

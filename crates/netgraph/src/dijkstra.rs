@@ -256,7 +256,9 @@ mod tests {
         let g = b.build();
         let w = vec![1.0];
         let mut d = Dijkstra::new(g.num_nodes());
-        assert!(d.shortest_path(&g, &w, NodeId(0), NodeId(2), |_| true).is_none());
+        assert!(d
+            .shortest_path(&g, &w, NodeId(0), NodeId(2), |_| true)
+            .is_none());
     }
 
     #[test]

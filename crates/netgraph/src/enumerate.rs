@@ -155,7 +155,9 @@ mod tests {
     #[test]
     fn no_paths_when_disconnected() {
         let g = GraphBuilder::directed(2).build();
-        assert!(simple_paths(&g, NodeId(0), NodeId(1), usize::MAX, usize::MAX, |_| true).is_empty());
+        assert!(
+            simple_paths(&g, NodeId(0), NodeId(1), usize::MAX, usize::MAX, |_| true).is_empty()
+        );
     }
 
     #[test]

@@ -180,7 +180,11 @@ mod tests {
         assert_eq!(g.num_nodes(), 20);
         assert_eq!(g.num_edges(), 3 * 5 * 3);
         for e in g.edges() {
-            assert_eq!(e.dst.0 / 5, e.src.0 / 5 + 1, "edges cross exactly one layer");
+            assert_eq!(
+                e.dst.0 / 5,
+                e.src.0 / 5 + 1,
+                "edges cross exactly one layer"
+            );
         }
     }
 

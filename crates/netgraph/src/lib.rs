@@ -17,6 +17,9 @@
 //!   "reasonable iterative path-minimizing algorithm" engine on the paper's
 //!   lower-bound constructions where scores are not edge-additive.
 //! * [`generators`] — random and structured graph families.
+//! * [`residual`] — committed-load tracking over a graph's edges, the
+//!   residual-capacity view the streaming admission engine allocates
+//!   against.
 //!
 //! All node/edge handles are `u32` newtypes ([`NodeId`], [`EdgeId`]); dense
 //! `Vec` indexing everywhere, no hashing on the hot path.
@@ -31,9 +34,11 @@ pub mod graph;
 pub mod ids;
 pub mod ordered;
 pub mod path;
+pub mod residual;
 
 pub use dijkstra::{Dijkstra, ShortestPathResult};
 pub use graph::{Edge, Graph, GraphBuilder, GraphKind};
 pub use ids::{EdgeId, NodeId};
 pub use ordered::OrderedF64;
 pub use path::Path;
+pub use residual::ResidualCaps;

@@ -170,10 +170,7 @@ mod tests {
     #[test]
     fn valid_path_passes() {
         let (g, e) = line_graph();
-        let p = Path::new(
-            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
-            e.clone(),
-        );
+        let p = Path::new(vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)], e.clone());
         assert!(p.validate(&g).is_ok());
         assert_eq!(p.len(), 3);
         assert_eq!(p.source(), NodeId(0));
@@ -183,10 +180,7 @@ mod tests {
     #[test]
     fn weight_and_bottleneck() {
         let (g, e) = line_graph();
-        let p = Path::new(
-            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
-            e,
-        );
+        let p = Path::new(vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)], e);
         let w = vec![0.5, 0.25, 0.125];
         assert!((p.weight(&w) - 0.875).abs() < 1e-12);
         let residual: Vec<f64> = g.edges().iter().map(|e| e.capacity).collect();

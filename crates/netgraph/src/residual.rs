@@ -1,0 +1,183 @@
+//! Residual-capacity views over a [`Graph`].
+//!
+//! A long-lived allocation engine never mutates its graph; it tracks the
+//! demand committed to every edge and exposes the *residual* capacities
+//! `c_e − load_e` as the effective network for the next allocation epoch.
+//! [`ResidualCaps`] is that bookkeeping: commit/release of routed paths,
+//! clamped residual read-out, and the utilization summaries the engine's
+//! metrics report.
+
+use crate::graph::Graph;
+use crate::ids::EdgeId;
+use crate::path::Path;
+
+/// Committed-load tracker over a graph's edges, yielding residual
+/// capacities. Loads are kept separately from capacities so release
+/// (churn) cannot drift the base network.
+#[derive(Clone, Debug)]
+pub struct ResidualCaps {
+    caps: Vec<f64>,
+    load: Vec<f64>,
+}
+
+impl ResidualCaps {
+    /// Fresh tracker: zero load everywhere.
+    pub fn new(graph: &Graph) -> Self {
+        ResidualCaps {
+            caps: graph.edges().iter().map(|e| e.capacity).collect(),
+            load: vec![0.0; graph.num_edges()],
+        }
+    }
+
+    /// Number of tracked edges.
+    pub fn len(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// True when the graph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.caps.is_empty()
+    }
+
+    /// Base capacity of `e`.
+    #[inline]
+    pub fn capacity(&self, e: EdgeId) -> f64 {
+        self.caps[e.index()]
+    }
+
+    /// Demand currently committed through `e`.
+    #[inline]
+    pub fn load(&self, e: EdgeId) -> f64 {
+        self.load[e.index()]
+    }
+
+    /// Residual capacity of `e`, clamped at zero (floating-point release
+    /// noise cannot produce a negative residual).
+    #[inline]
+    pub fn residual(&self, e: EdgeId) -> f64 {
+        (self.caps[e.index()] - self.load[e.index()]).max(0.0)
+    }
+
+    /// All residual capacities, in edge-id order.
+    pub fn residuals(&self) -> Vec<f64> {
+        (0..self.caps.len())
+            .map(|e| self.residual(EdgeId(e as u32)))
+            .collect()
+    }
+
+    /// Fraction of capacity in use on `e` (`load / cap`, in `[0, 1]` up
+    /// to floating-point noise).
+    #[inline]
+    pub fn utilization(&self, e: EdgeId) -> f64 {
+        self.load[e.index()] / self.caps[e.index()]
+    }
+
+    /// Commit `demand` along every edge of `path`.
+    pub fn commit(&mut self, path: &Path, demand: f64) {
+        debug_assert!(demand >= 0.0);
+        for &e in path.edges() {
+            self.load[e.index()] += demand;
+        }
+    }
+
+    /// Release `demand` along every edge of `path` (churn / expiry).
+    /// Loads are clamped at zero against release noise.
+    pub fn release(&mut self, path: &Path, demand: f64) {
+        debug_assert!(demand >= 0.0);
+        for &e in path.edges() {
+            let l = &mut self.load[e.index()];
+            *l = (*l - demand).max(0.0);
+        }
+    }
+
+    /// Smallest residual capacity (`B` of the residual network).
+    pub fn min_residual(&self) -> f64 {
+        (0..self.caps.len())
+            .map(|e| self.residual(EdgeId(e as u32)))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Total committed load divided by total capacity.
+    pub fn total_utilization(&self) -> f64 {
+        let cap: f64 = self.caps.iter().sum();
+        if cap <= 0.0 {
+            return 0.0;
+        }
+        self.load.iter().sum::<f64>() / cap
+    }
+
+    /// Histogram of per-edge utilization over `buckets` equal-width bins
+    /// spanning `[0, 1]`; utilization `1.0` lands in the last bin.
+    pub fn utilization_histogram(&self, buckets: usize) -> Vec<usize> {
+        assert!(buckets >= 1);
+        let mut hist = vec![0usize; buckets];
+        for e in 0..self.caps.len() {
+            let u = self.utilization(EdgeId(e as u32)).clamp(0.0, 1.0);
+            let b = ((u * buckets as f64) as usize).min(buckets - 1);
+            hist[b] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::ids::NodeId;
+
+    fn chain(caps: &[f64]) -> (Graph, Path) {
+        let mut b = GraphBuilder::directed(caps.len() + 1);
+        for (i, &c) in caps.iter().enumerate() {
+            b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), c);
+        }
+        let g = b.build();
+        let path = Path::new(
+            (0..=caps.len()).map(|i| NodeId(i as u32)).collect(),
+            (0..caps.len()).map(|i| EdgeId(i as u32)).collect(),
+        );
+        (g, path)
+    }
+
+    #[test]
+    fn commit_and_release_roundtrip() {
+        let (g, p) = chain(&[4.0, 8.0]);
+        let mut r = ResidualCaps::new(&g);
+        assert_eq!(r.min_residual(), 4.0);
+        r.commit(&p, 1.5);
+        assert_eq!(r.residual(EdgeId(0)), 2.5);
+        assert_eq!(r.residual(EdgeId(1)), 6.5);
+        assert_eq!(r.load(EdgeId(0)), 1.5);
+        r.release(&p, 1.5);
+        assert_eq!(r.residual(EdgeId(0)), 4.0);
+        assert_eq!(r.load(EdgeId(1)), 0.0);
+    }
+
+    #[test]
+    fn residuals_clamp_at_zero() {
+        let (g, p) = chain(&[1.0]);
+        let mut r = ResidualCaps::new(&g);
+        r.commit(&p, 1.0);
+        r.commit(&p, 1e-12); // fp overshoot
+        assert_eq!(r.residual(EdgeId(0)), 0.0);
+        r.release(&p, 5.0); // over-release clamps too
+        assert_eq!(r.load(EdgeId(0)), 0.0);
+    }
+
+    #[test]
+    fn utilization_histogram_buckets() {
+        let (g, _) = chain(&[10.0, 10.0, 10.0, 10.0]);
+        let mut r = ResidualCaps::new(&g);
+        // loads: 0%, 50%, 95%, 100%
+        let one = |e: u32| Path::new(vec![NodeId(e), NodeId(e + 1)], vec![EdgeId(e)]);
+        r.commit(&one(1), 5.0);
+        r.commit(&one(2), 9.5);
+        r.commit(&one(3), 10.0);
+        let h = r.utilization_histogram(10);
+        assert_eq!(h.iter().sum::<usize>(), 4);
+        assert_eq!(h[0], 1);
+        assert_eq!(h[5], 1);
+        assert_eq!(h[9], 2, "95% and 100% share the last bucket: {h:?}");
+        assert!((r.total_utilization() - 24.5 / 40.0).abs() < 1e-12);
+    }
+}

@@ -190,8 +190,9 @@ impl Pool {
                                 break;
                             }
                             let end = (start + chunk).min(n);
-                            for i in start..end {
-                                local.push((i, f(&mut workspace, i, &items[i])));
+                            for (off, item) in items[start..end].iter().enumerate() {
+                                let i = start + off;
+                                local.push((i, f(&mut workspace, i, item)));
                             }
                         }
                         if !local.is_empty() {

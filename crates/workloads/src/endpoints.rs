@@ -1,0 +1,72 @@
+//! Shared connected-endpoint sampling (used by [`crate::random_ufp`] and
+//! [`crate::arrivals`]).
+//!
+//! Draws `(src, dst)` pairs that are connected in the graph, with cached
+//! per-source reachability so repeated samples cost one BFS per distinct
+//! source, and optional *hotspot* concentration: the first `k` drawn
+//! pairs become a fixed pool that all later samples reuse, modelling
+//! demand concentrated on a few ingress/egress pairs.
+
+use rand::Rng;
+
+use ufp_netgraph::bfs;
+use ufp_netgraph::graph::Graph;
+use ufp_netgraph::ids::NodeId;
+
+/// Endpoint sampler with cached reachability, reused across a whole
+/// request set or arrival trace.
+pub(crate) struct EndpointSampler {
+    reach_cache: Vec<Option<Vec<u32>>>,
+    hotspots: Vec<(NodeId, NodeId)>,
+    hotspot_target: usize,
+}
+
+impl EndpointSampler {
+    /// `hotspot_pairs = Some(k)` concentrates all samples on `k` fixed
+    /// connected pairs; `None` samples uniformly.
+    pub(crate) fn new(graph: &Graph, hotspot_pairs: Option<usize>) -> Self {
+        EndpointSampler {
+            reach_cache: vec![None; graph.num_nodes()],
+            hotspots: Vec::new(),
+            hotspot_target: hotspot_pairs.unwrap_or(0),
+        }
+    }
+
+    fn reachable<'a>(&'a mut self, graph: &Graph, src: NodeId) -> &'a [u32] {
+        self.reach_cache[src.index()].get_or_insert_with(|| {
+            bfs::hop_distances(graph, src)
+                .into_iter()
+                .enumerate()
+                .filter(|&(v, d)| d != usize::MAX && v != src.index())
+                .map(|(v, _)| v as u32)
+                .collect()
+        })
+    }
+
+    /// Draw one connected pair. Panics if the graph is too disconnected
+    /// to find one within a generous retry budget.
+    pub(crate) fn sample<R: Rng>(&mut self, graph: &Graph, rng: &mut R) -> (NodeId, NodeId) {
+        let n = graph.num_nodes() as u32;
+        if self.hotspot_target > 0 && self.hotspots.len() >= self.hotspot_target {
+            return self.hotspots[rng.random_range(0..self.hotspots.len())];
+        }
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
+            assert!(
+                attempts <= 100_000,
+                "graph too disconnected to sample a connected request pair"
+            );
+            let src = NodeId(rng.random_range(0..n));
+            let reachable = self.reachable(graph, src);
+            if reachable.is_empty() {
+                continue;
+            }
+            let dst = NodeId(reachable[rng.random_range(0..reachable.len())]);
+            if self.hotspot_target > 0 {
+                self.hotspots.push((src, dst));
+            }
+            return (src, dst);
+        }
+    }
+}

@@ -154,8 +154,7 @@ mod tests {
     fn optimum_is_routable() {
         // Verify OPT = B·ℓ by the exact solver on a small case.
         let inst = figure2(3, 2);
-        let res =
-            ufp_core::exact_optimum(&inst, &ufp_core::ExactConfig::default());
+        let res = ufp_core::exact_optimum(&inst, &ufp_core::ExactConfig::default());
         assert_eq!(res.value, figure2_optimum(3, 2));
         assert!(res.exhaustive);
     }
@@ -250,18 +249,18 @@ pub fn simulate_figure2_adversary(ell: usize, b: usize, epsilon: f64) -> f64 {
 #[cfg(test)]
 mod simulator_tests {
     use super::*;
-    use ufp_core::{
-        iterative_path_minimizer, EngineConfig, PrimalDualScore, TieBreak,
-    };
+    use ufp_core::{iterative_path_minimizer, EngineConfig, PrimalDualScore, TieBreak};
 
     #[test]
     fn simulator_matches_generic_engine() {
         for (ell, b) in [(3usize, 2usize), (5, 2), (4, 3), (6, 2)] {
             let eps = 0.5;
             let inst = figure2(ell, b);
-            let mut cfg = EngineConfig::default();
-            cfg.epsilon = eps;
-            cfg.tie = TieBreak::HighestSecondNode;
+            let cfg = EngineConfig {
+                epsilon: eps,
+                tie: TieBreak::HighestSecondNode,
+                ..Default::default()
+            };
             let engine = iterative_path_minimizer(&inst, &PrimalDualScore, &cfg);
             let simulated = simulate_figure2_adversary(ell, b, eps);
             assert_eq!(
@@ -301,7 +300,10 @@ mod simulator_tests {
             let alg = simulate_figure2_adversary(ell, b, 0.5);
             let ratio = figure2_optimum(ell, b) / alg;
             let predicted = figure2_predicted_ratio(b);
-            assert!(ratio < last, "measured ratio must shrink with B: {ratio} after {last}");
+            assert!(
+                ratio < last,
+                "measured ratio must shrink with B: {ratio} after {last}"
+            );
             assert!(
                 ratio <= predicted + 1e-9,
                 "measured {ratio} above predicted {predicted} at B={b}"

@@ -13,26 +13,26 @@
 //!   value models.
 //! * [`auctions`] — random multi-unit auctions (uniform and Zipf item
 //!   popularity) in the large-multiplicity regime.
+//! * [`arrivals`] — streaming arrival-process traces for the
+//!   `ufp-engine` admission controller: Poisson, diurnal sinusoid,
+//!   flash-crowd bursts, and churn with request TTLs.
 //!
 //! All generators are deterministic functions of their seed, so every
 //! number in EXPERIMENTS.md is reproducible.
 
+pub mod arrivals;
 pub mod auctions;
+pub(crate) mod endpoints;
 pub mod figure2;
 pub mod figure3;
 pub mod figure4;
 pub mod random_ufp;
 
+pub use arrivals::{arrival_trace, poisson_count, ArrivalProcess, ArrivalTraceConfig};
 pub use auctions::{random_auction, required_multiplicity, Popularity, RandomAuctionConfig};
 pub use figure2::{
     figure2, figure2_optimum, figure2_predicted_ratio, figure2_subdivided, Figure2Layout,
 };
-pub use figure3::{
-    figure3, figure3_algorithm_bound, figure3_hub, figure3_optimum, figure3_vertex,
-};
-pub use figure4::{
-    figure4, figure4_algorithm_bound, figure4_optimum, figure4_predicted_ratio,
-};
-pub use random_ufp::{
-    random_grid_ufp, random_ufp, required_b, RandomUfpConfig, ValueModel,
-};
+pub use figure3::{figure3, figure3_algorithm_bound, figure3_hub, figure3_optimum, figure3_vertex};
+pub use figure4::{figure4, figure4_algorithm_bound, figure4_optimum, figure4_predicted_ratio};
+pub use random_ufp::{random_grid_ufp, random_ufp, required_b, RandomUfpConfig, ValueModel};

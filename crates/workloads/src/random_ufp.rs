@@ -9,10 +9,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use ufp_core::{Request, UfpInstance};
-use ufp_netgraph::bfs;
 use ufp_netgraph::generators;
 use ufp_netgraph::graph::Graph;
-use ufp_netgraph::ids::NodeId;
+
+use crate::endpoints::EndpointSampler;
 
 /// How request values relate to demands.
 #[derive(Clone, Copy, Debug)]
@@ -33,7 +33,8 @@ pub enum ValueModel {
 }
 
 impl ValueModel {
-    fn sample<R: Rng>(&self, demand: f64, rng: &mut R) -> f64 {
+    /// Draw one value for a request of the given demand.
+    pub fn sample_value<R: Rng>(&self, demand: f64, rng: &mut R) -> f64 {
         match *self {
             ValueModel::Uniform(lo, hi) => rng.random_range(lo..=hi),
             ValueModel::PerUnitDemand(lo, hi) => demand * rng.random_range(lo..=hi),
@@ -124,70 +125,22 @@ pub fn random_grid_ufp(
     UfpInstance::new(graph, requests)
 }
 
-fn sample_requests<R: Rng>(
-    graph: &Graph,
-    config: &RandomUfpConfig,
-    rng: &mut R,
-) -> Vec<Request> {
-    let n = graph.num_nodes();
+fn sample_requests<R: Rng>(graph: &Graph, config: &RandomUfpConfig, rng: &mut R) -> Vec<Request> {
     let (dlo, dhi) = config.demand_range;
-    assert!(0.0 < dlo && dlo <= dhi && dhi <= 1.0, "demands must lie in (0,1]");
-    // Cache reachability per sampled source.
-    let mut reach_cache: Vec<Option<Vec<usize>>> = vec![None; n];
+    assert!(
+        0.0 < dlo && dlo <= dhi && dhi <= 1.0,
+        "demands must lie in (0,1]"
+    );
+    let mut sampler = EndpointSampler::new(graph, config.hotspot_pairs);
     let mut requests = Vec::with_capacity(config.requests);
-    let mut attempts = 0usize;
-    // Hotspot mode: pre-draw the pair set, then sample endpoints from it.
-    let mut hotspots: Vec<(NodeId, NodeId)> = Vec::new();
     while requests.len() < config.requests {
-        attempts += 1;
-        assert!(
-            attempts < config.requests * 1000 + 100_000,
-            "graph too disconnected to sample {} connected request pairs",
-            config.requests
-        );
-        let (src, dst) = if let Some(k) = config.hotspot_pairs {
-            if hotspots.len() < k {
-                // Draw the next hotspot pair (connected).
-                let src = NodeId(rng.random_range(0..n as u32));
-                let reachable = reach_cache[src.index()].get_or_insert_with(|| {
-                    bfs::hop_distances(graph, src)
-                        .into_iter()
-                        .enumerate()
-                        .filter(|&(v, d)| d != usize::MAX && v != src.index())
-                        .map(|(v, _)| v)
-                        .collect()
-                });
-                if reachable.is_empty() {
-                    continue;
-                }
-                let dst = NodeId(reachable[rng.random_range(0..reachable.len())] as u32);
-                hotspots.push((src, dst));
-                (src, dst)
-            } else {
-                hotspots[rng.random_range(0..hotspots.len())]
-            }
-        } else {
-            let src = NodeId(rng.random_range(0..n as u32));
-            let reachable = reach_cache[src.index()].get_or_insert_with(|| {
-                bfs::hop_distances(graph, src)
-                    .into_iter()
-                    .enumerate()
-                    .filter(|&(v, d)| d != usize::MAX && v != src.index())
-                    .map(|(v, _)| v)
-                    .collect()
-            });
-            if reachable.is_empty() {
-                continue;
-            }
-            let dst = NodeId(reachable[rng.random_range(0..reachable.len())] as u32);
-            (src, dst)
-        };
+        let (src, dst) = sampler.sample(graph, rng);
         let demand = if dlo == dhi {
             dlo
         } else {
             rng.random_range(dlo..=dhi)
         };
-        let value = config.values.sample(demand, rng);
+        let value = config.values.sample_value(demand, rng);
         requests.push(Request::new(src, dst, demand, value));
     }
     requests
@@ -196,6 +149,7 @@ fn sample_requests<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ufp_netgraph::bfs;
 
     #[test]
     fn meets_the_capacity_bound() {
@@ -225,10 +179,7 @@ mod tests {
         let a = random_ufp(&config);
         let b = random_ufp(&config);
         assert_eq!(a.requests(), b.requests());
-        let c = random_ufp(&RandomUfpConfig {
-            seed: 2,
-            ..config
-        });
+        let c = random_ufp(&RandomUfpConfig { seed: 2, ..config });
         assert_ne!(a.requests(), c.requests());
     }
 
@@ -251,7 +202,11 @@ mod tests {
         for r in inst.requests() {
             pairs.insert((r.src, r.dst));
         }
-        assert!(pairs.len() <= 3, "expected at most 3 hotspot pairs, got {}", pairs.len());
+        assert!(
+            pairs.len() <= 3,
+            "expected at most 3 hotspot pairs, got {}",
+            pairs.len()
+        );
         for r in inst.requests() {
             assert!(bfs::is_reachable(inst.graph(), r.src, r.dst));
         }

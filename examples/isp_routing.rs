@@ -54,7 +54,11 @@ fn main() {
     let util = run.solution.edge_utilization(&instance);
     let mean = util.iter().sum::<f64>() / util.len() as f64;
     let peak = util.iter().cloned().fold(0.0f64, f64::max);
-    println!("link utilization: mean {:.1}%, peak {:.1}%", mean * 100.0, peak * 100.0);
+    println!(
+        "link utilization: mean {:.1}%, peak {:.1}%",
+        mean * 100.0,
+        peak * 100.0
+    );
 
     // Compare against a non-truthful greedy the ISP might have used.
     let g = greedy(&instance, GreedyOrder::ByDensity);
@@ -66,12 +70,7 @@ fn main() {
     println!("payments make truthful bidding a dominant strategy (see E8).");
 
     // Longest admitted route, for flavor.
-    if let Some((rid, path)) = run
-        .solution
-        .routed
-        .iter()
-        .max_by_key(|(_, p)| p.len())
-    {
+    if let Some((rid, path)) = run.solution.routed.iter().max_by_key(|(_, p)| p.len()) {
         println!(
             "\nlongest admitted route: request {rid} over {} hops",
             path.len()

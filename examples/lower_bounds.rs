@@ -8,9 +8,7 @@
 use truthful_ufp::ufp_auction::{
     iterative_bundle_minimizer, BundleEngineConfig, MucaPrimalDualScore,
 };
-use truthful_ufp::ufp_core::{
-    iterative_path_minimizer, EngineConfig, PrimalDualScore, TieBreak,
-};
+use truthful_ufp::ufp_core::{iterative_path_minimizer, EngineConfig, PrimalDualScore, TieBreak};
 use truthful_ufp::ufp_workloads as workloads;
 
 fn main() {
@@ -19,7 +17,10 @@ fn main() {
 
     // --- Figure 2 (Theorem 3.11): directed, ratio -> e/(e-1) ---------------
     println!("Figure 2 (directed staircase, adversarial ties):");
-    println!("{:>4} {:>6} {:>10} {:>10} {:>8} {:>10}", "B", "ell", "ALG", "OPT", "ratio", "predicted");
+    println!(
+        "{:>4} {:>6} {:>10} {:>10} {:>8} {:>10}",
+        "B", "ell", "ALG", "OPT", "ratio", "predicted"
+    );
     for (b, ell) in [(2usize, 64usize), (4, 128), (8, 256), (16, 512)] {
         let alg = workloads::figure2::simulate_figure2_adversary(ell, b, 0.5);
         let opt = workloads::figure2_optimum(ell, b);
@@ -35,8 +36,10 @@ fn main() {
     println!("{:>4} {:>10} {:>10} {:>8}", "B", "ALG", "OPT", "ratio");
     for b in [2usize, 16, 64] {
         let inst = workloads::figure3(b);
-        let mut cfg = EngineConfig::default();
-        cfg.tie = TieBreak::ViaHub(workloads::figure3_hub());
+        let cfg = EngineConfig {
+            tie: TieBreak::ViaHub(workloads::figure3_hub()),
+            ..Default::default()
+        };
         let run = iterative_path_minimizer(&inst, &PrimalDualScore, &cfg);
         let alg = run.solution.value(&inst);
         let opt = workloads::figure3_optimum(b);
@@ -45,7 +48,10 @@ fn main() {
 
     // --- Figure 4 (Theorem 4.5): auctions, ratio -> 4/3 --------------------
     println!("\nFigure 4 (row/column bundles, lowest-id ties):");
-    println!("{:>4} {:>10} {:>10} {:>8} {:>10}", "p", "ALG", "OPT", "ratio", "predicted");
+    println!(
+        "{:>4} {:>10} {:>10} {:>8} {:>10}",
+        "p", "ALG", "OPT", "ratio", "predicted"
+    );
     for p in [3usize, 7, 15] {
         let a = workloads::figure4(p, 4, p * (p + 1));
         let run =

@@ -1,0 +1,74 @@
+//! Online admission control: drive the streaming engine over three epochs
+//! of Poisson arrivals and read acceptance, revenue, and utilization per
+//! epoch.
+//!
+//! ```text
+//! cargo run --example online_admission
+//! ```
+
+use truthful_ufp::ufp_engine::{Engine, EngineConfig, PaymentPolicy};
+use truthful_ufp::ufp_netgraph::generators;
+use truthful_ufp::ufp_workloads::arrivals::{arrival_trace, ArrivalProcess, ArrivalTraceConfig};
+use truthful_ufp::ufp_workloads::random_ufp::required_b;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A small ISP-ish backbone in the large-capacity regime for ε = 0.5.
+    let epsilon = 0.5;
+    let (nodes, edges) = (20, 60);
+    let b = required_b(edges, epsilon).ceil();
+    let graph = generators::gnm_digraph(nodes, edges, (b, 2.0 * b), &mut StdRng::seed_from_u64(11));
+
+    // Three epochs of Poisson(60) arrivals concentrated on two hotspot
+    // pairs — enough contention that critical-value payments bind.
+    let trace = arrival_trace(
+        &graph,
+        &ArrivalTraceConfig {
+            epochs: 3,
+            process: ArrivalProcess::Poisson { mean: 60.0 },
+            hotspot_pairs: Some(2),
+            seed: 11,
+            ..Default::default()
+        },
+    );
+
+    // Truthful engine: critical-value payments against each epoch's
+    // frozen residual state.
+    let config = EngineConfig::with_epsilon(epsilon).with_payments(PaymentPolicy::critical_value());
+    let mut engine = Engine::new(graph, config);
+
+    println!("epoch  arrivals  accepted  acc-rate  revenue  value  util%");
+    for batch in &trace {
+        let report = engine.submit_batch(batch);
+        println!(
+            "{:>5}  {:>8}  {:>8}  {:>7.1}%  {:>7.2}  {:>5.1}  {:>5.2}",
+            report.epoch,
+            report.arrivals,
+            report.accepted,
+            100.0 * report.accepted as f64 / report.arrivals.max(1) as f64,
+            report.revenue,
+            report.value_admitted,
+            100.0 * report.total_utilization,
+        );
+    }
+
+    let metrics = engine.metrics();
+    println!(
+        "\ntotal: {}/{} admitted ({:.1}%), revenue {:.2} on value {:.2}",
+        metrics.accepted,
+        metrics.arrivals,
+        100.0 * metrics.acceptance_rate(),
+        metrics.revenue,
+        metrics.value_admitted,
+    );
+
+    // The whole online run is one offline-checkable allocation.
+    let feasible = engine
+        .cumulative_solution()
+        .check_feasible(&engine.instance(), false)
+        .is_ok();
+    println!("cumulative allocation feasible: {feasible}");
+    assert!(feasible);
+}

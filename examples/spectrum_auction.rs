@@ -22,8 +22,8 @@ fn main() {
     // the multiplicities (≈ 12·B), so the market clears with real prices.
     let bids = (12.0 * required_multiplicity(16, eps)).ceil() as usize;
     let auction = random_auction(&RandomAuctionConfig {
-        items: 16,          // regions
-        bids,               // carriers
+        items: 16,           // regions
+        bids,                // carriers
         bundle_size: (1, 4), // coverage footprints
         epsilon_target: eps,
         value_per_item: (1.0, 4.0),

@@ -57,8 +57,8 @@ fn main() {
     // A multi-path network with hotspot contention makes the LP solution
     // fractional, which is where raising a bid can reshuffle the rounding.
     println!("\nsame probes against randomized rounding (coins fixed, contended network):");
-    let contended = truthful_ufp::ufp_workloads::random_ufp(
-        &truthful_ufp::ufp_workloads::RandomUfpConfig {
+    let contended =
+        truthful_ufp::ufp_workloads::random_ufp(&truthful_ufp::ufp_workloads::RandomUfpConfig {
             nodes: 8,
             edges: 24,
             requests: 24,
@@ -67,8 +67,7 @@ fn main() {
             values: truthful_ufp::ufp_workloads::ValueModel::Uniform(0.5, 2.0),
             hotspot_pairs: Some(2),
             seed: 2,
-        },
-    );
+        });
     let cfg = RoundingConfig {
         epsilon: 0.1,
         seed: 1234,

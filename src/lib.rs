@@ -42,16 +42,18 @@
 //!
 //! | crate | contents |
 //! |---|---|
-//! | [`ufp_netgraph`] | capacitated graphs, Dijkstra, path enumeration, generators |
+//! | [`ufp_netgraph`] | capacitated graphs, Dijkstra, path enumeration, generators, residual views |
 //! | [`ufp_lp`] | exact simplex + Garg–Könemann fractional solvers (certified bounds) |
 //! | [`ufp_par`] | crossbeam-based parallel map with per-thread workspaces |
 //! | [`ufp_core`] | Algorithms 1 & 3, the reasonable-algorithm engine, baselines |
 //! | [`ufp_auction`] | Algorithm 2 and the auction substrate |
 //! | [`ufp_mechanism`] | critical-value payments and truthfulness verification |
-//! | [`ufp_workloads`] | Figure 2/3/4 constructions and random workloads |
+//! | [`ufp_workloads`] | Figure 2/3/4 constructions, random workloads, arrival traces |
+//! | [`ufp_engine`] | streaming admission-control engine (epochs, residual capacities, payments, metrics) |
 
 pub use ufp_auction;
 pub use ufp_core;
+pub use ufp_engine;
 pub use ufp_lp;
 pub use ufp_mechanism;
 pub use ufp_netgraph;

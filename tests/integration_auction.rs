@@ -105,7 +105,11 @@ fn muca_beats_or_matches_bkv_under_contention() {
             wins += 1;
         }
     }
-    assert!(wins >= 4, "Bounded-MUCA lost to BKV on {} of 5 seeds", 5 - wins);
+    assert!(
+        wins >= 4,
+        "Bounded-MUCA lost to BKV on {} of 5 seeds",
+        5 - wins
+    );
 }
 
 #[test]

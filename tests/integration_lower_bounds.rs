@@ -6,8 +6,7 @@ use truthful_ufp::ufp_auction::{
     exact_auction_optimum, iterative_bundle_minimizer, BundleEngineConfig, MucaPrimalDualScore,
 };
 use truthful_ufp::ufp_core::{
-    exact_optimum, iterative_path_minimizer, EngineConfig, ExactConfig, PrimalDualScore,
-    TieBreak,
+    exact_optimum, iterative_path_minimizer, EngineConfig, ExactConfig, PrimalDualScore, TieBreak,
 };
 use truthful_ufp::ufp_workloads as w;
 
@@ -15,8 +14,10 @@ use truthful_ufp::ufp_workloads as w;
 fn figure3_realizes_exactly_3b() {
     for b in [2usize, 4, 8, 16] {
         let inst = w::figure3(b);
-        let mut cfg = EngineConfig::default();
-        cfg.tie = TieBreak::ViaHub(w::figure3_hub());
+        let cfg = EngineConfig {
+            tie: TieBreak::ViaHub(w::figure3_hub()),
+            ..Default::default()
+        };
         let run = iterative_path_minimizer(&inst, &PrimalDualScore, &cfg);
         assert_eq!(
             run.solution.value(&inst),
@@ -62,8 +63,10 @@ fn figure2_engine_and_simulator_agree_and_track_the_formula() {
     // Generic engine at a size it can afford…
     let (ell, b) = (8usize, 2usize);
     let inst = w::figure2(ell, b);
-    let mut cfg = EngineConfig::default();
-    cfg.tie = TieBreak::HighestSecondNode;
+    let cfg = EngineConfig {
+        tie: TieBreak::HighestSecondNode,
+        ..Default::default()
+    };
     let run = iterative_path_minimizer(&inst, &PrimalDualScore, &cfg);
     let engine_alg = run.solution.value(&inst);
     // …must agree with the fast simulator…
@@ -87,7 +90,10 @@ fn lower_bound_instances_have_large_capacity_structure() {
     let inst = w::figure2(6, 3);
     assert_eq!(inst.graph().min_capacity(), 3.0);
     assert_eq!(inst.graph().max_capacity(), 3.0);
-    assert!(inst.requests().iter().all(|r| r.demand == 1.0 && r.value == 1.0));
+    assert!(inst
+        .requests()
+        .iter()
+        .all(|r| r.demand == 1.0 && r.value == 1.0));
 
     let inst3 = w::figure3(4);
     assert_eq!(inst3.graph().min_capacity(), 4.0);

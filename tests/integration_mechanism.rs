@@ -30,7 +30,9 @@ fn bounded_ufp_mechanism_truthful_across_seeds() {
     let cfg = BoundedUfpConfig::with_epsilon(0.4);
     for seed in [1u64, 5, 9] {
         let inst = small_contended_ufp(seed);
-        let mech = CriticalValueMechanism::new(UfpAllocator { config: cfg.clone() });
+        let mech = CriticalValueMechanism::new(UfpAllocator {
+            config: cfg.clone(),
+        });
         let report = verify_value_truthfulness(&mech, &inst, &[0.3, 0.7, 1.4, 3.0]);
         assert!(report.passed(), "seed {seed}: {report:?}");
         let joint = verify_ufp_type_truthfulness(&inst, &cfg, 5, seed);
@@ -97,8 +99,8 @@ fn payments_are_thresholds() {
     let selected = alloc.selected(&inst);
     let cfg = PaymentConfig::default();
     let mut checked = 0;
-    for agent in 0..inst.num_requests() {
-        if !selected[agent] {
+    for (agent, &sel) in selected.iter().enumerate() {
+        if !sel {
             continue;
         }
         let pay = critical_value(&alloc, &inst, agent, &cfg);
@@ -117,7 +119,10 @@ fn payments_are_thresholds() {
         );
         checked += 1;
     }
-    assert!(checked > 0, "no positive payments to bracket — weak fixture");
+    assert!(
+        checked > 0,
+        "no positive payments to bracket — weak fixture"
+    );
 }
 
 #[test]
@@ -128,8 +133,8 @@ fn losers_cannot_win_profitably() {
     let cfg = BoundedUfpConfig::with_epsilon(0.4);
     let alloc = UfpAllocator { config: cfg };
     let selected = alloc.selected(&inst);
-    for agent in 0..inst.num_requests() {
-        if selected[agent] {
+    for (agent, &sel) in selected.iter().enumerate() {
+        if sel {
             continue;
         }
         let true_value = inst.request(RequestId(agent as u32)).value;

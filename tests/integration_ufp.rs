@@ -119,7 +119,11 @@ fn claim52_certificate_dominates_figure5_lp() {
     let run = bounded_ufp_repeat(&inst, &RepeatConfig::with_epsilon(0.3));
     let fig5 = solve_ufp_repetition_lp_exact(inst.graph(), &inst.to_commodities());
     let alg = run.solution.value(&inst);
-    assert!(alg <= fig5.objective + 1e-6, "ALG {alg} above Figure 5 LP {}", fig5.objective);
+    assert!(
+        alg <= fig5.objective + 1e-6,
+        "ALG {alg} above Figure 5 LP {}",
+        fig5.objective
+    );
     let bound = run.dual_upper_bound().expect("claim 5.2");
     assert!(
         bound >= fig5.objective - 1e-6,

@@ -1,0 +1,121 @@
+//! In-tree shim for the `parking_lot` crate (the build environment is
+//! offline). Wraps `std::sync` primitives behind parking_lot's
+//! poison-free API subset used by this workspace: [`Mutex::lock`]
+//! returning a guard directly, [`Mutex::into_inner`], and
+//! [`Condvar::wait`] taking the guard by `&mut`.
+
+use std::ops::{Deref, DerefMut};
+use std::sync;
+
+/// Poison-free mutex.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+/// RAII lock guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized>(sync::MutexGuard<'a, T>);
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Unwrap the value, ignoring poison (parking_lot has no poisoning).
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Block until the lock is acquired.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(self.0.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// Condition variable compatible with [`Mutex`].
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// New condition variable.
+    pub fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Atomically release the guard's lock and wait; the lock is
+    /// re-acquired (through the same `&mut` guard) before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // std's wait consumes and returns the guard; parking_lot's takes it
+        // by &mut. Bridge by moving the inner guard out and back. No code
+        // path between the read and the write can unwind: wait() only errs
+        // on poisoning, which unwrap_or_else(into_inner) absorbs.
+        unsafe {
+            let inner = std::ptr::read(&guard.0);
+            let reacquired = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
+            std::ptr::write(&mut guard.0, reacquired);
+        }
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn condvar_roundtrip() {
+        let pair = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let handle = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut g = m.lock();
+            *g += 1;
+            cv.notify_all();
+            while *g < 2 {
+                cv.wait(&mut g);
+            }
+            *g
+        });
+        {
+            let (m, cv) = &*pair;
+            let mut g = m.lock();
+            while *g < 1 {
+                cv.wait(&mut g);
+            }
+            *g += 1;
+            cv.notify_all();
+        }
+        assert_eq!(handle.join().unwrap(), 2);
+    }
+}
