@@ -150,6 +150,9 @@ fn engine_throughput(c: &mut Criterion) {
         },
     );
     let stream = &trace[0];
+    // One shared graph across every benched engine — engine construction
+    // is an Arc bump, not a CSR copy, matching production use.
+    let shared = std::sync::Arc::new(graph);
     let mut group = c.benchmark_group("engine_throughput");
     group.sample_size(10);
     for &batch_size in &[64usize, 256, 1024] {
@@ -162,7 +165,7 @@ fn engine_throughput(c: &mut Criterion) {
                         events: EventLevel::Epoch,
                         ..EngineConfig::with_epsilon(epsilon)
                     };
-                    let mut engine = Engine::new(graph.clone(), config);
+                    let mut engine = Engine::from_shared(std::sync::Arc::clone(&shared), config);
                     for batch in stream.chunks(batch_size) {
                         black_box(engine.submit_batch(batch));
                     }

@@ -7,23 +7,33 @@
 //! summary table. Everything written to **stdout** is a deterministic
 //! function of the flags (two runs with the same seed are byte-identical);
 //! wall-clock figures (latency percentiles, throughput) go to stderr.
+//! Exception: under `--json` the emitted document carries a `"timing"`
+//! object (total wall-clock, latency percentiles, throughput) that is
+//! explicitly *not* deterministic — strip it before byte-comparing runs.
+//!
+//! Payments: `--payments critical` prices every admission with
+//! prefix-resumed critical-value bisection; `--payments critical-naive`
+//! runs the full-rerun baseline (bit-identical revenue, superlinearly
+//! slower — kept for speedup measurements like `BENCH_PR2.json`).
 //!
 //! ```text
 //! cargo run -p ufp-bench --release --bin engine_sim
 //! cargo run -p ufp-bench --release --bin engine_sim -- \
 //!     --nodes 1000 --edges 5000 --epochs 200 --mean 550 --seed 7 \
-//!     --process diurnal --churn 20,60
+//!     --process diurnal --churn 20,60 --payments critical --json
 //! ```
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use ufp_bench::table::{f2, Table};
 use ufp_core::StopReason;
-use ufp_engine::{Engine, EngineConfig, EventLevel};
+use ufp_engine::{Engine, EngineConfig, EventLevel, PaymentPolicy};
 use ufp_netgraph::generators;
+use ufp_par::Pool;
 use ufp_workloads::arrivals::{arrival_trace, ArrivalProcess, ArrivalTraceConfig};
 use ufp_workloads::random_ufp::required_b;
 
@@ -37,6 +47,9 @@ struct Options {
     seed: u64,
     process: String,
     churn: Option<(u32, u32)>,
+    payments: String,
+    json: bool,
+    threads: usize,
 }
 
 impl Default for Options {
@@ -51,6 +64,9 @@ impl Default for Options {
             seed: 7,
             process: "poisson".to_string(),
             churn: None,
+            payments: "none".to_string(),
+            json: false,
+            threads: 1,
         }
     }
 }
@@ -76,6 +92,11 @@ fn parse_options() -> Result<Options, String> {
             "--eps" => options.epsilon = value("--eps")?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => options.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--process" => options.process = value("--process")?,
+            "--payments" => options.payments = value("--payments")?,
+            "--json" => options.json = true,
+            "--threads" => {
+                options.threads = value("--threads")?.parse().map_err(|e| format!("{e}"))?
+            }
             "--churn" => {
                 let spec = value("--churn")?;
                 let (lo, hi) = spec
@@ -137,14 +158,25 @@ fn main() -> ExitCode {
     let total_requests: usize = trace.iter().map(Vec::len).sum();
 
     // Replay.
+    let payment_policy = match options.payments.as_str() {
+        "none" => PaymentPolicy::None,
+        "critical" => PaymentPolicy::critical_value(),
+        "critical-naive" => PaymentPolicy::critical_value_naive(),
+        other => {
+            eprintln!("engine_sim: unknown payments {other} (none|critical|critical-naive)");
+            return ExitCode::FAILURE;
+        }
+    };
     let engine_config = EngineConfig {
         events: EventLevel::Epoch,
-        ..EngineConfig::with_epsilon(options.epsilon)
+        payments: payment_policy,
+        ..EngineConfig::with_epsilon(options.epsilon).parallel(Pool::new(options.threads))
     };
     let mut engine = Engine::new(graph, engine_config);
     let mut stop_counts = [0usize; 4];
     let mut sampled_rows: Vec<Vec<String>> = Vec::new();
     let sample_every = (options.epochs / 10).max(1);
+    let replay_started = Instant::now();
     for (t, batch) in trace.iter().enumerate() {
         let report = engine.submit_batch(batch);
         stop_counts[match report.stop {
@@ -165,6 +197,78 @@ fn main() -> ExitCode {
                 f2(report.min_residual),
             ]);
         }
+    }
+
+    let replay_elapsed = replay_started.elapsed();
+
+    // Feasibility verdict: active always; cumulative too when no churn.
+    let instance = engine.instance();
+    let active_ok = engine.active_solution().check_feasible(&instance, false);
+    let cumulative_ok = options.churn.is_none().then(|| {
+        engine
+            .cumulative_solution()
+            .check_feasible(&instance, false)
+    });
+    let feasible = active_ok.is_ok() && cumulative_ok.as_ref().is_none_or(|c| c.is_ok());
+
+    if options.json {
+        let metrics = engine.metrics();
+        let churn = match options.churn {
+            Some((lo, hi)) => format!("[{lo}, {hi}]"),
+            None => "null".to_string(),
+        };
+        println!("{{");
+        println!(
+            "  \"config\": {{\"nodes\": {}, \"edges\": {}, \"epochs\": {}, \"mean\": {}, \
+             \"hotspots\": {}, \"eps\": {}, \"seed\": {}, \"process\": \"{}\", \
+             \"churn\": {}, \"payments\": \"{}\", \"threads\": {}}},",
+            options.nodes,
+            options.edges,
+            options.epochs,
+            options.mean,
+            options.hotspots,
+            options.epsilon,
+            options.seed,
+            options.process,
+            churn,
+            options.payments,
+            options.threads
+        );
+        println!(
+            "  \"totals\": {{\"requests\": {}, \"accepted\": {}, \"rejected\": {}, \
+             \"released\": {}, \"acceptance_rate\": {:.6}, \"value_admitted\": {:.6}, \
+             \"revenue\": {:.6}, \"utilization\": {:.6}, \
+             \"stops\": {{\"exhausted\": {}, \"guard\": {}, \"nopath\": {}, \"cap\": {}}}}},",
+            total_requests,
+            metrics.accepted,
+            metrics.rejected,
+            metrics.released,
+            metrics.acceptance_rate(),
+            metrics.value_admitted,
+            metrics.revenue,
+            engine.residual().total_utilization(),
+            stop_counts[0],
+            stop_counts[1],
+            stop_counts[2],
+            stop_counts[3]
+        );
+        println!("  \"feasible\": {feasible},");
+        // Wall-clock block — the one non-deterministic part of the
+        // document; strip it before byte-comparing runs.
+        println!(
+            "  \"timing\": {{\"elapsed_s\": {:.3}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"requests_per_s\": {:.1}}}",
+            replay_elapsed.as_secs_f64(),
+            metrics.p50_latency_us().unwrap_or(0),
+            metrics.p99_latency_us().unwrap_or(0),
+            metrics.requests_per_second().unwrap_or(0.0)
+        );
+        println!("}}");
+        return if feasible {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
 
     // Deterministic summary (stdout).
@@ -207,6 +311,7 @@ fn main() -> ExitCode {
         f2(100.0 * metrics.acceptance_rate()),
     );
     kv(&mut summary, "value admitted", f2(metrics.value_admitted));
+    kv(&mut summary, "payments", options.payments.clone());
     kv(&mut summary, "revenue", f2(metrics.revenue));
     kv(
         &mut summary,
@@ -231,25 +336,14 @@ fn main() -> ExitCode {
         ),
     );
 
-    // Feasibility verdict: active always; cumulative too when no churn.
-    let instance = engine.instance();
-    let active_ok = engine.active_solution().check_feasible(&instance, false);
-    let mut feasible = active_ok.is_ok();
     match &active_ok {
         Ok(()) => summary.note("active solution: check_feasible PASS"),
         Err(e) => summary.note(format!("active solution: check_feasible FAIL — {e}")),
     }
-    if options.churn.is_none() {
-        let cumulative_ok = engine
-            .cumulative_solution()
-            .check_feasible(&instance, false);
-        feasible &= cumulative_ok.is_ok();
-        match cumulative_ok {
-            Ok(()) => summary.note("cumulative solution: check_feasible PASS"),
-            Err(e) => summary.note(format!("cumulative solution: check_feasible FAIL — {e}")),
-        }
-    } else {
-        summary.note("cumulative feasibility skipped (churn releases capacity)");
+    match &cumulative_ok {
+        Some(Ok(())) => summary.note("cumulative solution: check_feasible PASS"),
+        Some(Err(e)) => summary.note(format!("cumulative solution: check_feasible FAIL — {e}")),
+        None => summary.note("cumulative feasibility skipped (churn releases capacity)"),
     }
     print!("{}", summary.render());
 

@@ -113,11 +113,21 @@ impl UfpRunResult {
 }
 
 /// Per-request shortest-path query result within one iteration.
+///
+/// The argmin selection needs every remaining request's distance, but
+/// only the *selected* request's path is ever used. For large remaining
+/// sets the fan-out therefore skips the `O(remaining · hops)` path
+/// reconstructions (`path: None`) and the main loop re-derives the one
+/// chosen path with a single targeted Dijkstra — bit-identical, since
+/// pop order and parent pointers do not depend on the target set. For
+/// small remaining sets (fewer than the graph has nodes) the
+/// reconstructions are cheaper than an extra Dijkstra, so the fan-out
+/// keeps collecting paths. Either mode yields identical results; the
+/// switch is purely a cost model.
 struct PathFinding {
     request: RequestId,
     /// Distance in *materialized* (shifted) weight scale.
     dist: f64,
-    path: Path,
 }
 
 /// Residual-epoch inputs that let `ufp-engine` reuse Algorithm 1
@@ -164,20 +174,196 @@ pub fn bounded_ufp(instance: &UfpInstance, config: &BoundedUfpConfig) -> UfpRunR
     bounded_ufp_epoch(instance, config, None).run
 }
 
-/// Run Algorithm 1 over one epoch of a long-lived network. `ctx` carries
-/// the residual state; `None` reproduces the one-shot behavior exactly.
+/// One recorded selection step of an epoch run: everything needed to
+/// re-apply the step's state mutations *without* re-running its
+/// shortest-path queries. The bump exponents are stored verbatim so the
+/// replay is bit-identical to the original arithmetic sequence.
+#[derive(Clone, Debug)]
+struct ResumeStep {
+    path: Path,
+    /// Line-10 exponent per path edge, in `path.edges()` order.
+    bumps: Vec<f64>,
+    record: IterationRecord,
+}
+
+/// Per-step checkpoint trace of an epoch run, produced by
+/// [`bounded_ufp_epoch_traced`]. From it, [`EpochResumeTrace::checkpoint`]
+/// reconstructs the run's exact state after any step prefix in
+/// `O(prefix · path length)` arithmetic — no shortest-path work — and
+/// [`bounded_ufp_epoch_resume`] continues the run from there.
 ///
-/// Per-epoch feasibility: with `B = min` *usable* residual capacity, the
-/// Lemma 3.3 argument gives load `≤ c_e(B−1)/B + d ≤ c_e` on every edge
-/// whenever every admitted demand satisfies `d ≤ c_e/B`, which holds for
-/// normalized demands as long as unusable edges are exactly those with
-/// residual below the caller's floor `≥ 1`. The streaming engine keeps
-/// cumulative feasibility by induction over epochs.
-pub fn bounded_ufp_epoch(
+/// The point (Lemma 3.4's monotonicity made operational): when one
+/// agent's declared value is *lowered*, the selection sequence is
+/// unchanged up to the step that originally selected that agent — its
+/// score `(d/v)·|p|` only rises, and every earlier argmin already beat
+/// it. Critical-value bisection therefore only needs to re-run the
+/// *suffix* from that step for each probe, which is what makes truthful
+/// pricing viable at 10⁴-request epochs.
+#[derive(Clone, Debug, Default)]
+pub struct EpochResumeTrace {
+    steps: Vec<ResumeStep>,
+}
+
+impl EpochResumeTrace {
+    /// Number of recorded selection steps.
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// The step index at which `r` was selected, if it was.
+    pub fn selection_step(&self, r: RequestId) -> Option<usize> {
+        self.steps.iter().position(|s| s.record.selected == r)
+    }
+
+    /// Reconstruct the run state after the first `steps` selections, by
+    /// replaying the recorded mutations (no shortest-path queries).
+    /// `instance`, `config` and `ctx` must match the traced run — except
+    /// that requests not selected within the prefix may carry different
+    /// declared values (the counterfactuals of payment probes).
+    pub fn checkpoint(
+        &self,
+        instance: &UfpInstance,
+        config: &BoundedUfpConfig,
+        ctx: Option<&EpochContext<'_>>,
+        steps: usize,
+    ) -> EpochCheckpoint {
+        assert!(
+            steps <= self.steps.len(),
+            "checkpoint past the end of the trace ({steps} > {})",
+            self.steps.len()
+        );
+        validate_epoch_inputs(instance, config, ctx);
+        let mut state = EpochRunState::init(instance, ctx);
+        for step in &self.steps[..steps] {
+            state.replay(instance, step);
+        }
+        EpochCheckpoint { state }
+    }
+}
+
+/// Materialized state of an epoch run after some step prefix — the
+/// resumable snapshot handed to [`bounded_ufp_epoch_resume`] /
+/// [`bounded_ufp_epoch_resume_watch`]. After
+/// [`EpochCheckpoint::strip_outcome_state`], cloning is `O(m + n)`
+/// (weight vectors plus bookkeeping) — what each bisection probe costs
+/// up front instead of a full re-run.
+#[derive(Clone, Debug)]
+pub struct EpochCheckpoint {
+    state: EpochRunState,
+}
+
+impl EpochCheckpoint {
+    /// Number of selection steps already applied in this snapshot.
+    pub fn steps(&self) -> usize {
+        self.state.steps_done
+    }
+
+    /// Drop the accumulated prefix solution, iteration records, and
+    /// carry from this snapshot. The result still answers
+    /// selection-membership questions exactly (everything the loop's
+    /// control flow reads — weights, residuals, remaining set, routed
+    /// value — is retained), so it is the right thing to clone per
+    /// [`bounded_ufp_epoch_resume_watch`] probe: the prefix paths and
+    /// records are dead weight there, and a deep prefix would otherwise
+    /// be re-copied on every probe. Do **not** feed a stripped
+    /// checkpoint to [`bounded_ufp_epoch_resume`] if you need the full
+    /// outcome — its solution and trace would be missing the prefix.
+    pub fn strip_outcome_state(mut self) -> EpochCheckpoint {
+        self.state.solution.routed.clear();
+        self.state.solution.routed.shrink_to_fit();
+        self.state.records.clear();
+        self.state.records.shrink_to_fit();
+        self.state.carry = None;
+        self
+    }
+}
+
+/// Everything the Algorithm 1 main loop mutates, factored out so runs
+/// can be checkpointed, cloned, and resumed.
+#[derive(Clone, Debug)]
+struct EpochRunState {
+    weights: DualWeights,
+    carry: Option<Vec<f64>>,
+    remaining: Vec<RequestId>,
+    residual: Vec<f64>,
+    solution: UfpSolution,
+    routed_value: f64,
+    records: Vec<IterationRecord>,
+    /// Selection steps applied so far. Tracked separately from
+    /// `records.len()` so stripped probe checkpoints keep reporting
+    /// their position ([`EpochCheckpoint::steps`]).
+    steps_done: usize,
+}
+
+impl EpochRunState {
+    fn init(instance: &UfpInstance, ctx: Option<&EpochContext<'_>>) -> Self {
+        let graph = instance.graph();
+        let weights = match ctx {
+            None => DualWeights::new(graph),
+            Some(c) => DualWeights::with_context(c.capacities, c.usable, c.carry),
+        };
+        let carry: Option<Vec<f64>> = ctx.map(|c| c.carry.to_vec());
+        let remaining: Vec<RequestId> = instance.request_ids().collect();
+        let residual: Vec<f64> = match ctx {
+            None => graph.edges().iter().map(|e| e.capacity).collect(),
+            Some(c) => c.capacities.to_vec(),
+        };
+        let n = remaining.len();
+        EpochRunState {
+            weights,
+            carry,
+            remaining,
+            residual,
+            solution: UfpSolution::empty(),
+            routed_value: 0.0,
+            records: Vec::with_capacity(n),
+            steps_done: 0,
+        }
+    }
+
+    /// Re-apply one recorded step: identical mutation order (record,
+    /// bumps, carry, residual, value, solution, remaining) and identical
+    /// arithmetic to the live loop, so the resulting state is
+    /// bit-identical to having executed the step.
+    fn replay(&mut self, instance: &UfpInstance, step: &ResumeStep) {
+        let req = *instance.request(step.record.selected);
+        debug_assert_eq!(
+            step.record.routed_value_before, self.routed_value,
+            "resume trace replayed out of order"
+        );
+        self.records.push(step.record);
+        for (&e, &exponent) in step.path.edges().iter().zip(&step.bumps) {
+            self.weights.bump(e, exponent);
+            if let Some(k) = self.carry.as_mut() {
+                k[e.index()] += exponent;
+            }
+            self.residual[e.index()] -= req.demand;
+        }
+        self.routed_value += req.value;
+        self.solution
+            .routed
+            .push((step.record.selected, step.path.clone()));
+        let selected = step.record.selected;
+        self.remaining.retain(|r| *r != selected);
+        self.steps_done += 1;
+    }
+}
+
+/// How one call to [`run_epoch_loop`] ended.
+enum LoopEnd {
+    /// The loop stopped for one of Algorithm 1's reasons.
+    Stopped(StopReason),
+    /// The watched request was about to be selected; the state is frozen
+    /// at the top of that iteration (nothing of the step applied).
+    WatchSelected,
+}
+
+/// Shared input validation for all epoch entry points.
+fn validate_epoch_inputs(
     instance: &UfpInstance,
     config: &BoundedUfpConfig,
     ctx: Option<&EpochContext<'_>>,
-) -> EpochOutcome {
+) {
     assert!(
         instance.is_normalized(),
         "Bounded-UFP requires a normalized instance (demands in (0,1]); \
@@ -187,59 +373,83 @@ pub fn bounded_ufp_epoch(
         config.epsilon > 0.0 && config.epsilon <= 1.0,
         "epsilon must lie in (0, 1]"
     );
-    let graph = instance.graph();
+    if let Some(c) = ctx {
+        let m = instance.graph().num_edges();
+        assert_eq!(c.capacities.len(), m);
+        assert_eq!(c.usable.len(), m);
+        assert_eq!(c.carry.len(), m);
+    }
+}
+
+/// The guard bound `B`: minimum capacity over (usable) edges.
+fn epoch_bound_b(instance: &UfpInstance, ctx: Option<&EpochContext<'_>>) -> f64 {
+    match ctx {
+        None => instance.graph().min_capacity(),
+        Some(c) => c
+            .capacities
+            .iter()
+            .zip(c.usable)
+            .filter(|&(_, &u)| u)
+            .map(|(&cap, _)| cap)
+            .fold(f64::INFINITY, f64::min),
+    }
+}
+
+/// The Algorithm 1 main loop over an [`EpochRunState`].
+///
+/// * `record_steps` — when set, every executed step is appended as a
+///   [`ResumeStep`] (the traced run).
+/// * `watch` — when set, the loop returns [`LoopEnd::WatchSelected`]
+///   *before* applying the step that would select the watched request,
+///   leaving the state at the top of that iteration. Payment probes use
+///   this both as an early exit ("it wins at this declared value") and
+///   as a deeper checkpoint for every later probe at a lower value.
+#[allow(clippy::too_many_arguments)] // internal: one call site per entry point
+fn run_epoch_loop(
+    instance: &UfpInstance,
+    config: &BoundedUfpConfig,
+    usable: Option<&[bool]>,
+    b: f64,
+    ln_guard: f64,
+    state: &mut EpochRunState,
+    mut record_steps: Option<&mut Vec<ResumeStep>>,
+    watch: Option<RequestId>,
+) -> LoopEnd {
     let eps = config.epsilon;
-    let b = match ctx {
-        None => graph.min_capacity(),
-        Some(c) => {
-            assert_eq!(c.capacities.len(), graph.num_edges());
-            assert_eq!(c.usable.len(), graph.num_edges());
-            assert_eq!(c.carry.len(), graph.num_edges());
-            c.capacities
-                .iter()
-                .zip(c.usable)
-                .filter(|&(_, &u)| u)
-                .map(|(&cap, _)| cap)
-                .fold(f64::INFINITY, f64::min)
+    let mut path_scratch = Dijkstra::new(instance.graph().num_nodes());
+    loop {
+        if state.remaining.is_empty() {
+            return LoopEnd::Stopped(StopReason::Exhausted);
         }
-    };
-    let ln_guard = eps * (b - 1.0);
-    let usable = ctx.map(|c| c.usable);
-
-    let mut weights = match ctx {
-        None => DualWeights::new(graph),
-        Some(c) => DualWeights::with_context(c.capacities, c.usable, c.carry),
-    };
-    let mut carry: Option<Vec<f64>> = ctx.map(|c| c.carry.to_vec());
-    let mut remaining: Vec<RequestId> = instance.request_ids().collect();
-    let mut residual: Vec<f64> = match ctx {
-        None => graph.edges().iter().map(|e| e.capacity).collect(),
-        Some(c) => c.capacities.to_vec(),
-    };
-    let mut solution = UfpSolution::empty();
-    let mut routed_value = 0.0f64;
-    let mut records: Vec<IterationRecord> = Vec::with_capacity(remaining.len());
-
-    let stop_reason = loop {
-        if remaining.is_empty() {
-            break StopReason::Exhausted;
-        }
-        let ln_d1 = weights.ln_dual_sum();
+        let ln_d1 = state.weights.ln_dual_sum();
         if ln_d1 > ln_guard {
-            break StopReason::Guard;
+            return LoopEnd::Stopped(StopReason::Guard);
         }
 
-        let findings = if config.respect_residual {
-            shortest_paths_residual(
+        // Cost model only — results are identical either way (see
+        // `PathFinding`): below one path-reconstruction per node, the
+        // fan-out collects paths inline; above it, distances only plus
+        // one targeted re-run for the winner.
+        let collect_paths = state.remaining.len() < instance.graph().num_nodes();
+        let (findings, mut paths) = if config.respect_residual {
+            let findings = shortest_distances_residual(
                 instance,
-                &remaining,
-                &weights,
-                &residual,
+                &state.remaining,
+                &state.weights,
+                &state.residual,
                 usable,
                 &config.pool,
-            )
+            );
+            (findings, Vec::new())
         } else {
-            shortest_paths_grouped(instance, &remaining, &weights, usable, &config.pool)
+            shortest_findings_grouped(
+                instance,
+                &state.remaining,
+                &state.weights,
+                usable,
+                &config.pool,
+                collect_paths,
+            )
         };
 
         // Select r̂ minimizing (d/v)·|p| — deterministic tie-break on
@@ -257,70 +467,239 @@ pub fn bounded_ufp_epoch(
             }
         }
         let Some((score, idx)) = best else {
-            break StopReason::NoPath;
+            return LoopEnd::Stopped(StopReason::NoPath);
         };
-        let chosen = &findings[idx];
-        let req = *instance.request(chosen.request);
+        let selected = findings[idx].request;
+        if watch == Some(selected) {
+            return LoopEnd::WatchSelected;
+        }
+        let req = *instance.request(selected);
+        // Materialize only the winner's path: taken from the fan-out if
+        // it collected paths, re-derived with one targeted query if not.
+        let path = if paths.is_empty() {
+            chosen_path(
+                &mut path_scratch,
+                instance,
+                &state.weights,
+                config.respect_residual.then_some(state.residual.as_slice()),
+                usable,
+                selected,
+            )
+        } else {
+            // Index-aligned with findings; order is dead after this read.
+            paths.swap_remove(idx)
+        };
 
         // Claim 3.6 bookkeeping: α(i) in log space (shift restores the
         // true scale of the materialized distance).
         let ln_alpha = if score > 0.0 {
-            score.ln() + weights.shift()
+            score.ln() + state.weights.shift()
         } else {
             f64::NEG_INFINITY
         };
-        records.push(IterationRecord {
-            selected: chosen.request,
+        let record = IterationRecord {
+            selected,
             ln_alpha,
             ln_d1,
-            routed_value_before: routed_value,
-        });
+            routed_value_before: state.routed_value,
+        };
+        state.records.push(record);
 
         // Line 10: y_e ← y_e · e^{εB d / c_e} along the chosen path.
-        for &e in chosen.path.edges() {
-            let c = weights.capacity(e);
+        let mut bumps = record_steps
+            .is_some()
+            .then(|| Vec::with_capacity(path.edges().len()));
+        for &e in path.edges() {
+            let c = state.weights.capacity(e);
             let exponent = eps * b * req.demand / c;
-            weights.bump(e, exponent);
-            if let Some(k) = carry.as_mut() {
+            state.weights.bump(e, exponent);
+            if let Some(k) = state.carry.as_mut() {
                 k[e.index()] += exponent;
             }
-            residual[e.index()] -= req.demand;
+            state.residual[e.index()] -= req.demand;
+            if let Some(bs) = bumps.as_mut() {
+                bs.push(exponent);
+            }
         }
 
-        routed_value += req.value;
-        solution.routed.push((chosen.request, chosen.path.clone()));
-        remaining.retain(|r| *r != chosen.request);
-    };
+        state.routed_value += req.value;
+        state.remaining.retain(|r| *r != selected);
+        state.steps_done += 1;
+        if let Some(steps) = record_steps.as_deref_mut() {
+            state.solution.routed.push((selected, path.clone()));
+            steps.push(ResumeStep {
+                path,
+                bumps: bumps.unwrap_or_default(),
+                record,
+            });
+        } else {
+            state.solution.routed.push((selected, path));
+        }
+    }
+}
 
+/// Package a finished run state into an [`EpochOutcome`].
+fn finish_outcome(
+    config: &BoundedUfpConfig,
+    had_ctx: bool,
+    state: EpochRunState,
+    stop_reason: StopReason,
+    ln_guard: f64,
+) -> EpochOutcome {
     let trace = RunTrace {
-        records,
+        records: state.records,
         ln_guard_threshold: ln_guard,
         stop_reason,
-        certificate: if config.respect_residual || ctx.is_some() {
+        certificate: if config.respect_residual || had_ctx {
             Certificate::None
         } else {
             Certificate::Claim36
         },
     };
     EpochOutcome {
-        run: UfpRunResult { solution, trace },
-        carry: carry.unwrap_or_default(),
+        run: UfpRunResult {
+            solution: state.solution,
+            trace,
+        },
+        carry: state.carry.unwrap_or_default(),
     }
 }
 
-/// Shortest paths for all remaining requests, one Dijkstra per *distinct
-/// source* (requests sharing a source reuse the tree), fanned out over the
-/// pool. Results are flattened in (source-group, request) order, which is
-/// ascending request id within groups.
-fn shortest_paths_grouped(
+/// Run Algorithm 1 over one epoch of a long-lived network. `ctx` carries
+/// the residual state; `None` reproduces the one-shot behavior exactly.
+///
+/// Per-epoch feasibility: with `B = min` *usable* residual capacity, the
+/// Lemma 3.3 argument gives load `≤ c_e(B−1)/B + d ≤ c_e` on every edge
+/// whenever every admitted demand satisfies `d ≤ c_e/B`, which holds for
+/// normalized demands as long as unusable edges are exactly those with
+/// residual below the caller's floor `≥ 1`. The streaming engine keeps
+/// cumulative feasibility by induction over epochs.
+pub fn bounded_ufp_epoch(
+    instance: &UfpInstance,
+    config: &BoundedUfpConfig,
+    ctx: Option<&EpochContext<'_>>,
+) -> EpochOutcome {
+    run_epoch(instance, config, ctx, None)
+}
+
+/// [`bounded_ufp_epoch`] that additionally records a per-step
+/// [`EpochResumeTrace`]. The outcome is bit-identical to the untraced
+/// run; the trace enables prefix-resumed counterfactual probes.
+pub fn bounded_ufp_epoch_traced(
+    instance: &UfpInstance,
+    config: &BoundedUfpConfig,
+    ctx: Option<&EpochContext<'_>>,
+) -> (EpochOutcome, EpochResumeTrace) {
+    let mut trace = EpochResumeTrace::default();
+    let outcome = run_epoch(instance, config, ctx, Some(&mut trace.steps));
+    (outcome, trace)
+}
+
+fn run_epoch(
+    instance: &UfpInstance,
+    config: &BoundedUfpConfig,
+    ctx: Option<&EpochContext<'_>>,
+    record_steps: Option<&mut Vec<ResumeStep>>,
+) -> EpochOutcome {
+    validate_epoch_inputs(instance, config, ctx);
+    let b = epoch_bound_b(instance, ctx);
+    let ln_guard = config.epsilon * (b - 1.0);
+    let usable = ctx.map(|c| c.usable);
+    let mut state = EpochRunState::init(instance, ctx);
+    let end = run_epoch_loop(
+        instance,
+        config,
+        usable,
+        b,
+        ln_guard,
+        &mut state,
+        record_steps,
+        None,
+    );
+    let LoopEnd::Stopped(stop_reason) = end else {
+        unreachable!("unwatched runs always stop")
+    };
+    finish_outcome(config, ctx.is_some(), state, stop_reason, ln_guard)
+}
+
+/// Resume an epoch run from `checkpoint` and drive it to completion.
+///
+/// Provided `instance` differs from the traced instance only in ways
+/// that cannot alter the checkpointed prefix — in particular, lowering
+/// the declared value of a request selected *at or after* the
+/// checkpoint's step — the outcome is **bit-identical** to running
+/// [`bounded_ufp_epoch`] on `instance` from scratch with the same
+/// `config` and `ctx` (which must match the traced run).
+pub fn bounded_ufp_epoch_resume(
+    instance: &UfpInstance,
+    config: &BoundedUfpConfig,
+    ctx: Option<&EpochContext<'_>>,
+    checkpoint: EpochCheckpoint,
+) -> EpochOutcome {
+    validate_epoch_inputs(instance, config, ctx);
+    let b = epoch_bound_b(instance, ctx);
+    let ln_guard = config.epsilon * (b - 1.0);
+    let usable = ctx.map(|c| c.usable);
+    let mut state = checkpoint.state;
+    let end = run_epoch_loop(
+        instance, config, usable, b, ln_guard, &mut state, None, None,
+    );
+    let LoopEnd::Stopped(stop_reason) = end else {
+        unreachable!("unwatched runs always stop")
+    };
+    finish_outcome(config, ctx.is_some(), state, stop_reason, ln_guard)
+}
+
+/// Resume an epoch run from `checkpoint`, watching for `watch`.
+///
+/// Returns `Some(deeper)` — the state frozen at the top of the iteration
+/// that selects `watch` (the step itself *not* applied) — as soon as the
+/// continued run would select it, or `None` if the run stops without
+/// selecting it. The returned checkpoint is a valid resume point for any
+/// further probe that declares `watch` at a *lower* value than this run
+/// did (its score only rises, so the shared prefix only grows), which
+/// lets bisection advance its checkpoint monotonically toward the
+/// critical step.
+pub fn bounded_ufp_epoch_resume_watch(
+    instance: &UfpInstance,
+    config: &BoundedUfpConfig,
+    ctx: Option<&EpochContext<'_>>,
+    checkpoint: EpochCheckpoint,
+    watch: RequestId,
+) -> Option<EpochCheckpoint> {
+    validate_epoch_inputs(instance, config, ctx);
+    let b = epoch_bound_b(instance, ctx);
+    let ln_guard = config.epsilon * (b - 1.0);
+    let usable = ctx.map(|c| c.usable);
+    let mut state = checkpoint.state;
+    match run_epoch_loop(
+        instance,
+        config,
+        usable,
+        b,
+        ln_guard,
+        &mut state,
+        None,
+        Some(watch),
+    ) {
+        LoopEnd::WatchSelected => Some(EpochCheckpoint { state }),
+        LoopEnd::Stopped(_) => None,
+    }
+}
+
+/// Shortest-path *distances* for all remaining requests, one Dijkstra
+/// per *distinct source* (requests sharing a source reuse the tree),
+/// fanned out over the pool. Results are flattened in (source-group,
+/// request) order, which is ascending request id within groups.
+/// Group requests by source vertex, deterministically: sorted by
+/// `(src, id)`, so within each group ids ascend and groups ascend by
+/// source. Both the main loop's distance fan-out and the repetitions
+/// variant derive their query order — and therefore the argmin
+/// tie-break order — from this one function.
+fn group_by_source(
     instance: &UfpInstance,
     remaining: &[RequestId],
-    weights: &DualWeights,
-    usable: Option<&[bool]>,
-    pool: &Pool,
-) -> Vec<PathFinding> {
-    let graph = instance.graph();
-    // Group by source, deterministically.
+) -> Vec<(NodeId, Vec<RequestId>)> {
     let mut sorted: Vec<RequestId> = remaining.to_vec();
     sorted.sort_unstable_by_key(|r| (instance.request(*r).src, *r));
     let mut groups: Vec<(NodeId, Vec<RequestId>)> = Vec::new();
@@ -331,9 +710,27 @@ fn shortest_paths_grouped(
             _ => groups.push((src, vec![r])),
         }
     }
+    groups
+}
 
+/// When `collect_paths` is set, the second vector holds the realizing
+/// path of each finding, index-aligned with the first; otherwise it is
+/// empty and the caller re-derives the one path it needs. Keeping paths
+/// out of [`PathFinding`] keeps the per-iteration findings rebuild at
+/// 16 bytes per remaining request in the (large-epoch) distances-only
+/// mode.
+fn shortest_findings_grouped(
+    instance: &UfpInstance,
+    remaining: &[RequestId],
+    weights: &DualWeights,
+    usable: Option<&[bool]>,
+    pool: &Pool,
+    collect_paths: bool,
+) -> (Vec<PathFinding>, Vec<Path>) {
+    let graph = instance.graph();
+    let groups = group_by_source(instance, remaining);
     let w = weights.weights();
-    let per_group: Vec<Vec<PathFinding>> = pool.map_with(
+    let per_group: Vec<(Vec<PathFinding>, Vec<Path>)> = pool.map_with(
         &groups,
         || Dijkstra::new(graph.num_nodes()),
         |dij, _, (src, members)| {
@@ -341,17 +738,55 @@ fn shortest_paths_grouped(
             dij.run(graph, w, *src, Targets::Set(&targets), |e| {
                 usable.is_none_or(|u| u[e.index()])
             });
+            let mut findings = Vec::with_capacity(members.len());
+            let mut paths = Vec::new();
+            for &r in members.iter() {
+                let dst = instance.request(r).dst;
+                let Some(dist) = dij.distance(dst) else {
+                    continue;
+                };
+                if collect_paths {
+                    paths.push(dij.path_to(dst).expect("settled target has a path"));
+                }
+                findings.push(PathFinding { request: r, dist });
+            }
+            (findings, paths)
+        },
+    );
+    let mut findings = Vec::new();
+    let mut paths = Vec::new();
+    for (f, p) in per_group {
+        findings.extend(f);
+        paths.extend(p);
+    }
+    (findings, paths)
+}
+
+/// Full paths-for-everyone variant, shared with the repetitions
+/// algorithm (which routes *every* queried request, so it really does
+/// need all the paths).
+pub(crate) fn shortest_paths_grouped_for_repeat(
+    instance: &UfpInstance,
+    remaining: &[RequestId],
+    weights: &DualWeights,
+    pool: &Pool,
+) -> Vec<(RequestId, f64, Path)> {
+    let graph = instance.graph();
+    let groups = group_by_source(instance, remaining);
+    let w = weights.weights();
+    let per_group: Vec<Vec<(RequestId, f64, Path)>> = pool.map_with(
+        &groups,
+        || Dijkstra::new(graph.num_nodes()),
+        |dij, _, (src, members)| {
+            let targets: Vec<NodeId> = members.iter().map(|r| instance.request(*r).dst).collect();
+            dij.run(graph, w, *src, Targets::Set(&targets), |_| true);
             members
                 .iter()
                 .filter_map(|&r| {
                     let dst = instance.request(r).dst;
                     let dist = dij.distance(dst)?;
                     let path = dij.path_to(dst)?;
-                    Some(PathFinding {
-                        request: r,
-                        dist,
-                        path,
-                    })
+                    Some((r, dist, path))
                 })
                 .collect()
         },
@@ -359,23 +794,10 @@ fn shortest_paths_grouped(
     per_group.into_iter().flatten().collect()
 }
 
-/// Tuple-shaped variant of [`shortest_paths_grouped`] shared with the
-/// repetitions algorithm (which keeps every request in the pool forever).
-pub(crate) fn shortest_paths_grouped_for_repeat(
-    instance: &UfpInstance,
-    remaining: &[RequestId],
-    weights: &DualWeights,
-    pool: &Pool,
-) -> Vec<(RequestId, f64, Path)> {
-    shortest_paths_grouped(instance, remaining, weights, None, pool)
-        .into_iter()
-        .map(|f| (f.request, f.dist, f.path))
-        .collect()
-}
-
 /// Residual-capacity variant: the edge filter depends on each request's
-/// demand, so requests are queried individually.
-fn shortest_paths_residual(
+/// demand, so requests are queried individually. Distances only, as in
+/// [`shortest_distances_grouped`].
+fn shortest_distances_residual(
     instance: &UfpInstance,
     remaining: &[RequestId],
     weights: &DualWeights,
@@ -392,17 +814,39 @@ fn shortest_paths_residual(
         || Dijkstra::new(graph.num_nodes()),
         |dij, _, &r| {
             let req = instance.request(r);
-            let res = dij.shortest_path(graph, w, req.src, req.dst, |e| {
+            dij.run(graph, w, req.src, Targets::One(req.dst), |e| {
                 usable.is_none_or(|u| u[e.index()]) && residual[e.index()] >= req.demand - 1e-12
-            })?;
-            Some(PathFinding {
-                request: r,
-                dist: res.distance,
-                path: res.path,
-            })
+            });
+            let dist = dij.distance(req.dst)?;
+            Some(PathFinding { request: r, dist })
         },
     );
     results.into_iter().flatten().collect()
+}
+
+/// Re-derive the selected request's path with one targeted Dijkstra.
+/// Bit-identical to the path the fan-out would have reconstructed: pop
+/// order and parent pointers depend only on (graph, weights, source,
+/// filter), never on the target set, and every ancestor of the target is
+/// settled before it.
+fn chosen_path(
+    scratch: &mut Dijkstra,
+    instance: &UfpInstance,
+    weights: &DualWeights,
+    residual_gate: Option<&[f64]>,
+    usable: Option<&[bool]>,
+    r: RequestId,
+) -> Path {
+    let graph = instance.graph();
+    let req = instance.request(r);
+    let w = weights.weights();
+    scratch.run(graph, w, req.src, Targets::One(req.dst), |e| {
+        usable.is_none_or(|u| u[e.index()])
+            && residual_gate.is_none_or(|res| res[e.index()] >= req.demand - 1e-12)
+    });
+    scratch
+        .path_to(req.dst)
+        .expect("argmin request must have a path under the query weights")
 }
 
 #[cfg(test)]
@@ -702,6 +1146,149 @@ mod tests {
             loads[0] == 0.0 && loads[2] > 0.0,
             "carry ignored: {loads:?}"
         );
+    }
+
+    /// A congested diamond with heterogeneous requests — enough structure
+    /// that selections, guard stops, and paths all come into play.
+    fn resume_fixture() -> (UfpInstance, BoundedUfpConfig) {
+        let mut gb = GraphBuilder::directed(5);
+        gb.add_edge(n(0), n(1), 9.0);
+        gb.add_edge(n(1), n(4), 8.0);
+        gb.add_edge(n(0), n(2), 10.0);
+        gb.add_edge(n(2), n(4), 9.0);
+        gb.add_edge(n(0), n(3), 7.0);
+        gb.add_edge(n(3), n(4), 7.0);
+        let inst = UfpInstance::new(
+            gb.build(),
+            (0..22)
+                .map(|i| {
+                    Request::new(
+                        n(0),
+                        n(4),
+                        0.4 + 0.06 * (i % 9) as f64,
+                        0.8 + 0.9 * ((i * 7) % 11) as f64,
+                    )
+                })
+                .collect(),
+        );
+        (inst, BoundedUfpConfig::with_epsilon(0.4))
+    }
+
+    fn assert_outcomes_identical(a: &EpochOutcome, b: &EpochOutcome) {
+        assert_eq!(a.run.solution.routed.len(), b.run.solution.routed.len());
+        for (x, y) in a.run.solution.routed.iter().zip(&b.run.solution.routed) {
+            assert_eq!(x.0, y.0, "selection order diverged");
+            assert_eq!(x.1.nodes(), y.1.nodes(), "paths diverged");
+        }
+        assert_eq!(a.run.trace.stop_reason, b.run.trace.stop_reason);
+        assert_eq!(a.run.trace.records.len(), b.run.trace.records.len());
+        for (x, y) in a.run.trace.records.iter().zip(&b.run.trace.records) {
+            assert_eq!(x.selected, y.selected);
+            assert_eq!(x.ln_alpha.to_bits(), y.ln_alpha.to_bits());
+            assert_eq!(x.ln_d1.to_bits(), y.ln_d1.to_bits());
+            assert_eq!(
+                x.routed_value_before.to_bits(),
+                y.routed_value_before.to_bits()
+            );
+        }
+        assert_eq!(a.carry.len(), b.carry.len());
+        for (x, y) in a.carry.iter().zip(&b.carry) {
+            assert_eq!(x.to_bits(), y.to_bits(), "carry diverged");
+        }
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_to_plain_run() {
+        let (inst, cfg) = resume_fixture();
+        let plain = bounded_ufp_epoch(&inst, &cfg, None);
+        let (traced, trace) = bounded_ufp_epoch_traced(&inst, &cfg, None);
+        assert_outcomes_identical(&plain, &traced);
+        assert_eq!(trace.num_steps(), plain.run.solution.routed.len());
+    }
+
+    #[test]
+    fn resume_from_any_prefix_is_bit_identical() {
+        let (inst, cfg) = resume_fixture();
+        let caps: Vec<f64> = inst.graph().edges().iter().map(|e| e.capacity).collect();
+        let usable = vec![true; caps.len()];
+        let carry = vec![0.1; caps.len()];
+        let ctx = EpochContext {
+            capacities: &caps,
+            usable: &usable,
+            carry: &carry,
+        };
+        let (full, trace) = bounded_ufp_epoch_traced(&inst, &cfg, Some(&ctx));
+        for prefix in 0..=trace.num_steps() {
+            let ckpt = trace.checkpoint(&inst, &cfg, Some(&ctx), prefix);
+            assert_eq!(ckpt.steps(), prefix);
+            let resumed = bounded_ufp_epoch_resume(&inst, &cfg, Some(&ctx), ckpt);
+            assert_outcomes_identical(&full, &resumed);
+        }
+    }
+
+    #[test]
+    fn lowered_value_probe_resumes_bit_identically() {
+        // The payment-probe contract: lower a winner's declared value,
+        // resume from its selection step — identical outcome to a full
+        // re-run on the probed instance.
+        let (inst, cfg) = resume_fixture();
+        let (full, trace) = bounded_ufp_epoch_traced(&inst, &cfg, None);
+        for (rid, _) in &full.run.solution.routed {
+            let k = trace.selection_step(*rid).unwrap();
+            let declared = inst.request(*rid).value;
+            for factor in [0.9, 0.5, 0.11, 0.01] {
+                let probe =
+                    inst.with_declared_type(*rid, inst.request(*rid).demand, declared * factor);
+                let scratch = bounded_ufp_epoch(&probe, &cfg, None);
+                let ckpt = trace.checkpoint(&probe, &cfg, None, k);
+                let resumed = bounded_ufp_epoch_resume(&probe, &cfg, None, ckpt);
+                assert_outcomes_identical(&scratch, &resumed);
+            }
+        }
+    }
+
+    #[test]
+    fn watch_mode_agrees_with_full_membership_and_deepens() {
+        let (inst, cfg) = resume_fixture();
+        let (full, trace) = bounded_ufp_epoch_traced(&inst, &cfg, None);
+        for (rid, _) in &full.run.solution.routed {
+            let k = trace.selection_step(*rid).unwrap();
+            let declared = inst.request(*rid).value;
+            let base = trace.checkpoint(&inst, &cfg, None, k);
+            let mut last_selected_steps = k;
+            for factor in [0.9, 0.6, 0.3, 0.05] {
+                let probe =
+                    inst.with_declared_type(*rid, inst.request(*rid).demand, declared * factor);
+                let scratch = bounded_ufp_epoch(&probe, &cfg, None);
+                let watched =
+                    bounded_ufp_epoch_resume_watch(&probe, &cfg, None, base.clone(), *rid);
+                assert_eq!(
+                    watched.is_some(),
+                    scratch.run.solution.contains(*rid),
+                    "watch disagreed with full run for {rid:?} at {factor}x"
+                );
+                // Stripping the prefix outcome state (the per-probe cost
+                // optimization) must not change membership answers or
+                // step accounting.
+                let stripped = bounded_ufp_epoch_resume_watch(
+                    &probe,
+                    &cfg,
+                    None,
+                    base.clone().strip_outcome_state(),
+                    *rid,
+                );
+                assert_eq!(stripped.is_some(), watched.is_some());
+                if let (Some(a), Some(b)) = (&watched, &stripped) {
+                    assert_eq!(a.steps(), b.steps());
+                }
+                if let Some(deeper) = watched {
+                    // Lower values push the selection step later, never
+                    // earlier — the checkpoint advances monotonically.
+                    assert!(deeper.steps() >= last_selected_steps);
+                    last_selected_steps = deeper.steps();
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Problem instances: a capacitated graph plus a set of requests.
 
+use std::sync::Arc;
+
 use ufp_lp::Commodity;
 use ufp_netgraph::graph::Graph;
 
@@ -14,15 +16,29 @@ use crate::request::{Request, RequestId};
 /// normalized form (normalizing *inside* the algorithm would couple one
 /// agent's declaration to every other agent's scaled type and wreck the
 /// monotonicity argument).
+///
+/// The graph is held behind an [`Arc`], so cloning an instance — and in
+/// particular building the counterfactual profiles of
+/// [`UfpInstance::with_declared_type`], which the mechanism layer does
+/// thousands of times per payment — shares the network (CSR included)
+/// instead of deep-copying it. Streaming callers that build one instance
+/// per epoch over a long-lived network should construct instances with
+/// [`UfpInstance::from_shared`] to share a single graph across all epochs.
 #[derive(Clone, Debug)]
 pub struct UfpInstance {
-    graph: Graph,
+    graph: Arc<Graph>,
     requests: Vec<Request>,
 }
 
 impl UfpInstance {
     /// Build an instance, validating request endpoints against the graph.
     pub fn new(graph: Graph, requests: Vec<Request>) -> Self {
+        Self::from_shared(Arc::new(graph), requests)
+    }
+
+    /// Build an instance over an already-shared graph (zero-copy: the
+    /// instance holds a reference-counted handle, never a deep copy).
+    pub fn from_shared(graph: Arc<Graph>, requests: Vec<Request>) -> Self {
         for (i, r) in requests.iter().enumerate() {
             assert!(
                 r.src.index() < graph.num_nodes() && r.dst.index() < graph.num_nodes(),
@@ -35,6 +51,13 @@ impl UfpInstance {
     /// The network.
     #[inline]
     pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The shared handle to the network (cheap to clone; use this to
+    /// build further instances over the same graph without copying it).
+    #[inline]
+    pub fn shared_graph(&self) -> &Arc<Graph> {
         &self.graph
     }
 
@@ -160,7 +183,7 @@ impl UfpInstance {
         let mut requests = self.requests.clone();
         requests[id.index()] = requests[id.index()].with_type(demand, value);
         UfpInstance {
-            graph: self.graph.clone(),
+            graph: Arc::clone(&self.graph),
             requests,
         }
     }
@@ -171,7 +194,7 @@ impl UfpInstance {
         let mut requests = self.requests.clone();
         requests.remove(id.index());
         UfpInstance {
-            graph: self.graph.clone(),
+            graph: Arc::clone(&self.graph),
             requests,
         }
     }
@@ -260,6 +283,21 @@ mod tests {
         let smaller = inst.without_request(RequestId(0));
         assert_eq!(smaller.num_requests(), 1);
         assert_eq!(smaller.request(RequestId(0)).demand, 0.5);
+    }
+
+    #[test]
+    fn counterfactual_probes_share_the_graph() {
+        // Zero-copy contract: every instance derived from this one must
+        // point at the same Graph allocation, not a deep copy.
+        let inst = simple_instance();
+        let probed = inst.with_declared_type(RequestId(0), 0.25, 9.0);
+        assert!(std::ptr::eq(inst.graph(), probed.graph()));
+        let smaller = inst.without_request(RequestId(0));
+        assert!(std::ptr::eq(inst.graph(), smaller.graph()));
+        let cloned = inst.clone();
+        assert!(std::ptr::eq(inst.graph(), cloned.graph()));
+        let shared = UfpInstance::from_shared(Arc::clone(inst.shared_graph()), vec![]);
+        assert!(std::ptr::eq(inst.graph(), shared.graph()));
     }
 
     #[test]

@@ -19,9 +19,28 @@
 //! * [`trace`] — per-run dual certificates (Claims 3.6 / 5.2): every run
 //!   carries a proven upper bound on the optimum it was measured against.
 //!
-//! Instances are [`instance::UfpInstance`]s over [`ufp_netgraph`] graphs;
+//! Instances are [`instance::UfpInstance`]s over [`ufp_netgraph`] graphs
+//! (held behind an `Arc`, so counterfactual clones share the network);
 //! monotonicity-based truthfulness (Theorem 2.3) is layered on top by the
 //! `ufp-mechanism` crate.
+//!
+//! ## Prefix-resumed runs
+//!
+//! Critical-value pricing probes an allocator with one agent's declared
+//! value lowered, `O(log 1/tol)` times per winner. By Lemma 3.4's
+//! monotonicity, lowering a value cannot change any selection made
+//! *before* the step that selected that agent — so a probe never needs
+//! to re-run the prefix. [`bounded_ufp_epoch_traced`] records a per-step
+//! [`EpochResumeTrace`] during the real run;
+//! [`EpochResumeTrace::checkpoint`] rebuilds the exact state after any
+//! prefix (pure arithmetic replay, bit-identical, no shortest-path
+//! work); [`bounded_ufp_epoch_resume`] completes a run from a
+//! checkpoint, and [`bounded_ufp_epoch_resume_watch`] additionally
+//! early-exits the moment the probed agent is selected — returning a
+//! *deeper* checkpoint that later (lower-valued) probes of the same
+//! agent can resume from. Each bisection probe thus costs `O(suffix)`
+//! instead of `O(full run)`, with the suffix shrinking as the bracket
+//! tightens.
 
 pub mod baselines;
 pub mod bounded_ufp;
@@ -35,7 +54,9 @@ pub mod trace;
 pub mod weights;
 
 pub use bounded_ufp::{
-    bounded_ufp, bounded_ufp_epoch, BoundedUfpConfig, EpochContext, EpochOutcome, UfpRunResult,
+    bounded_ufp, bounded_ufp_epoch, bounded_ufp_epoch_resume, bounded_ufp_epoch_resume_watch,
+    bounded_ufp_epoch_traced, BoundedUfpConfig, EpochCheckpoint, EpochContext, EpochOutcome,
+    EpochResumeTrace, UfpRunResult,
 };
 pub use exact::{exact_optimum, ExactConfig, ExactResult};
 pub use instance::UfpInstance;

@@ -10,16 +10,34 @@ pub enum PaymentPolicy {
     /// No payments (pure admission control); revenue stays 0.
     None,
     /// Critical-value payments against the epoch's frozen residual state
-    /// (Theorem 2.3 applied per epoch). Each winner costs
-    /// `O(log(1/tol))` counterfactual allocation runs — meant for
-    /// moderate batch sizes.
+    /// (Theorem 2.3 applied per epoch), computed with **prefix-resumed**
+    /// probes: the epoch's real run records a per-step resume trace, each
+    /// winner's bisection resumes from the step that selected it (earlier
+    /// selections cannot change when its value drops), probes early-exit
+    /// the moment the winner is re-selected, and independent winners fan
+    /// out across the engine's worker pool with deterministic ordering.
+    /// Payments are bit-identical to [`PaymentPolicy::CriticalValueNaive`]
+    /// at a fraction of the cost — this is what makes pricing viable for
+    /// 10⁴-request batches.
     CriticalValue(PaymentConfig),
+    /// Critical-value payments by naive full re-runs: every bisection
+    /// probe of every winner reruns the whole epoch allocation from
+    /// scratch. Kept as the reference baseline for equivalence tests and
+    /// speedup benchmarks; superlinear in batch size, so unusable beyond
+    /// small epochs.
+    CriticalValueNaive(PaymentConfig),
 }
 
 impl PaymentPolicy {
-    /// Critical-value payments with default bisection tolerances.
+    /// Critical-value payments (prefix-resumed) with default bisection
+    /// tolerances.
     pub fn critical_value() -> Self {
         PaymentPolicy::CriticalValue(PaymentConfig::default())
+    }
+
+    /// The naive full-rerun baseline with default bisection tolerances.
+    pub fn critical_value_naive() -> Self {
+        PaymentPolicy::CriticalValueNaive(PaymentConfig::default())
     }
 }
 
@@ -94,6 +112,15 @@ pub struct EngineConfig {
     pub payments: PaymentPolicy,
     /// Event-log granularity.
     pub events: EventLevel,
+    /// Retention cap for the in-engine event log. When the log reaches
+    /// this many entries, the **oldest half is discarded** in one
+    /// amortized-O(1) rotation and counted in
+    /// [`crate::Engine::events_dropped`]; the newest `event_capacity / 2`
+    /// events are always retained. Long replays at
+    /// [`EventLevel::Request`] should still call
+    /// [`crate::Engine::drain_events`] regularly — the cap is a memory
+    /// backstop, not a delivery guarantee.
+    pub event_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -105,6 +132,7 @@ impl Default for EngineConfig {
             residual_floor: ResidualFloor::Regime,
             payments: PaymentPolicy::None,
             events: EventLevel::Epoch,
+            event_capacity: 1 << 16,
         }
     }
 }
@@ -158,6 +186,11 @@ impl EngineConfig {
                 "residual_floor must be >= 1 (the normalized max demand), got {f}"
             );
         }
+        assert!(
+            self.event_capacity >= 16,
+            "event_capacity must be at least 16, got {}",
+            self.event_capacity
+        );
     }
 }
 
@@ -186,6 +219,16 @@ mod tests {
     fn sub_demand_floor_rejected() {
         let cfg = EngineConfig {
             residual_floor: ResidualFloor::Fixed(0.5),
+            ..Default::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "event_capacity")]
+    fn tiny_event_capacity_rejected() {
+        let cfg = EngineConfig {
+            event_capacity: 2,
             ..Default::default()
         };
         cfg.validate();

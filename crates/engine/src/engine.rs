@@ -1,12 +1,13 @@
 //! The streaming admission-control engine.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use ufp_core::{
-    bounded_ufp_epoch, BoundedUfpConfig, EpochContext, Request, RequestId, StopReason, UfpInstance,
-    UfpSolution,
+    bounded_ufp_epoch, bounded_ufp_epoch_resume_watch, bounded_ufp_epoch_traced, BoundedUfpConfig,
+    EpochContext, EpochResumeTrace, Request, RequestId, StopReason, UfpInstance, UfpSolution,
 };
-use ufp_mechanism::critical_value;
+use ufp_mechanism::{critical_value, critical_value_from_probe};
 use ufp_netgraph::graph::Graph;
 use ufp_netgraph::residual::ResidualCaps;
 
@@ -92,9 +93,13 @@ const LOAD_EPSILON: f64 = 1e-9;
 
 /// The long-lived engine. See the crate docs for the epoch / residual
 /// model.
+///
+/// The network is held behind an [`Arc`]: every per-epoch
+/// [`UfpInstance`], every payment probe, and every [`Engine::instance`]
+/// read-out shares the one graph allocation instead of cloning the CSR.
 #[derive(Clone, Debug)]
 pub struct Engine {
-    graph: Graph,
+    graph: Arc<Graph>,
     config: EngineConfig,
     allocator_config: BoundedUfpConfig,
     /// Resolved residual floor (see [`crate::config::ResidualFloor`]).
@@ -110,12 +115,23 @@ pub struct Engine {
     expiry_index: std::collections::BTreeMap<u64, Vec<usize>>,
     epoch: u64,
     events: Vec<EngineEvent>,
+    /// Events discarded by the retention cap (see
+    /// [`EngineConfig::event_capacity`]).
+    events_dropped: u64,
     metrics: EngineMetrics,
 }
 
 impl Engine {
     /// Create an engine over `graph`.
     pub fn new(graph: Graph, config: EngineConfig) -> Self {
+        Self::from_shared(Arc::new(graph), config)
+    }
+
+    /// Create an engine over an already-shared graph. Zero-copy: the
+    /// engine keeps the handle, so callers may hold the same graph for
+    /// other engines, offline analysis, or workload generation without
+    /// any duplication.
+    pub fn from_shared(graph: Arc<Graph>, config: EngineConfig) -> Self {
         config.validate();
         let allocator_config = config.allocator_config();
         let floor = config
@@ -135,8 +151,22 @@ impl Engine {
             expiry_index: std::collections::BTreeMap::new(),
             epoch: 0,
             events: Vec::new(),
+            events_dropped: 0,
             metrics: EngineMetrics::default(),
         }
+    }
+
+    /// Append an event, enforcing the retention cap: at
+    /// [`EngineConfig::event_capacity`] entries, the oldest half is
+    /// rotated out in one amortized-O(1) drain and counted in
+    /// [`Engine::events_dropped`].
+    fn push_event(&mut self, event: EngineEvent) {
+        if self.events.len() >= self.config.event_capacity {
+            let drop = self.config.event_capacity / 2;
+            self.events.drain(..drop);
+            self.events_dropped += drop as u64;
+        }
+        self.events.push(event);
     }
 
     /// Process one batch of arrivals as a new epoch: release expired
@@ -150,7 +180,7 @@ impl Engine {
         // Every epoch opens with a Started event (paired with the
         // unconditional EpochCompleted below, so consumers can bracket
         // epochs even when a time-driven trigger submits empty batches).
-        self.events.push(EngineEvent::EpochStarted {
+        self.push_event(EngineEvent::EpochStarted {
             epoch,
             arrivals: arrivals.len(),
         });
@@ -168,7 +198,7 @@ impl Engine {
             self.requests.push(a.request);
         }
         let batch: Vec<Request> = arrivals.iter().map(|a| a.request).collect();
-        let epoch_instance = UfpInstance::new(self.graph.clone(), batch);
+        let epoch_instance = UfpInstance::from_shared(Arc::clone(&self.graph), batch);
 
         // 3. Residual view + decayed carry, frozen for the whole epoch
         //    (allocation and every payment probe see the same state).
@@ -192,12 +222,27 @@ impl Engine {
             carry: &carry_in,
         };
 
-        // 4. The monotone allocation run.
-        let outcome = bounded_ufp_epoch(&epoch_instance, &self.allocator_config, Some(&ctx));
+        // 4. The monotone allocation run — traced when resumed payments
+        //    will probe it, so bisection can replay prefixes instead of
+        //    re-running them.
+        let (outcome, resume_trace) =
+            if matches!(self.config.payments, PaymentPolicy::CriticalValue(_)) {
+                let (o, t) =
+                    bounded_ufp_epoch_traced(&epoch_instance, &self.allocator_config, Some(&ctx));
+                (o, Some(t))
+            } else {
+                let o = bounded_ufp_epoch(&epoch_instance, &self.allocator_config, Some(&ctx));
+                (o, None)
+            };
         let stop = outcome.run.trace.stop_reason;
 
         // 5. Payments against the frozen epoch state.
-        let payments = self.compute_payments(&epoch_instance, &outcome.run.solution, &ctx);
+        let payments = self.compute_payments(
+            &epoch_instance,
+            &outcome.run.solution,
+            &ctx,
+            resume_trace.as_ref(),
+        );
 
         // 6. Commit.
         self.carry = outcome.carry;
@@ -230,7 +275,7 @@ impl Engine {
             value_admitted += arrival.request.value;
             revenue += payment;
             if self.config.events == EventLevel::Request {
-                self.events.push(EngineEvent::Admitted {
+                self.push_event(EngineEvent::Admitted {
                     epoch,
                     request: global,
                     hops: path.edges().len(),
@@ -239,9 +284,9 @@ impl Engine {
             }
         }
         if self.config.events == EventLevel::Request {
-            for (local, admitted) in admitted_local.iter().enumerate() {
+            for (local, &admitted) in admitted_local.iter().enumerate() {
                 if !admitted {
-                    self.events.push(EngineEvent::Rejected {
+                    self.push_event(EngineEvent::Rejected {
                         epoch,
                         request: RequestId(base + local as u32),
                     });
@@ -264,7 +309,7 @@ impl Engine {
         }
 
         let rejected = arrivals.len() - accepted;
-        self.events.push(EngineEvent::EpochCompleted {
+        self.push_event(EngineEvent::EpochCompleted {
             epoch,
             accepted,
             rejected,
@@ -318,11 +363,9 @@ impl Engine {
                     .release(&adm.path, self.requests[adm.request.index()].demand);
                 adm.released = true;
                 released += 1;
+                let request = adm.request;
                 if record {
-                    self.events.push(EngineEvent::Released {
-                        epoch,
-                        request: adm.request,
-                    });
+                    self.push_event(EngineEvent::Released { epoch, request });
                 }
             }
         }
@@ -334,23 +377,84 @@ impl Engine {
         epoch_instance: &UfpInstance,
         solution: &UfpSolution,
         ctx: &EpochContext<'_>,
+        resume_trace: Option<&EpochResumeTrace>,
     ) -> Vec<f64> {
         let mut payments = vec![0.0; epoch_instance.num_requests()];
-        let PaymentPolicy::CriticalValue(payment_config) = self.config.payments else {
-            return payments;
-        };
-        let allocator = EpochAllocator {
-            config: &self.allocator_config,
-            capacities: ctx.capacities,
-            usable: ctx.usable,
-            carry: ctx.carry,
-        };
         // Winners in ascending agent order, matching
         // `CriticalValueMechanism::run` for the equivalence tests.
         let mut winners: Vec<usize> = solution.routed.iter().map(|(r, _)| r.index()).collect();
         winners.sort_unstable();
-        for agent in winners {
-            payments[agent] = critical_value(&allocator, epoch_instance, agent, &payment_config);
+        match self.config.payments {
+            PaymentPolicy::None => {}
+            PaymentPolicy::CriticalValueNaive(payment_config) => {
+                // Reference baseline: every probe reruns the whole epoch.
+                let allocator = EpochAllocator {
+                    config: &self.allocator_config,
+                    capacities: ctx.capacities,
+                    usable: ctx.usable,
+                    carry: ctx.carry,
+                };
+                for agent in winners {
+                    payments[agent] =
+                        critical_value(&allocator, epoch_instance, agent, &payment_config);
+                }
+            }
+            PaymentPolicy::CriticalValue(payment_config) => {
+                let trace = resume_trace.expect("resumed payments require a traced epoch run");
+                // Selection order in the solution equals trace step order
+                // (both append once per executed step), giving O(1)
+                // winner→step lookup instead of a scan per winner.
+                let step_of: std::collections::HashMap<RequestId, usize> = solution
+                    .routed
+                    .iter()
+                    .enumerate()
+                    .map(|(step, (rid, _))| (*rid, step))
+                    .collect();
+                // Probe runs execute *inside* pool workers during the
+                // fan-out below, and the pool's workers block on nested
+                // dispatch — so the inner allocator must be sequential.
+                // Results are unaffected: parallel and sequential path
+                // fan-outs are bit-identical by `ufp_par`'s ordered
+                // reduction.
+                let mut probe_config = self.allocator_config.clone();
+                probe_config.pool = ufp_par::Pool::sequential();
+                let resumed: Vec<f64> = self.config.pool.map(&winners, |_, &agent| {
+                    let rid = RequestId(agent as u32);
+                    let req = *epoch_instance.request(rid);
+                    let step = *step_of.get(&rid).expect("winner missing from resume trace");
+                    debug_assert_eq!(trace.selection_step(rid), Some(step));
+                    // State at the step that selected this winner: every
+                    // probe declares a lower value, so no earlier
+                    // selection can change (Lemma 3.4). Selected probes
+                    // return a deeper checkpoint — their selection step
+                    // under a smaller declared value — which every later
+                    // (still smaller) probe resumes from. Membership is
+                    // all a probe answers, so the prefix solution/records
+                    // are stripped before the per-probe clones.
+                    let mut ckpt = trace
+                        .checkpoint(epoch_instance, &probe_config, Some(ctx), step)
+                        .strip_outcome_state();
+                    critical_value_from_probe(req.value, &payment_config, |value| {
+                        let probe = epoch_instance.with_declared_type(rid, req.demand, value);
+                        match bounded_ufp_epoch_resume_watch(
+                            &probe,
+                            &probe_config,
+                            Some(ctx),
+                            ckpt.clone(),
+                            rid,
+                        ) {
+                            Some(deeper) => {
+                                ckpt = deeper;
+                                true
+                            }
+                            None => false,
+                        }
+                    })
+                });
+                for (&agent, payment) in winners.iter().zip(resumed) {
+                    payments[agent] = payment;
+                }
+            }
         }
         payments
     }
@@ -361,6 +465,11 @@ impl Engine {
 
     /// The base network.
     pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The shared handle to the base network.
+    pub fn shared_graph(&self) -> &Arc<Graph> {
         &self.graph
     }
 
@@ -384,10 +493,25 @@ impl Engine {
         &self.events
     }
 
-    /// Drain the event log (long-running deployments ship events
-    /// elsewhere and keep the engine's memory bounded).
-    pub fn take_events(&mut self) -> Vec<EngineEvent> {
+    /// Drain the event log: returns all retained events and leaves the
+    /// log empty. Long-running deployments ship events elsewhere and
+    /// call this regularly to keep engine memory bounded; events that
+    /// overflow [`EngineConfig::event_capacity`] between drains are
+    /// rotated out oldest-first and tallied in
+    /// [`Engine::events_dropped`].
+    pub fn drain_events(&mut self) -> Vec<EngineEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    /// Alias for [`Engine::drain_events`] (the original name).
+    pub fn take_events(&mut self) -> Vec<EngineEvent> {
+        self.drain_events()
+    }
+
+    /// Events discarded by the retention cap since the engine started
+    /// (0 unless the log overflowed between drains).
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped
     }
 
     /// Residual-capacity tracker.
@@ -409,7 +533,7 @@ impl Engine {
     /// The whole submitted history as one instance over the base graph;
     /// request ids are global.
     pub fn instance(&self) -> UfpInstance {
-        UfpInstance::new(self.graph.clone(), self.requests.clone())
+        UfpInstance::from_shared(Arc::clone(&self.graph), self.requests.clone())
     }
 
     /// Every admission ever made, as a solution over [`Engine::instance`].
@@ -600,6 +724,30 @@ mod tests {
     }
 
     #[test]
+    fn event_log_rotates_at_capacity() {
+        let cfg = EngineConfig {
+            events: EventLevel::Request,
+            event_capacity: 16,
+            ..EngineConfig::with_epsilon(1.0)
+        };
+        let mut engine = Engine::new(one_link(100.0), cfg);
+        for _ in 0..20 {
+            engine.submit_requests(&unit_requests(2, |_| 1.0));
+        }
+        // 20 epochs × 4 events each ≫ capacity 16: oldest half rotates
+        // out, newest events survive.
+        assert!(engine.events().len() <= 16);
+        assert!(engine.events_dropped() > 0);
+        let drained = engine.drain_events();
+        assert!(drained
+            .iter()
+            .any(|e| matches!(e, EngineEvent::EpochCompleted { epoch: 20, .. })));
+        assert!(engine.events().is_empty(), "drain_events empties the log");
+        let total = drained.len() as u64 + engine.events_dropped();
+        assert_eq!(total, 80, "retained + dropped must account for all events");
+    }
+
+    #[test]
     fn epoch_event_level_skips_per_request_events() {
         // Epoch granularity is the default — a long-lived engine must not
         // grow its log with traffic unless per-request events are opted
@@ -610,6 +758,76 @@ mod tests {
             e,
             EngineEvent::EpochStarted { .. } | EngineEvent::EpochCompleted { .. }
         )));
+    }
+
+    #[test]
+    fn resumed_payments_match_naive_baseline_across_churned_epochs() {
+        // Same stream, two payment policies: prefix-resumed bisection
+        // must reproduce the naive full-rerun payments bit for bit, on
+        // every epoch, including under TTL churn and carried weights.
+        let build = |payments: PaymentPolicy| {
+            let mut gb = GraphBuilder::directed(4);
+            gb.add_edge(n(0), n(1), 9.0);
+            gb.add_edge(n(1), n(3), 9.0);
+            gb.add_edge(n(0), n(2), 8.0);
+            gb.add_edge(n(2), n(3), 8.0);
+            Engine::new(
+                gb.build(),
+                EngineConfig::with_epsilon(0.6).with_payments(payments),
+            )
+        };
+        let mut fast = build(PaymentPolicy::critical_value());
+        let mut slow = build(PaymentPolicy::critical_value_naive());
+        for e in 0..5 {
+            let arrivals: Vec<Arrival> = (0..7)
+                .map(|i| {
+                    let r = Request::new(
+                        n(0),
+                        n(3),
+                        0.5 + 0.1 * ((e + i) % 4) as f64,
+                        1.0 + ((3 * e + i) % 6) as f64,
+                    );
+                    if i % 2 == 0 {
+                        Arrival::with_ttl(r, 1 + (i % 2) as u32)
+                    } else {
+                        Arrival::permanent(r)
+                    }
+                })
+                .collect();
+            let rf = fast.submit_batch(&arrivals);
+            let rs = slow.submit_batch(&arrivals);
+            assert_eq!(rf.accepted, rs.accepted, "epoch {e}: allocations diverged");
+            assert_eq!(
+                rf.revenue.to_bits(),
+                rs.revenue.to_bits(),
+                "epoch {e}: revenue diverged: {} vs {}",
+                rf.revenue,
+                rs.revenue
+            );
+        }
+        assert_eq!(fast.admissions().len(), slow.admissions().len());
+        for (a, b) in fast.admissions().iter().zip(slow.admissions()) {
+            assert_eq!(a.request, b.request);
+            assert_eq!(
+                a.payment.to_bits(),
+                b.payment.to_bits(),
+                "payment diverged for {:?}: {} vs {}",
+                a.request,
+                a.payment,
+                b.payment
+            );
+        }
+    }
+
+    #[test]
+    fn instance_views_share_the_engine_graph() {
+        // Zero-copy contract: no epoch or read-out ever deep-copies the
+        // network.
+        let engine = Engine::new(one_link(4.0), EngineConfig::default());
+        assert!(std::ptr::eq(engine.graph(), engine.instance().graph()));
+        let shared = std::sync::Arc::clone(engine.shared_graph());
+        let other = Engine::from_shared(shared, EngineConfig::default());
+        assert!(std::ptr::eq(engine.graph(), other.graph()));
     }
 
     #[test]

@@ -35,6 +35,24 @@
 //! 5. **Commits** accepted routes (loads, global solution, event log) and
 //!    computes payments per [`EngineConfig::payments`].
 //!
+//! ## Payments at scale: prefix-resumed critical values
+//!
+//! Under [`PaymentPolicy::CriticalValue`] the epoch's allocation run is
+//! *traced* ([`ufp_core::bounded_ufp_epoch_traced`]): every selection
+//! step records its path and dual-weight bumps. Each winner's
+//! critical-value bisection then resumes from the step that selected it
+//! — lowering a declared value cannot change any earlier selection
+//! (Lemma 3.4) — via [`ufp_core::bounded_ufp_epoch_resume_watch`], which
+//! additionally stops the moment the winner is re-selected and hands
+//! back a *deeper* checkpoint for the next (lower) probe. Each probe
+//! costs `O(suffix)` instead of `O(full run)`, and the per-winner
+//! searches are independent given the frozen epoch context, so they fan
+//! out across [`EngineConfig::pool`] with deterministic (winner-ordered)
+//! results. Payments are **bit-identical** to the naive full-rerun
+//! baseline, which remains available as
+//! [`PaymentPolicy::CriticalValueNaive`] for equivalence tests and
+//! speedup measurements (see `BENCH_PR2.json`).
+//!
 //! Feasibility is inductive: epoch `k` allocates within the residual
 //! capacities left by epochs `1..k`, so the cumulative active allocation
 //! never violates a base capacity — [`Engine::active_solution`] passes
@@ -55,7 +73,15 @@
 //! Every epoch appends structured [`EngineEvent`]s (granularity set by
 //! [`EventLevel`]) and updates the running [`EngineMetrics`]: acceptance
 //! rate, carried value, revenue, release counts, per-batch latency
-//! percentiles (p50/p99), and the edge-utilization histogram.
+//! percentiles (p50/p99, O(1) queries over an incrementally sorted
+//! window), and the edge-utilization histogram.
+//!
+//! The event log is **bounded**: at [`EngineConfig::event_capacity`]
+//! entries the oldest half rotates out (tallied in
+//! [`engine::Engine::events_dropped`]), so replays at
+//! [`EventLevel::Request`] cannot grow memory without bound. Consumers
+//! that need every event call [`engine::Engine::drain_events`] at least
+//! every `event_capacity / 2` events.
 
 pub mod allocator;
 pub mod config;

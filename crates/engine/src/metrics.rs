@@ -21,12 +21,18 @@ pub struct EngineMetrics {
     pub value_admitted: f64,
     /// Total payments charged.
     pub revenue: f64,
-    /// Ring buffer of recent per-batch wall-clock latencies (µs) —
-    /// bounded so a long-lived engine's metrics stay O(1) memory;
-    /// percentiles describe the most recent [`LATENCY_WINDOW`] batches.
+    /// Ring buffer of recent per-batch wall-clock latencies (µs) in
+    /// arrival order — bounded so a long-lived engine's metrics stay
+    /// O(1) memory; percentiles describe the most recent
+    /// [`LATENCY_WINDOW`] batches.
     batch_latency_us: Vec<u64>,
     /// Next write position in the ring buffer.
     latency_cursor: usize,
+    /// The same window kept sorted ascending, maintained incrementally
+    /// (one binary-searched remove + insert per batch), so percentile
+    /// queries are O(1) array lookups instead of clone + sort of the
+    /// whole window per query.
+    sorted_latency_us: Vec<u64>,
     /// Lifetime sum of batch latencies (µs), for throughput.
     total_latency_us: u64,
 }
@@ -57,8 +63,15 @@ impl EngineMetrics {
         if self.batch_latency_us.len() < LATENCY_WINDOW {
             self.batch_latency_us.push(us);
         } else {
+            // Window full: the overwritten sample leaves the sorted view.
+            let evicted = self.batch_latency_us[self.latency_cursor];
+            let at = self.sorted_latency_us.partition_point(|&x| x < evicted);
+            debug_assert_eq!(self.sorted_latency_us[at], evicted);
+            self.sorted_latency_us.remove(at);
             self.batch_latency_us[self.latency_cursor] = us;
         }
+        let at = self.sorted_latency_us.partition_point(|&x| x <= us);
+        self.sorted_latency_us.insert(at, us);
         self.latency_cursor = (self.latency_cursor + 1) % LATENCY_WINDOW;
     }
 
@@ -73,13 +86,13 @@ impl EngineMetrics {
 
     /// Latency percentile over the most recent [`LATENCY_WINDOW`]
     /// batches, in microseconds (`p` in `[0, 100]`); `None` before the
-    /// first batch.
+    /// first batch. O(1): reads the incrementally-maintained sorted
+    /// window directly.
     pub fn latency_percentile_us(&self, p: f64) -> Option<u64> {
-        if self.batch_latency_us.is_empty() {
+        let sorted = &self.sorted_latency_us;
+        if sorted.is_empty() {
             return None;
         }
-        let mut sorted = self.batch_latency_us.clone();
-        sorted.sort_unstable();
         let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
         Some(sorted[rank.min(sorted.len() - 1)])
     }
@@ -136,6 +149,23 @@ mod tests {
         assert_eq!(m.latency_percentile_us(0.0), Some(100));
         let rps = m.requests_per_second().unwrap();
         assert!((rps - 5.0 / 0.002).abs() < 1e-6);
+    }
+
+    #[test]
+    fn percentiles_track_the_sliding_window() {
+        // Overfill the window: the sorted view must follow evictions
+        // exactly (oldest samples leave as new ones arrive).
+        let mut m = EngineMetrics::default();
+        for i in 0..(LATENCY_WINDOW + 500) {
+            m.record_batch(1, 1, 0, 1.0, 0.0, Duration::from_micros(i as u64));
+        }
+        // Window now holds exactly 500..LATENCY_WINDOW + 500.
+        assert_eq!(m.latency_percentile_us(0.0), Some(500));
+        assert_eq!(
+            m.latency_percentile_us(100.0),
+            Some((LATENCY_WINDOW + 499) as u64)
+        );
+        assert_eq!(m.p50_latency_us(), Some(500 + 2048));
     }
 
     #[test]

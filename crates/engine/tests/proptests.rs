@@ -164,6 +164,95 @@ proptest! {
         prop_assert!(engine.active_solution().is_empty());
     }
 
+    /// Prefix-resumed critical-value payments are **bit-identical** to
+    /// the naive full-rerun bisection on every epoch of a churned,
+    /// multi-epoch stream over a random network — the contract that lets
+    /// the fast path replace the naive one everywhere.
+    #[test]
+    fn resumed_payments_bit_identical_to_naive_under_churn(
+        (graph, requests, epsilon) in arb_scenario(),
+        batches in 1usize..5,
+        ttl in 1u32..4,
+        decay in 0.0..=1.0f64,
+    ) {
+        let build = |payments: PaymentPolicy, graph: Graph| {
+            Engine::new(graph, EngineConfig {
+                carry_decay: decay,
+                residual_floor: ResidualFloor::Permissive,
+                ..EngineConfig::with_epsilon(epsilon).with_payments(payments)
+            })
+        };
+        let mut fast = build(PaymentPolicy::critical_value(), graph.clone());
+        let mut slow = build(PaymentPolicy::critical_value_naive(), graph);
+        let chunk = requests.len().div_ceil(batches).max(1);
+        for (i, batch) in requests.chunks(chunk).enumerate() {
+            let arrivals: Vec<Arrival> = batch
+                .iter()
+                .enumerate()
+                .map(|(j, &r)| if (i + j) % 2 == 0 {
+                    Arrival::with_ttl(r, ttl)
+                } else {
+                    Arrival::permanent(r)
+                })
+                .collect();
+            let rf = fast.submit_batch(&arrivals);
+            let rs = slow.submit_batch(&arrivals);
+            prop_assert_eq!(rf.accepted, rs.accepted, "epoch {} allocations diverged", i + 1);
+            prop_assert_eq!(
+                rf.revenue.to_bits(), rs.revenue.to_bits(),
+                "epoch {} revenue diverged: {} vs {}", i + 1, rf.revenue, rs.revenue
+            );
+        }
+        prop_assert_eq!(fast.admissions().len(), slow.admissions().len());
+        for (a, b) in fast.admissions().iter().zip(slow.admissions()) {
+            prop_assert_eq!(a.request, b.request);
+            prop_assert_eq!(a.path.nodes(), b.path.nodes());
+            prop_assert_eq!(
+                a.payment.to_bits(), b.payment.to_bits(),
+                "payment diverged for {:?}: {} vs {}", a.request, a.payment, b.payment
+            );
+        }
+    }
+
+    /// Regression: holding the graph behind a shared `Arc` (and keeping
+    /// other references to it alive) changes **no** engine trace output —
+    /// events, admissions, payments, and metrics counters are identical
+    /// to an engine that owns its graph exclusively.
+    #[test]
+    fn shared_graph_leaves_engine_traces_unchanged(
+        (graph, requests, epsilon) in arb_scenario(),
+    ) {
+        let config = || EngineConfig {
+            events: ufp_engine::EventLevel::Request,
+            ..EngineConfig::with_epsilon(epsilon)
+                .with_payments(PaymentPolicy::critical_value())
+        };
+        // Exclusive: the engine owns the only copy of this graph.
+        let mut exclusive = Engine::new(graph.clone(), config());
+        // Shared: the same Arc is also held (and read) outside the engine
+        // for the whole run.
+        let shared_handle = std::sync::Arc::new(graph);
+        let mut shared = Engine::from_shared(std::sync::Arc::clone(&shared_handle), config());
+        for batch in requests.chunks(3) {
+            exclusive.submit_requests(batch);
+            shared.submit_requests(batch);
+            // Outside reader keeps the Arc busy mid-run.
+            prop_assert_eq!(shared_handle.num_edges(), shared.graph().num_edges());
+        }
+        prop_assert_eq!(exclusive.drain_events(), shared.drain_events());
+        prop_assert_eq!(exclusive.admissions().len(), shared.admissions().len());
+        for (a, b) in exclusive.admissions().iter().zip(shared.admissions()) {
+            prop_assert_eq!(a.request, b.request);
+            prop_assert_eq!(a.path.nodes(), b.path.nodes());
+            prop_assert_eq!(a.payment.to_bits(), b.payment.to_bits());
+        }
+        prop_assert_eq!(exclusive.metrics().accepted, shared.metrics().accepted);
+        prop_assert_eq!(exclusive.metrics().revenue.to_bits(), shared.metrics().revenue.to_bits());
+        // And the shared engine's instance view points at the same graph
+        // allocation — no hidden deep copy anywhere in the epoch path.
+        prop_assert!(std::ptr::eq(shared.graph(), shared.instance().graph()));
+    }
+
     /// Determinism: identical streams produce identical engines.
     #[test]
     fn replays_are_deterministic((graph, requests, epsilon) in arb_scenario()) {

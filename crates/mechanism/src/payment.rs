@@ -30,6 +30,49 @@ impl Default for PaymentConfig {
     }
 }
 
+/// Critical value of a winner whose declared value is `declared`, given
+/// only the selection predicate `selected_at(v)` ("is the agent selected
+/// when declaring `v`?"). This is the *entire* probe schedule —
+/// exponential bracketing downward, then bisection — factored out so
+/// every payment path (black-box allocator re-runs, prefix-resumed epoch
+/// probes, parallel fan-outs) issues the exact same sequence of probe
+/// values and therefore produces **bit-identical** payments whenever the
+/// predicates agree.
+///
+/// Successive probe values are strictly decreasing below every value
+/// that answered "selected" so far — the property the prefix-resume
+/// optimization in `ufp-core` relies on to advance its checkpoint.
+pub fn critical_value_from_probe(
+    declared: f64,
+    config: &PaymentConfig,
+    mut selected_at: impl FnMut(f64) -> bool,
+) -> f64 {
+    // Exponential search downward for a losing bid.
+    let mut hi = declared; // selected
+    let mut lo = declared;
+    loop {
+        lo /= 2.0;
+        if lo < config.value_floor {
+            return 0.0; // wins at (effectively) zero: free allocation
+        }
+        if !selected_at(lo) {
+            break;
+        }
+        hi = lo;
+    }
+
+    // Invariant: selected at hi, not selected at lo.
+    while hi - lo > config.relative_tolerance * hi.max(1e-300) {
+        let mid = 0.5 * (hi + lo);
+        if selected_at(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
 /// Critical value of `agent` in `inst`, assuming it is currently
 /// selected. Returns 0 when the agent wins at arbitrarily small bids.
 pub fn critical_value<A: SingleParamAllocator>(
@@ -43,33 +86,10 @@ pub fn critical_value<A: SingleParamAllocator>(
         allocator.selected(inst)[agent],
         "critical_value probes must start from a winner"
     );
-
-    // Exponential search downward for a losing bid.
-    let mut hi = declared; // selected
-    let mut lo = declared;
-    loop {
-        lo /= 2.0;
-        if lo < config.value_floor {
-            return 0.0; // wins at (effectively) zero: free allocation
-        }
-        let probe = allocator.with_value(inst, agent, lo);
-        if !allocator.selected(&probe)[agent] {
-            break;
-        }
-        hi = lo;
-    }
-
-    // Invariant: selected at hi, not selected at lo.
-    while hi - lo > config.relative_tolerance * hi.max(1e-300) {
-        let mid = 0.5 * (hi + lo);
-        let probe = allocator.with_value(inst, agent, mid);
-        if allocator.selected(&probe)[agent] {
-            hi = mid;
-        } else {
-            lo = mid;
-        }
-    }
-    hi
+    critical_value_from_probe(declared, config, |v| {
+        let probe = allocator.with_value(inst, agent, v);
+        allocator.selected(&probe)[agent]
+    })
 }
 
 #[cfg(test)]
@@ -131,6 +151,35 @@ mod tests {
         // just below: a loser
         let below = HighestBid.with_value(&inst, 0, p * (1.0 - 1e-6));
         assert!(!HighestBid.selected(&below)[0]);
+    }
+
+    #[test]
+    fn probe_form_is_bit_identical_to_allocator_form() {
+        // Both forms must issue the same probe schedule and land on the
+        // same bits — the resumed payment path depends on it.
+        let inst = vec![10.0, 6.5, 1.0];
+        let mut probes = Vec::new();
+        let p = critical_value_from_probe(10.0, &PaymentConfig::default(), |v| {
+            probes.push(v);
+            let probe = HighestBid.with_value(&inst, 0, v);
+            HighestBid.selected(&probe)[0]
+        });
+        let p2 = critical_value(&HighestBid, &inst, 0, &PaymentConfig::default());
+        assert_eq!(p.to_bits(), p2.to_bits());
+        // Every probe is strictly below the smallest "selected" answer so
+        // far (starting from the declared value) — the invariant that
+        // lets prefix-resume advance its checkpoint monotonically.
+        let mut min_selected = 10.0f64;
+        for &v in &probes {
+            assert!(
+                v < min_selected,
+                "probe {v} not below bracket {min_selected}"
+            );
+            if v > 6.5 {
+                // HighestBid selects agent 0 whenever it outbids 6.5.
+                min_selected = v;
+            }
+        }
     }
 
     #[test]
