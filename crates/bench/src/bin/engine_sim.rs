@@ -16,6 +16,15 @@
 //! runs the full-rerun baseline (bit-identical revenue, superlinearly
 //! slower — kept for speedup measurements like `BENCH_PR2.json`).
 //!
+//! Durability: `--snapshot-every K --snapshot-dir DIR` persists the
+//! engine every `K` epochs; `--stop-after J` aborts the replay after
+//! epoch `J` (a simulated crash — snapshots already on disk survive);
+//! `--restore-from DIR` recovers from the newest loadable snapshot,
+//! verifies the driver fingerprint (same trace flags, same seed), and
+//! replays only the epochs after the snapshot's watermark. A
+//! crash-and-restore run's deterministic output (`--json` minus the
+//! `"timing"` object) is **byte-identical** to the unbroken run's.
+//!
 //! ```text
 //! cargo run -p ufp-bench --release --bin engine_sim
 //! cargo run -p ufp-bench --release --bin engine_sim -- \
@@ -24,6 +33,7 @@
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -31,7 +41,8 @@ use rand::SeedableRng;
 
 use ufp_bench::table::{f2, Table};
 use ufp_core::StopReason;
-use ufp_engine::{Engine, EngineConfig, EventLevel, PaymentPolicy};
+use ufp_engine::codec::{CodecError, Fnv64, Reader, Writer};
+use ufp_engine::{Arrival, Engine, EngineConfig, EventLevel, PaymentPolicy, SnapshotStore};
 use ufp_netgraph::generators;
 use ufp_par::Pool;
 use ufp_workloads::arrivals::{arrival_trace, ArrivalProcess, ArrivalTraceConfig};
@@ -50,6 +61,10 @@ struct Options {
     payments: String,
     json: bool,
     threads: usize,
+    snapshot_every: Option<usize>,
+    snapshot_dir: Option<String>,
+    restore_from: Option<String>,
+    stop_after: Option<usize>,
 }
 
 impl Default for Options {
@@ -67,8 +82,120 @@ impl Default for Options {
             payments: "none".to_string(),
             json: false,
             threads: 1,
+            snapshot_every: None,
+            snapshot_dir: None,
+            restore_from: None,
+            stop_after: None,
         }
     }
+}
+
+/// Version tag of the driver blob carried in the snapshot's driver
+/// section (bumped independently of the engine codec version).
+const DRIVER_VERSION: u8 = 1;
+
+/// Digest of the full arrival trace: proof that a restore run's flags
+/// regenerate byte-for-byte the stream the snapshot was taken from. The
+/// trace *is* the RNG stream here (everything random in the simulation
+/// is sampled into it up front), so digest + epoch watermark pin the
+/// exact stream position a restored run resumes from.
+fn trace_digest(trace: &[Vec<Arrival>]) -> u64 {
+    let mut h = Fnv64::default();
+    for batch in trace {
+        h.write(&(batch.len() as u64).to_le_bytes());
+        for a in batch {
+            h.write(&a.request.src.0.to_le_bytes());
+            h.write(&a.request.dst.0.to_le_bytes());
+            h.write(&a.request.demand.to_bits().to_le_bytes());
+            h.write(&a.request.value.to_bits().to_le_bytes());
+            h.write(&a.ttl.map_or(u64::MAX, u64::from).to_le_bytes());
+        }
+    }
+    h.finish()
+}
+
+/// Serialize the simulation's own recovery state: the trace fingerprint
+/// plus the per-stop-reason counters accumulated so far (everything the
+/// engine snapshot cannot know about the driver).
+fn encode_driver(options: &Options, digest: u64, stop_counts: &[usize; 4]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(DRIVER_VERSION);
+    w.put_u64(options.nodes as u64);
+    w.put_u64(options.edges as u64);
+    w.put_u64(options.epochs as u64);
+    w.put_f64(options.mean);
+    w.put_u64(options.hotspots as u64);
+    w.put_f64(options.epsilon);
+    w.put_u64(options.seed);
+    w.put_str(&options.process);
+    match options.churn {
+        None => w.put_bool(false),
+        Some((lo, hi)) => {
+            w.put_bool(true);
+            w.put_u32(lo);
+            w.put_u32(hi);
+        }
+    }
+    w.put_u64(digest);
+    for &c in stop_counts {
+        w.put_u64(c as u64);
+    }
+    w.into_bytes()
+}
+
+/// Decode and verify a driver blob against the current run's flags and
+/// regenerated trace. Returns the snapshotted stop counters.
+fn decode_driver(bytes: &[u8], options: &Options, digest: u64) -> Result<[usize; 4], String> {
+    let fail = |what: &str| format!("snapshot was taken from a different simulation ({what})");
+    let mut r = Reader::new(bytes);
+    let err = |e: CodecError| e.to_string();
+    if r.get_u8("driver version").map_err(err)? != DRIVER_VERSION {
+        return Err(fail("driver blob version"));
+    }
+    if r.get_u64("driver nodes").map_err(err)? != options.nodes as u64 {
+        return Err(fail("--nodes"));
+    }
+    if r.get_u64("driver edges").map_err(err)? != options.edges as u64 {
+        return Err(fail("--edges"));
+    }
+    if r.get_u64("driver epochs").map_err(err)? != options.epochs as u64 {
+        return Err(fail("--epochs"));
+    }
+    if r.get_f64("driver mean").map_err(err)?.to_bits() != options.mean.to_bits() {
+        return Err(fail("--mean"));
+    }
+    if r.get_u64("driver hotspots").map_err(err)? != options.hotspots as u64 {
+        return Err(fail("--hotspots"));
+    }
+    if r.get_f64("driver eps").map_err(err)?.to_bits() != options.epsilon.to_bits() {
+        return Err(fail("--eps"));
+    }
+    if r.get_u64("driver seed").map_err(err)? != options.seed {
+        return Err(fail("--seed"));
+    }
+    if r.get_str("driver process").map_err(err)? != options.process {
+        return Err(fail("--process"));
+    }
+    let churn = if r.get_bool("driver churn flag").map_err(err)? {
+        Some((
+            r.get_u32("driver churn lo").map_err(err)?,
+            r.get_u32("driver churn hi").map_err(err)?,
+        ))
+    } else {
+        None
+    };
+    if churn != options.churn {
+        return Err(fail("--churn"));
+    }
+    if r.get_u64("driver trace digest").map_err(err)? != digest {
+        return Err(fail("arrival-trace digest"));
+    }
+    let mut stop_counts = [0usize; 4];
+    for c in &mut stop_counts {
+        *c = r.get_u64("driver stop counts").map_err(err)? as usize;
+    }
+    r.expect_exhausted().map_err(err)?;
+    Ok(stop_counts)
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -106,6 +233,24 @@ fn parse_options() -> Result<Options, String> {
                     lo.parse().map_err(|e| format!("{e}"))?,
                     hi.parse().map_err(|e| format!("{e}"))?,
                 ));
+            }
+            "--snapshot-every" => {
+                let k: usize = value("--snapshot-every")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                if k == 0 {
+                    return Err("--snapshot-every must be at least 1".to_string());
+                }
+                options.snapshot_every = Some(k);
+            }
+            "--snapshot-dir" => options.snapshot_dir = Some(value("--snapshot-dir")?),
+            "--restore-from" => options.restore_from = Some(value("--restore-from")?),
+            "--stop-after" => {
+                let j: usize = value("--stop-after")?.parse().map_err(|e| format!("{e}"))?;
+                if j == 0 {
+                    return Err("--stop-after must be at least 1".to_string());
+                }
+                options.stop_after = Some(j);
             }
             other => return Err(format!("unknown flag {other}")),
         }
@@ -172,12 +317,81 @@ fn main() -> ExitCode {
         payments: payment_policy,
         ..EngineConfig::with_epsilon(options.epsilon).parallel(Pool::new(options.threads))
     };
-    let mut engine = Engine::new(graph, engine_config);
-    let mut stop_counts = [0usize; 4];
+    let digest = trace_digest(&trace);
+    let graph = Arc::new(graph);
+
+    // Fresh engine at epoch 0, or one recovered from the newest loadable
+    // snapshot (replay then covers only the epochs after its watermark).
+    let (mut engine, mut stop_counts) = match &options.restore_from {
+        None => (
+            Engine::from_shared(Arc::clone(&graph), engine_config.clone()),
+            [0usize; 4],
+        ),
+        Some(dir) => {
+            let store = match SnapshotStore::open(dir) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("engine_sim: cannot open snapshot store {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match store.recover(Arc::clone(&graph), engine_config.clone()) {
+                Err(e) => {
+                    eprintln!("engine_sim: restore failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+                Ok(None) => {
+                    eprintln!("engine_sim: no snapshot in {dir}, starting from epoch 0");
+                    (
+                        Engine::from_shared(Arc::clone(&graph), engine_config.clone()),
+                        [0usize; 4],
+                    )
+                }
+                Ok(Some(recovered)) => {
+                    for (path, reason) in &recovered.skipped {
+                        eprintln!(
+                            "engine_sim: skipped unreadable snapshot {}: {reason}",
+                            path.display()
+                        );
+                    }
+                    let stop_counts = match decode_driver(&recovered.driver, &options, digest) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            eprintln!("engine_sim: restore refused: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    eprintln!(
+                        "engine_sim: restored epoch {} from {}",
+                        recovered.epoch,
+                        recovered.path.display()
+                    );
+                    (recovered.engine, stop_counts)
+                }
+            }
+        }
+    };
+
+    let store = match &options.snapshot_dir {
+        Some(dir) => match SnapshotStore::open(dir) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("engine_sim: cannot open snapshot store {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    if options.snapshot_every.is_some() && store.is_none() {
+        eprintln!("engine_sim: --snapshot-every requires --snapshot-dir");
+        return ExitCode::FAILURE;
+    }
+
+    let start_epoch = engine.epoch() as usize;
     let mut sampled_rows: Vec<Vec<String>> = Vec::new();
     let sample_every = (options.epochs / 10).max(1);
     let replay_started = Instant::now();
-    for (t, batch) in trace.iter().enumerate() {
+    for (t, batch) in trace.iter().enumerate().skip(start_epoch) {
         let report = engine.submit_batch(batch);
         stop_counts[match report.stop {
             StopReason::Exhausted => 0,
@@ -196,6 +410,32 @@ fn main() -> ExitCode {
                 f2(100.0 * report.total_utilization),
                 f2(report.min_residual),
             ]);
+        }
+        if let (Some(every), Some(store)) = (options.snapshot_every, &store) {
+            if (t + 1) % every == 0 {
+                let driver = encode_driver(&options, digest, &stop_counts);
+                match store.save_with(&engine, &driver) {
+                    Ok(path) => eprintln!(
+                        "engine_sim: snapshot at epoch {} -> {}",
+                        engine.epoch(),
+                        path.display()
+                    ),
+                    Err(e) => {
+                        eprintln!("engine_sim: snapshot failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
+        if options.stop_after == Some(t + 1) {
+            // Simulated crash: no summary, no final feasibility audit —
+            // recovery (--restore-from) must rebuild everything from the
+            // snapshots already on disk.
+            eprintln!(
+                "engine_sim: stopping after epoch {} (simulated crash)",
+                t + 1
+            );
+            return ExitCode::SUCCESS;
         }
     }
 

@@ -39,6 +39,22 @@ impl PaymentPolicy {
     pub fn critical_value_naive() -> Self {
         PaymentPolicy::CriticalValueNaive(PaymentConfig::default())
     }
+
+    /// Snapshot-fingerprint of the policy: `(class, tolerance bits,
+    /// floor bits)`. [`PaymentPolicy::CriticalValue`] and
+    /// [`PaymentPolicy::CriticalValueNaive`] share a class on purpose —
+    /// their payments are bit-identical by contract (proptested), so a
+    /// snapshot taken under one may be restored under the other (the
+    /// swap is exactly how the equivalence keeps being verified on
+    /// restored engines).
+    pub(crate) fn fingerprint(&self) -> (u8, u64, u64) {
+        match *self {
+            PaymentPolicy::None => (0, 0, 0),
+            PaymentPolicy::CriticalValue(c) | PaymentPolicy::CriticalValueNaive(c) => {
+                (1, c.relative_tolerance.to_bits(), c.value_floor.to_bits())
+            }
+        }
+    }
 }
 
 /// When does a consumed edge stop participating in an epoch?

@@ -12,6 +12,7 @@ use ufp_netgraph::graph::Graph;
 use ufp_netgraph::residual::ResidualCaps;
 
 use crate::allocator::EpochAllocator;
+use crate::codec::CodecError;
 use crate::config::{EngineConfig, EventLevel, PaymentPolicy};
 use crate::event::EngineEvent;
 use crate::metrics::EngineMetrics;
@@ -99,26 +100,26 @@ const LOAD_EPSILON: f64 = 1e-9;
 /// read-out shares the one graph allocation instead of cloning the CSR.
 #[derive(Clone, Debug)]
 pub struct Engine {
-    graph: Arc<Graph>,
-    config: EngineConfig,
-    allocator_config: BoundedUfpConfig,
+    pub(crate) graph: Arc<Graph>,
+    pub(crate) config: EngineConfig,
+    pub(crate) allocator_config: BoundedUfpConfig,
     /// Resolved residual floor (see [`crate::config::ResidualFloor`]).
-    floor: f64,
-    residual: ResidualCaps,
-    carry: Vec<f64>,
+    pub(crate) floor: f64,
+    pub(crate) residual: ResidualCaps,
+    pub(crate) carry: Vec<f64>,
     /// Append-only global request registry.
-    requests: Vec<Request>,
+    pub(crate) requests: Vec<Request>,
     /// All admissions ever made (including released ones).
-    admissions: Vec<Admission>,
+    pub(crate) admissions: Vec<Admission>,
     /// Live TTL'd admissions indexed by expiry epoch, so releasing is
     /// O(expiring this epoch) instead of a scan over all history.
-    expiry_index: std::collections::BTreeMap<u64, Vec<usize>>,
-    epoch: u64,
-    events: Vec<EngineEvent>,
+    pub(crate) expiry_index: std::collections::BTreeMap<u64, Vec<usize>>,
+    pub(crate) epoch: u64,
+    pub(crate) events: Vec<EngineEvent>,
     /// Events discarded by the retention cap (see
     /// [`EngineConfig::event_capacity`]).
-    events_dropped: u64,
-    metrics: EngineMetrics,
+    pub(crate) events_dropped: u64,
+    pub(crate) metrics: EngineMetrics,
 }
 
 impl Engine {
@@ -457,6 +458,68 @@ impl Engine {
             }
         }
         payments
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore.
+    // ------------------------------------------------------------------
+
+    /// Serialize the full engine state into a framed snapshot (see
+    /// [`crate::snapshot`] for the format). The graph itself is not
+    /// included — restore takes it back and verifies it against the
+    /// stored fingerprint.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        crate::snapshot::encode_engine(self, &[])
+    }
+
+    /// Like [`Engine::snapshot_bytes`], with an opaque caller blob
+    /// (driver RNG stream position, trace cursor, …) carried in the
+    /// snapshot's driver section.
+    pub fn snapshot_bytes_with(&self, driver: &[u8]) -> Vec<u8> {
+        crate::snapshot::encode_engine(self, driver)
+    }
+
+    /// Write a snapshot to `path` atomically and durably (temp file +
+    /// fsync + rename + directory fsync): a crash mid-write can leave a
+    /// stale temp file, never a torn snapshot under the real name, and
+    /// a completed write survives power loss.
+    pub fn snapshot_to(&self, path: impl AsRef<std::path::Path>) -> Result<(), CodecError> {
+        crate::snapshot::write_atomic(path.as_ref(), &self.snapshot_bytes())
+    }
+
+    /// Restore an engine from a snapshot file over the given graph and
+    /// configuration. Continuation is **bit-identical**: submitting the
+    /// same post-snapshot batches to the restored engine reproduces the
+    /// uninterrupted run's epochs, payments, and metrics exactly. Fails
+    /// with a typed [`CodecError`] on corruption, truncation, version
+    /// skew, or fingerprint mismatch — never panics, never returns a
+    /// partially-restored engine.
+    pub fn restore_from(
+        path: impl AsRef<std::path::Path>,
+        graph: Arc<Graph>,
+        config: EngineConfig,
+    ) -> Result<Engine, CodecError> {
+        let bytes = std::fs::read(path)?;
+        Self::restore_from_bytes(&bytes, graph, config)
+    }
+
+    /// [`Engine::restore_from`] over in-memory bytes.
+    pub fn restore_from_bytes(
+        bytes: &[u8],
+        graph: Arc<Graph>,
+        config: EngineConfig,
+    ) -> Result<Engine, CodecError> {
+        crate::snapshot::decode_engine(bytes, graph, config).map(|(engine, _)| engine)
+    }
+
+    /// [`Engine::restore_from_bytes`], additionally returning the opaque
+    /// driver blob stored by [`Engine::snapshot_bytes_with`].
+    pub fn restore_from_bytes_with_driver(
+        bytes: &[u8],
+        graph: Arc<Graph>,
+        config: EngineConfig,
+    ) -> Result<(Engine, Vec<u8>), CodecError> {
+        crate::snapshot::decode_engine(bytes, graph, config)
     }
 
     // ------------------------------------------------------------------

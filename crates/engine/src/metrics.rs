@@ -25,16 +25,16 @@ pub struct EngineMetrics {
     /// arrival order — bounded so a long-lived engine's metrics stay
     /// O(1) memory; percentiles describe the most recent
     /// [`LATENCY_WINDOW`] batches.
-    batch_latency_us: Vec<u64>,
+    pub(crate) batch_latency_us: Vec<u64>,
     /// Next write position in the ring buffer.
-    latency_cursor: usize,
+    pub(crate) latency_cursor: usize,
     /// The same window kept sorted ascending, maintained incrementally
     /// (one binary-searched remove + insert per batch), so percentile
     /// queries are O(1) array lookups instead of clone + sort of the
     /// whole window per query.
-    sorted_latency_us: Vec<u64>,
+    pub(crate) sorted_latency_us: Vec<u64>,
     /// Lifetime sum of batch latencies (µs), for throughput.
-    total_latency_us: u64,
+    pub(crate) total_latency_us: u64,
 }
 
 /// Number of recent batches the latency percentiles cover.
@@ -73,6 +73,59 @@ impl EngineMetrics {
         let at = self.sorted_latency_us.partition_point(|&x| x <= us);
         self.sorted_latency_us.insert(at, us);
         self.latency_cursor = (self.latency_cursor + 1) % LATENCY_WINDOW;
+    }
+
+    /// Rebuild metrics from snapshot fields, re-deriving the sorted
+    /// latency view (it is a pure function of the ring buffer: the same
+    /// multiset, ascending). Returns `None` when the fields violate a
+    /// structural invariant, so the snapshot codec can surface a typed
+    /// error instead of panicking.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_snapshot(
+        epochs: u64,
+        arrivals: u64,
+        accepted: u64,
+        rejected: u64,
+        released: u64,
+        value_admitted: f64,
+        revenue: f64,
+        total_latency_us: u64,
+        latency_cursor: usize,
+        batch_latency_us: Vec<u64>,
+    ) -> Option<Self> {
+        if accepted.checked_add(rejected) != Some(arrivals) {
+            return None;
+        }
+        if batch_latency_us.len() > LATENCY_WINDOW {
+            return None;
+        }
+        let cursor_ok = if batch_latency_us.len() < LATENCY_WINDOW {
+            // Still filling: the cursor trails the push count exactly.
+            latency_cursor == batch_latency_us.len()
+        } else {
+            latency_cursor < LATENCY_WINDOW
+        };
+        if !cursor_ok {
+            return None;
+        }
+        if !value_admitted.is_finite() || !revenue.is_finite() {
+            return None;
+        }
+        let mut sorted_latency_us = batch_latency_us.clone();
+        sorted_latency_us.sort_unstable();
+        Some(EngineMetrics {
+            epochs,
+            arrivals,
+            accepted,
+            rejected,
+            released,
+            value_admitted,
+            revenue,
+            batch_latency_us,
+            latency_cursor,
+            sorted_latency_us,
+            total_latency_us,
+        })
     }
 
     /// Fraction of all arrivals admitted (0 when nothing arrived).
@@ -166,6 +219,82 @@ mod tests {
             Some((LATENCY_WINDOW + 499) as u64)
         );
         assert_eq!(m.p50_latency_us(), Some(500 + 2048));
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_percentiles() {
+        let mut m = EngineMetrics::default();
+        for i in 0..(LATENCY_WINDOW + 37) {
+            m.record_batch(
+                2,
+                1,
+                0,
+                1.5,
+                0.25,
+                Duration::from_micros((i * 7 % 991) as u64),
+            );
+        }
+        let restored = EngineMetrics::from_snapshot(
+            m.epochs,
+            m.arrivals,
+            m.accepted,
+            m.rejected,
+            m.released,
+            m.value_admitted,
+            m.revenue,
+            m.total_latency_us,
+            m.latency_cursor,
+            m.batch_latency_us.clone(),
+        )
+        .expect("valid snapshot");
+        assert_eq!(restored.sorted_latency_us, m.sorted_latency_us);
+        for p in [0.0, 25.0, 50.0, 99.0, 100.0] {
+            assert_eq!(
+                restored.latency_percentile_us(p),
+                m.latency_percentile_us(p)
+            );
+        }
+        assert_eq!(restored.revenue.to_bits(), m.revenue.to_bits());
+        assert_eq!(
+            restored.value_admitted.to_bits(),
+            m.value_admitted.to_bits()
+        );
+        // Restored metrics keep recording identically (same evictions).
+        let mut a = m;
+        let mut b = restored;
+        for i in 0..10u64 {
+            a.record_batch(1, 1, 0, 1.0, 0.0, Duration::from_micros(i));
+            b.record_batch(1, 1, 0, 1.0, 0.0, Duration::from_micros(i));
+        }
+        assert_eq!(a.sorted_latency_us, b.sorted_latency_us);
+        assert_eq!(a.latency_cursor, b.latency_cursor);
+    }
+
+    #[test]
+    fn snapshot_rejects_inconsistent_fields() {
+        // accepted + rejected must equal arrivals.
+        assert!(EngineMetrics::from_snapshot(1, 5, 3, 1, 0, 0.0, 0.0, 10, 1, vec![10]).is_none());
+        // Cursor must trail the ring while it is filling.
+        assert!(EngineMetrics::from_snapshot(1, 1, 1, 0, 0, 0.0, 0.0, 10, 5, vec![10]).is_none());
+        // Over-full window.
+        assert!(EngineMetrics::from_snapshot(
+            1,
+            1,
+            1,
+            0,
+            0,
+            0.0,
+            0.0,
+            0,
+            0,
+            vec![0; LATENCY_WINDOW + 1]
+        )
+        .is_none());
+        // Non-finite accounting.
+        assert!(
+            EngineMetrics::from_snapshot(1, 1, 1, 0, 0, f64::NAN, 0.0, 10, 1, vec![10]).is_none()
+        );
+        assert!(EngineMetrics::from_snapshot(1, 1, 1, 0, 0, 0.0, 0.0, 10, 1, vec![10]).is_some());
     }
 
     #[test]

@@ -65,6 +65,35 @@ impl ResidualCaps {
             .collect()
     }
 
+    /// Committed per-edge loads in edge-id order — the serializable half
+    /// of the tracker (capacities are derivable from the graph). Feed the
+    /// exact values back through [`ResidualCaps::import`] to reconstruct
+    /// a bit-identical tracker.
+    pub fn loads(&self) -> &[f64] {
+        &self.load
+    }
+
+    /// Rebuild a tracker over `graph` from loads exported by
+    /// [`ResidualCaps::loads`]. Returns `None` when `loads` does not
+    /// match the graph's edge count, contains a non-finite or negative
+    /// entry, or exceeds an edge's capacity beyond floating-point
+    /// commit/release residue (a committed tracker is always feasible,
+    /// so an over-capacity load can only come from corrupted or forged
+    /// state and must not restore into a negative-residual network) —
+    /// callers restoring persisted state turn the `None` into their own
+    /// typed error instead of panicking.
+    pub fn import(graph: &Graph, loads: Vec<f64>) -> Option<Self> {
+        if loads.len() != graph.num_edges() {
+            return None;
+        }
+        let caps: Vec<f64> = graph.edges().iter().map(|e| e.capacity).collect();
+        let feasible = |l: f64, c: f64| l.is_finite() && l >= 0.0 && l <= c * (1.0 + 1e-9) + 1e-9;
+        if loads.iter().zip(&caps).any(|(&l, &c)| !feasible(l, c)) {
+            return None;
+        }
+        Some(ResidualCaps { caps, load: loads })
+    }
+
     /// Fraction of capacity in use on `e` (`load / cap`, in `[0, 1]` up
     /// to floating-point noise).
     #[inline]
@@ -162,6 +191,50 @@ mod tests {
         assert_eq!(r.residual(EdgeId(0)), 0.0);
         r.release(&p, 5.0); // over-release clamps too
         assert_eq!(r.load(EdgeId(0)), 0.0);
+    }
+
+    #[test]
+    fn export_import_is_bit_identical() {
+        let (g, p) = chain(&[4.0, 8.0, 2.0]);
+        let mut r = ResidualCaps::new(&g);
+        r.commit(&p, 0.1 + 0.2); // deliberately noisy f64 value
+        r.commit(&p, 1.0 / 3.0);
+        r.release(&p, 0.1);
+        let restored = ResidualCaps::import(&g, r.loads().to_vec()).expect("valid export");
+        for e in 0..g.num_edges() {
+            let e = EdgeId(e as u32);
+            assert_eq!(restored.load(e).to_bits(), r.load(e).to_bits());
+            assert_eq!(restored.residual(e).to_bits(), r.residual(e).to_bits());
+            assert_eq!(restored.capacity(e).to_bits(), r.capacity(e).to_bits());
+        }
+        // And the restored tracker keeps evolving identically.
+        let mut a = r.clone();
+        let mut b = restored;
+        a.commit(&p, 0.7);
+        b.commit(&p, 0.7);
+        assert_eq!(a.loads(), b.loads());
+    }
+
+    #[test]
+    fn import_rejects_bad_exports() {
+        let (g, _) = chain(&[4.0, 8.0]);
+        assert!(ResidualCaps::import(&g, vec![0.0]).is_none(), "length");
+        assert!(
+            ResidualCaps::import(&g, vec![0.0, f64::NAN]).is_none(),
+            "non-finite"
+        );
+        assert!(
+            ResidualCaps::import(&g, vec![0.0, -1.0]).is_none(),
+            "negative"
+        );
+        // Loads beyond capacity (caps are 4 and 8 here) cannot come from
+        // a committed tracker; fp residue at the boundary is tolerated.
+        assert!(
+            ResidualCaps::import(&g, vec![0.0, 9.0]).is_none(),
+            "over capacity"
+        );
+        assert!(ResidualCaps::import(&g, vec![4.0 + 1e-12, 8.0]).is_some());
+        assert!(ResidualCaps::import(&g, vec![1.0, 2.0]).is_some());
     }
 
     #[test]

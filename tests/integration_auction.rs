@@ -12,6 +12,35 @@ use truthful_ufp::ufp_workloads::{
 
 const E: f64 = std::f64::consts::E;
 
+/// The **one table to re-baseline** when the vendor `rand` shim
+/// (xoshiro256++) is swapped for the real crates.io `StdRng` (ChaCha12)
+/// — see ROADMAP "Vendor shims". Every seeded stream changes on that
+/// swap, so any assertion about a *specific* seed's outcome lives here,
+/// behind [`assert_seed_baseline`], instead of being scattered through
+/// test bodies as magic constants.
+///
+/// Theorem-backed assertions (certified ratios, feasibility, bundle
+/// shrinking) hold for *any* seed and deliberately do not appear here.
+mod seed_baseline {
+    /// Per-seed outcome of Bounded-MUCA vs BKV on the contended Zipf
+    /// auctions of `muca_beats_or_matches_bkv_under_contention`, for
+    /// seeds `1..=5` under the current (shim) RNG stream.
+    pub const MUCA_BEATS_BKV: [bool; 5] = [true, true, true, true, true];
+}
+
+/// Compare one seed's observed outcome against the recorded baseline,
+/// with a message that points straight at the table to update after an
+/// RNG swap.
+fn assert_seed_baseline(what: &str, seed: u64, observed: bool, expected: bool) {
+    assert_eq!(
+        observed, expected,
+        "{what}: seed {seed} diverged from the recorded baseline. If the \
+         vendor rand shim was just swapped for the real crate, re-baseline \
+         `seed_baseline` in tests/integration_auction.rs (one table, no \
+         other constants to hunt down); otherwise this is a real regression."
+    );
+}
+
 fn contended_auction(seed: u64, eps: f64) -> AuctionInstance {
     let b = required_multiplicity(20, eps);
     random_auction(&RandomAuctionConfig {
@@ -101,10 +130,21 @@ fn muca_beats_or_matches_bkv_under_contention() {
             .solution
             .value(&a);
         let bkv = bkv_auction(&a, 0.4).value(&a);
-        if muca >= bkv {
+        let muca_wins = muca >= bkv;
+        // Exact per-seed outcomes are seed-stream-sensitive and live in
+        // the baseline table, not here.
+        assert_seed_baseline(
+            "muca vs bkv",
+            seed,
+            muca_wins,
+            seed_baseline::MUCA_BEATS_BKV[(seed - 1) as usize],
+        );
+        if muca_wins {
             wins += 1;
         }
     }
+    // The paper-level claim is stream-independent: Bounded-MUCA wins the
+    // contention on (at least) most seeds, whatever the RNG.
     assert!(
         wins >= 4,
         "Bounded-MUCA lost to BKV on {} of 5 seeds",
