@@ -16,6 +16,14 @@
 //! runs the full-rerun baseline (bit-identical revenue, superlinearly
 //! slower — kept for speedup measurements like `BENCH_PR2.json`).
 //!
+//! Selection: `--selection incremental` (default) drives each epoch's
+//! argmin with the dirty-set path cache + lazy score heap;
+//! `--selection fanout` re-queries every remaining request every
+//! iteration (the paper-literal loop). The two are bit-identical on
+//! every deterministic output — only the `"selection"` config field and
+//! the `"timing"` object differ between runs (`BENCH_PR4.json` records
+//! the speedups).
+//!
 //! Durability: `--snapshot-every K --snapshot-dir DIR` persists the
 //! engine every `K` epochs; `--stop-after J` aborts the replay after
 //! epoch `J` (a simulated crash — snapshots already on disk survive);
@@ -42,7 +50,9 @@ use rand::SeedableRng;
 use ufp_bench::table::{f2, Table};
 use ufp_core::StopReason;
 use ufp_engine::codec::{CodecError, Fnv64, Reader, Writer};
-use ufp_engine::{Arrival, Engine, EngineConfig, EventLevel, PaymentPolicy, SnapshotStore};
+use ufp_engine::{
+    Arrival, Engine, EngineConfig, EventLevel, PaymentPolicy, SelectionStrategy, SnapshotStore,
+};
 use ufp_netgraph::generators;
 use ufp_par::Pool;
 use ufp_workloads::arrivals::{arrival_trace, ArrivalProcess, ArrivalTraceConfig};
@@ -59,6 +69,7 @@ struct Options {
     process: String,
     churn: Option<(u32, u32)>,
     payments: String,
+    selection: String,
     json: bool,
     threads: usize,
     snapshot_every: Option<usize>,
@@ -80,6 +91,7 @@ impl Default for Options {
             process: "poisson".to_string(),
             churn: None,
             payments: "none".to_string(),
+            selection: "incremental".to_string(),
             json: false,
             threads: 1,
             snapshot_every: None,
@@ -220,6 +232,7 @@ fn parse_options() -> Result<Options, String> {
             "--seed" => options.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--process" => options.process = value("--process")?,
             "--payments" => options.payments = value("--payments")?,
+            "--selection" => options.selection = value("--selection")?,
             "--json" => options.json = true,
             "--threads" => {
                 options.threads = value("--threads")?.parse().map_err(|e| format!("{e}"))?
@@ -312,9 +325,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let selection = match options.selection.as_str() {
+        "incremental" => SelectionStrategy::Incremental,
+        "fanout" => SelectionStrategy::FanOut,
+        other => {
+            eprintln!("engine_sim: unknown selection {other} (incremental|fanout)");
+            return ExitCode::FAILURE;
+        }
+    };
     let engine_config = EngineConfig {
         events: EventLevel::Epoch,
         payments: payment_policy,
+        selection,
         ..EngineConfig::with_epsilon(options.epsilon).parallel(Pool::new(options.threads))
     };
     let digest = trace_digest(&trace);
@@ -461,7 +483,7 @@ fn main() -> ExitCode {
         println!(
             "  \"config\": {{\"nodes\": {}, \"edges\": {}, \"epochs\": {}, \"mean\": {}, \
              \"hotspots\": {}, \"eps\": {}, \"seed\": {}, \"process\": \"{}\", \
-             \"churn\": {}, \"payments\": \"{}\", \"threads\": {}}},",
+             \"churn\": {}, \"payments\": \"{}\", \"selection\": \"{}\", \"threads\": {}}},",
             options.nodes,
             options.edges,
             options.epochs,
@@ -472,6 +494,7 @@ fn main() -> ExitCode {
             options.process,
             churn,
             options.payments,
+            options.selection,
             options.threads
         );
         println!(
@@ -552,6 +575,7 @@ fn main() -> ExitCode {
     );
     kv(&mut summary, "value admitted", f2(metrics.value_admitted));
     kv(&mut summary, "payments", options.payments.clone());
+    kv(&mut summary, "selection", options.selection.clone());
     kv(&mut summary, "revenue", f2(metrics.revenue));
     kv(
         &mut summary,

@@ -27,6 +27,7 @@ use ufp_par::Pool;
 
 use crate::instance::UfpInstance;
 use crate::request::RequestId;
+use crate::selection::{IncrementalSelector, SelectInputs, SelectionStrategy};
 use crate::solution::UfpSolution;
 use crate::trace::{Certificate, IterationRecord, RunTrace, StopReason};
 use crate::weights::DualWeights;
@@ -47,6 +48,9 @@ pub struct BoundedUfpConfig {
     /// is preserved: lowering one's demand only enlarges one's own path
     /// set. Used by the E10/E11 ablations.
     pub respect_residual: bool,
+    /// How each iteration's argmin is found. Both strategies are
+    /// bit-identical in every output; see [`SelectionStrategy`].
+    pub selection: SelectionStrategy,
 }
 
 impl Default for BoundedUfpConfig {
@@ -55,6 +59,7 @@ impl Default for BoundedUfpConfig {
             epsilon: 0.1,
             pool: Pool::sequential(),
             respect_residual: false,
+            selection: SelectionStrategy::default(),
         }
     }
 }
@@ -75,6 +80,12 @@ impl BoundedUfpConfig {
     /// Same configuration with a parallel pool.
     pub fn parallel(mut self, pool: Pool) -> Self {
         self.pool = pool;
+        self
+    }
+
+    /// Same configuration with the given selection strategy.
+    pub fn with_selection(mut self, selection: SelectionStrategy) -> Self {
+        self.selection = selection;
         self
     }
 }
@@ -395,7 +406,11 @@ fn epoch_bound_b(instance: &UfpInstance, ctx: Option<&EpochContext<'_>>) -> f64 
     }
 }
 
-/// The Algorithm 1 main loop over an [`EpochRunState`].
+/// The Algorithm 1 main loop over an [`EpochRunState`], dispatching on
+/// the configured [`SelectionStrategy`]. Both bodies drive the same
+/// [`apply_step`], and their selections are bit-identical by the
+/// monotonicity contract (proptested) — strategy choice changes cost,
+/// never results.
 ///
 /// * `record_steps` — when set, every executed step is appended as a
 ///   [`ResumeStep`] (the traced run).
@@ -412,11 +427,115 @@ fn run_epoch_loop(
     b: f64,
     ln_guard: f64,
     state: &mut EpochRunState,
+    record_steps: Option<&mut Vec<ResumeStep>>,
+    watch: Option<RequestId>,
+) -> LoopEnd {
+    match config.selection {
+        SelectionStrategy::FanOut => run_epoch_loop_fanout(
+            instance,
+            config,
+            usable,
+            b,
+            ln_guard,
+            state,
+            record_steps,
+            watch,
+        ),
+        SelectionStrategy::Incremental => run_epoch_loop_incremental(
+            instance,
+            config,
+            usable,
+            b,
+            ln_guard,
+            state,
+            record_steps,
+            watch,
+        ),
+    }
+}
+
+/// Apply one selected step to the loop state: the iteration record, the
+/// line-10 weight bumps, carry, residuals, routed value, the remaining
+/// set, and the solution/trace appends — in exactly this order, which
+/// [`EpochRunState::replay`] reproduces for bit-identical resumes. Both
+/// selection strategies funnel through here so the mutation sequence
+/// cannot diverge between them.
+#[allow(clippy::too_many_arguments)] // internal: the loop bodies are the only callers
+fn apply_step(
+    instance: &UfpInstance,
+    config: &BoundedUfpConfig,
+    b: f64,
+    state: &mut EpochRunState,
+    record_steps: Option<&mut Vec<ResumeStep>>,
+    selected: RequestId,
+    score: f64,
+    ln_d1: f64,
+    path: Path,
+) {
+    let eps = config.epsilon;
+    let req = *instance.request(selected);
+
+    // Claim 3.6 bookkeeping: α(i) in log space (shift restores the
+    // true scale of the materialized distance).
+    let ln_alpha = if score > 0.0 {
+        score.ln() + state.weights.shift()
+    } else {
+        f64::NEG_INFINITY
+    };
+    let record = IterationRecord {
+        selected,
+        ln_alpha,
+        ln_d1,
+        routed_value_before: state.routed_value,
+    };
+    state.records.push(record);
+
+    // Line 10: y_e ← y_e · e^{εB d / c_e} along the chosen path.
+    let mut bumps = record_steps
+        .is_some()
+        .then(|| Vec::with_capacity(path.edges().len()));
+    for &e in path.edges() {
+        let c = state.weights.capacity(e);
+        let exponent = eps * b * req.demand / c;
+        state.weights.bump(e, exponent);
+        if let Some(k) = state.carry.as_mut() {
+            k[e.index()] += exponent;
+        }
+        state.residual[e.index()] -= req.demand;
+        if let Some(bs) = bumps.as_mut() {
+            bs.push(exponent);
+        }
+    }
+
+    state.routed_value += req.value;
+    state.remaining.retain(|r| *r != selected);
+    state.steps_done += 1;
+    if let Some(steps) = record_steps {
+        state.solution.routed.push((selected, path.clone()));
+        steps.push(ResumeStep {
+            path,
+            bumps: bumps.unwrap_or_default(),
+            record,
+        });
+    } else {
+        state.solution.routed.push((selected, path));
+    }
+}
+
+/// The paper-literal loop: full shortest-path fan-out every iteration.
+#[allow(clippy::too_many_arguments)]
+fn run_epoch_loop_fanout(
+    instance: &UfpInstance,
+    config: &BoundedUfpConfig,
+    usable: Option<&[bool]>,
+    b: f64,
+    ln_guard: f64,
+    state: &mut EpochRunState,
     mut record_steps: Option<&mut Vec<ResumeStep>>,
     watch: Option<RequestId>,
 ) -> LoopEnd {
-    let eps = config.epsilon;
     let mut path_scratch = Dijkstra::new(instance.graph().num_nodes());
+    let mut path_buf = Path::trivial(NodeId(0));
     loop {
         if state.remaining.is_empty() {
             return LoopEnd::Stopped(StopReason::Exhausted);
@@ -429,18 +548,19 @@ fn run_epoch_loop(
         // Cost model only — results are identical either way (see
         // `PathFinding`): below one path-reconstruction per node, the
         // fan-out collects paths inline; above it, distances only plus
-        // one targeted re-run for the winner.
+        // one targeted re-run for the winner. Both fan-out variants
+        // (grouped and residual-gated) follow the same model.
         let collect_paths = state.remaining.len() < instance.graph().num_nodes();
         let (findings, mut paths) = if config.respect_residual {
-            let findings = shortest_distances_residual(
+            shortest_findings_residual(
                 instance,
                 &state.remaining,
                 &state.weights,
                 &state.residual,
                 usable,
                 &config.pool,
-            );
-            (findings, Vec::new())
+                collect_paths,
+            )
         } else {
             shortest_findings_grouped(
                 instance,
@@ -453,8 +573,9 @@ fn run_epoch_loop(
         };
 
         // Select r̂ minimizing (d/v)·|p| — deterministic tie-break on
-        // request id (findings are in ascending id order within each
-        // group and groups are sorted, and `<` keeps the first minimum).
+        // request id (`<` keeps the first minimum among equal scores,
+        // and every fan-out yields findings in an order where explicit
+        // id comparison resolves ties identically).
         let mut best: Option<(f64, usize)> = None;
         for (i, f) in findings.iter().enumerate() {
             let score = instance.request(f.request).density() * f.dist;
@@ -473,68 +594,103 @@ fn run_epoch_loop(
         if watch == Some(selected) {
             return LoopEnd::WatchSelected;
         }
-        let req = *instance.request(selected);
         // Materialize only the winner's path: taken from the fan-out if
-        // it collected paths, re-derived with one targeted query if not.
+        // it collected paths, re-derived with one targeted query into
+        // the reusable buffer if not.
         let path = if paths.is_empty() {
-            chosen_path(
+            chosen_path_into(
                 &mut path_scratch,
+                &mut path_buf,
                 instance,
                 &state.weights,
                 config.respect_residual.then_some(state.residual.as_slice()),
                 usable,
                 selected,
-            )
+            );
+            path_buf.clone()
         } else {
             // Index-aligned with findings; order is dead after this read.
             paths.swap_remove(idx)
         };
 
-        // Claim 3.6 bookkeeping: α(i) in log space (shift restores the
-        // true scale of the materialized distance).
-        let ln_alpha = if score > 0.0 {
-            score.ln() + state.weights.shift()
-        } else {
-            f64::NEG_INFINITY
-        };
-        let record = IterationRecord {
+        apply_step(
+            instance,
+            config,
+            b,
+            state,
+            record_steps.as_deref_mut(),
             selected,
-            ln_alpha,
+            score,
             ln_d1,
-            routed_value_before: state.routed_value,
+            path,
+        );
+    }
+}
+
+/// The incremental loop: dirty-set path cache + lazy score heap (see
+/// [`crate::selection`]). Selector state is *derived* — rebuildable from
+/// the loop state at any point — so checkpoints, resume traces, watch
+/// probes, and snapshots need no knowledge of it.
+#[allow(clippy::too_many_arguments)]
+fn run_epoch_loop_incremental(
+    instance: &UfpInstance,
+    config: &BoundedUfpConfig,
+    usable: Option<&[bool]>,
+    b: f64,
+    ln_guard: f64,
+    state: &mut EpochRunState,
+    mut record_steps: Option<&mut Vec<ResumeStep>>,
+    watch: Option<RequestId>,
+) -> LoopEnd {
+    let mut selector = IncrementalSelector::new(instance);
+    loop {
+        if state.remaining.is_empty() {
+            return LoopEnd::Stopped(StopReason::Exhausted);
+        }
+        let ln_d1 = state.weights.ln_dual_sum();
+        if ln_d1 > ln_guard {
+            return LoopEnd::Stopped(StopReason::Guard);
+        }
+
+        let selection = {
+            let inputs = SelectInputs {
+                instance,
+                weights: &state.weights,
+                residual: &state.residual,
+                usable,
+                respect_residual: config.respect_residual,
+                pool: &config.pool,
+            };
+            selector.select(&state.remaining, &inputs)
         };
-        state.records.push(record);
-
-        // Line 10: y_e ← y_e · e^{εB d / c_e} along the chosen path.
-        let mut bumps = record_steps
-            .is_some()
-            .then(|| Vec::with_capacity(path.edges().len()));
-        for &e in path.edges() {
-            let c = state.weights.capacity(e);
-            let exponent = eps * b * req.demand / c;
-            state.weights.bump(e, exponent);
-            if let Some(k) = state.carry.as_mut() {
-                k[e.index()] += exponent;
-            }
-            state.residual[e.index()] -= req.demand;
-            if let Some(bs) = bumps.as_mut() {
-                bs.push(exponent);
-            }
+        let Some((selected, score)) = selection else {
+            return LoopEnd::Stopped(StopReason::NoPath);
+        };
+        if watch == Some(selected) {
+            return LoopEnd::WatchSelected;
         }
-
-        state.routed_value += req.value;
-        state.remaining.retain(|r| *r != selected);
-        state.steps_done += 1;
-        if let Some(steps) = record_steps.as_deref_mut() {
-            state.solution.routed.push((selected, path.clone()));
-            steps.push(ResumeStep {
-                path,
-                bumps: bumps.unwrap_or_default(),
-                record,
-            });
-        } else {
-            state.solution.routed.push((selected, path));
-        }
+        // The winner's path comes straight from the cache: its exactness
+        // is the invariant the dirty-set bookkeeping maintains. The
+        // clone is the copy the solution owns either way.
+        let path = selector.winner_path(selected).clone();
+        apply_step(
+            instance,
+            config,
+            b,
+            state,
+            record_steps.as_deref_mut(),
+            selected,
+            score,
+            ln_d1,
+            path,
+        );
+        let applied = &state
+            .solution
+            .routed
+            .last()
+            .expect("apply_step appends the routed path")
+            .1;
+        selector.after_step(selected, applied, &state.weights);
     }
 }
 
@@ -696,7 +852,7 @@ pub fn bounded_ufp_epoch_resume_watch(
 /// source. Both the main loop's distance fan-out and the repetitions
 /// variant derive their query order — and therefore the argmin
 /// tie-break order — from this one function.
-fn group_by_source(
+pub(crate) fn group_by_source(
     instance: &UfpInstance,
     remaining: &[RequestId],
 ) -> Vec<(NodeId, Vec<RequestId>)> {
@@ -732,8 +888,8 @@ fn shortest_findings_grouped(
     let w = weights.weights();
     let per_group: Vec<(Vec<PathFinding>, Vec<Path>)> = pool.map_with(
         &groups,
-        || Dijkstra::new(graph.num_nodes()),
-        |dij, _, (src, members)| {
+        || (Dijkstra::new(graph.num_nodes()), Path::trivial(NodeId(0))),
+        |(dij, pbuf), _, (src, members)| {
             let targets: Vec<NodeId> = members.iter().map(|r| instance.request(*r).dst).collect();
             dij.run(graph, w, *src, Targets::Set(&targets), |e| {
                 usable.is_none_or(|u| u[e.index()])
@@ -746,7 +902,10 @@ fn shortest_findings_grouped(
                     continue;
                 };
                 if collect_paths {
-                    paths.push(dij.path_to(dst).expect("settled target has a path"));
+                    // Reconstruct into the worker's reusable buffer,
+                    // then clone exact-sized into the result.
+                    assert!(dij.path_to_into(dst, pbuf), "settled target has a path");
+                    paths.push(pbuf.clone());
                 }
                 findings.push(PathFinding { request: r, dist });
             }
@@ -776,8 +935,8 @@ pub(crate) fn shortest_paths_grouped_for_repeat(
     let w = weights.weights();
     let per_group: Vec<Vec<(RequestId, f64, Path)>> = pool.map_with(
         &groups,
-        || Dijkstra::new(graph.num_nodes()),
-        |dij, _, (src, members)| {
+        || (Dijkstra::new(graph.num_nodes()), Path::trivial(NodeId(0))),
+        |(dij, pbuf), _, (src, members)| {
             let targets: Vec<NodeId> = members.iter().map(|r| instance.request(*r).dst).collect();
             dij.run(graph, w, *src, Targets::Set(&targets), |_| true);
             members
@@ -785,8 +944,7 @@ pub(crate) fn shortest_paths_grouped_for_repeat(
                 .filter_map(|&r| {
                     let dst = instance.request(r).dst;
                     let dist = dij.distance(dst)?;
-                    let path = dij.path_to(dst)?;
-                    Some((r, dist, path))
+                    dij.path_to_into(dst, pbuf).then(|| (r, dist, pbuf.clone()))
                 })
                 .collect()
         },
@@ -795,48 +953,67 @@ pub(crate) fn shortest_paths_grouped_for_repeat(
 }
 
 /// Residual-capacity variant: the edge filter depends on each request's
-/// demand, so requests are queried individually. Distances only, as in
-/// [`shortest_distances_grouped`].
-fn shortest_distances_residual(
+/// demand, so requests are queried individually. Follows the same
+/// `collect_paths` cost model as [`shortest_findings_grouped`]: below
+/// the one-reconstruction-per-node threshold the realizing paths come
+/// back inline (second vector, index-aligned with the findings) and the
+/// caller skips the winner's targeted re-derivation.
+#[allow(clippy::too_many_arguments)]
+fn shortest_findings_residual(
     instance: &UfpInstance,
     remaining: &[RequestId],
     weights: &DualWeights,
     residual: &[f64],
     usable: Option<&[bool]>,
     pool: &Pool,
-) -> Vec<PathFinding> {
+    collect_paths: bool,
+) -> (Vec<PathFinding>, Vec<Path>) {
     let graph = instance.graph();
     let w = weights.weights();
     let mut sorted: Vec<RequestId> = remaining.to_vec();
     sorted.sort_unstable();
-    let results: Vec<Option<PathFinding>> = pool.map_with(
+    let results: Vec<Option<(PathFinding, Option<Path>)>> = pool.map_with(
         &sorted,
-        || Dijkstra::new(graph.num_nodes()),
-        |dij, _, &r| {
+        || (Dijkstra::new(graph.num_nodes()), Path::trivial(NodeId(0))),
+        |(dij, pbuf), _, &r| {
             let req = instance.request(r);
             dij.run(graph, w, req.src, Targets::One(req.dst), |e| {
                 usable.is_none_or(|u| u[e.index()]) && residual[e.index()] >= req.demand - 1e-12
             });
             let dist = dij.distance(req.dst)?;
-            Some(PathFinding { request: r, dist })
+            let path = collect_paths.then(|| {
+                assert!(dij.path_to_into(req.dst, pbuf), "settled target");
+                pbuf.clone()
+            });
+            Some((PathFinding { request: r, dist }, path))
         },
     );
-    results.into_iter().flatten().collect()
+    let mut findings = Vec::new();
+    let mut paths = Vec::new();
+    for (finding, path) in results.into_iter().flatten() {
+        findings.push(finding);
+        if let Some(p) = path {
+            paths.push(p);
+        }
+    }
+    (findings, paths)
 }
 
-/// Re-derive the selected request's path with one targeted Dijkstra.
-/// Bit-identical to the path the fan-out would have reconstructed: pop
-/// order and parent pointers depend only on (graph, weights, source,
-/// filter), never on the target set, and every ancestor of the target is
-/// settled before it.
-fn chosen_path(
+/// Re-derive the selected request's path with one targeted Dijkstra,
+/// into a reusable buffer (allocation-free after warm-up). Bit-identical
+/// to the path the fan-out would have reconstructed: pop order and
+/// parent pointers depend only on (graph, weights, source, filter),
+/// never on the target set, and every ancestor of the target is settled
+/// before it.
+fn chosen_path_into(
     scratch: &mut Dijkstra,
+    out: &mut Path,
     instance: &UfpInstance,
     weights: &DualWeights,
     residual_gate: Option<&[f64]>,
     usable: Option<&[bool]>,
     r: RequestId,
-) -> Path {
+) {
     let graph = instance.graph();
     let req = instance.request(r);
     let w = weights.weights();
@@ -844,9 +1021,11 @@ fn chosen_path(
         usable.is_none_or(|u| u[e.index()])
             && residual_gate.is_none_or(|res| res[e.index()] >= req.demand - 1e-12)
     });
-    scratch
-        .path_to(req.dst)
-        .expect("argmin request must have a path under the query weights")
+    let found = scratch.path_to_into(req.dst, out);
+    assert!(
+        found,
+        "argmin request must have a path under the query weights"
+    );
 }
 
 #[cfg(test)]

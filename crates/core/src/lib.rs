@@ -49,6 +49,7 @@ pub mod instance;
 pub mod reasonable;
 pub mod repeat;
 pub mod request;
+pub mod selection;
 pub mod solution;
 pub mod trace;
 pub mod weights;
@@ -66,6 +67,7 @@ pub use reasonable::{
 };
 pub use repeat::{bounded_ufp_repeat, RepeatConfig, RepeatRunResult};
 pub use request::{Request, RequestId};
+pub use selection::SelectionStrategy;
 pub use solution::{FeasibilityError, UfpSolution};
 pub use trace::{Certificate, IterationRecord, RunTrace, StopReason};
 pub use weights::{DualWeights, DualWeightsState};

@@ -1,0 +1,353 @@
+//! PR 4's load-bearing contract: [`SelectionStrategy::Incremental`] and
+//! [`SelectionStrategy::FanOut`] are **bit-identical** in every
+//! observable output — selections, paths, [`IterationRecord`]s (every
+//! float compared by bits), stop reasons, carried dual exponents, resume
+//! traces, checkpoints, and watch probes — across random graphs, epoch
+//! contexts (masked edges, scaled residuals, carried weights),
+//! residual-gated path search, and weight re-centering. Everything PR 2
+//! (prefix-resumed payments) and PR 3 (snapshots) built on the fan-out
+//! loop must keep working unchanged on top of the incremental one.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ufp_core::{
+    bounded_ufp, bounded_ufp_epoch, bounded_ufp_epoch_resume, bounded_ufp_epoch_resume_watch,
+    bounded_ufp_epoch_traced, BoundedUfpConfig, EpochContext, EpochOutcome, Request,
+    SelectionStrategy, UfpInstance,
+};
+use ufp_netgraph::generators;
+use ufp_netgraph::graph::GraphBuilder;
+use ufp_netgraph::ids::NodeId;
+use ufp_par::Pool;
+
+/// Random instance with enough request mass that paths collide: a few
+/// hotspot pairs concentrate traffic (the dirty-storm case) on top of
+/// background pairs (the sparse-dirty case).
+fn arb_instance() -> impl Strategy<Value = (UfpInstance, f64)> {
+    (4usize..10, 4usize..40, 2usize..36, any::<u64>(), 1usize..10).prop_map(
+        |(n, extra_edges, requests, seed, eps_decile)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let max_edges = n * (n - 1);
+            let m = (extra_edges % max_edges).max(2).min(max_edges);
+            let cap = 3.0 + (seed % 17) as f64;
+            let graph = generators::gnm_digraph(n, m, (cap, cap * 2.0), &mut rng);
+            let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+            let mut attempts = 0;
+            while pairs.len() < 3 && attempts < 400 {
+                attempts += 1;
+                let src = NodeId(rng.random_range(0..n as u32));
+                let dst = NodeId(rng.random_range(0..n as u32));
+                if src != dst && ufp_netgraph::bfs::is_reachable(&graph, src, dst) {
+                    pairs.push((src, dst));
+                }
+            }
+            let mut reqs = Vec::new();
+            if !pairs.is_empty() {
+                for i in 0..requests {
+                    // Two thirds hotspot traffic, one third background.
+                    let (src, dst) = pairs[if i % 3 == 2 {
+                        rng.random_range(0..pairs.len())
+                    } else {
+                        0
+                    }];
+                    let demand = rng.random_range(0.1..=1.0);
+                    let value = rng.random_range(0.1..=4.0);
+                    reqs.push(Request::new(src, dst, demand, value));
+                }
+            }
+            let eps = eps_decile as f64 / 10.0;
+            (UfpInstance::new(graph, reqs), eps)
+        },
+    )
+}
+
+fn with_strategy(eps: f64, s: SelectionStrategy) -> BoundedUfpConfig {
+    BoundedUfpConfig::with_epsilon(eps).with_selection(s)
+}
+
+/// Bit-level equality of two epoch outcomes.
+fn assert_outcomes_bit_identical(a: &EpochOutcome, b: &EpochOutcome) {
+    assert_eq!(
+        a.run.solution.routed.len(),
+        b.run.solution.routed.len(),
+        "selection counts diverged"
+    );
+    for (x, y) in a.run.solution.routed.iter().zip(&b.run.solution.routed) {
+        assert_eq!(x.0, y.0, "selection order diverged");
+        assert_eq!(x.1.nodes(), y.1.nodes(), "paths diverged");
+        assert_eq!(x.1.edges(), y.1.edges(), "path edges diverged");
+    }
+    assert_eq!(a.run.trace.stop_reason, b.run.trace.stop_reason);
+    assert_eq!(a.run.trace.records.len(), b.run.trace.records.len());
+    for (x, y) in a.run.trace.records.iter().zip(&b.run.trace.records) {
+        assert_eq!(x.selected, y.selected);
+        assert_eq!(x.ln_alpha.to_bits(), y.ln_alpha.to_bits(), "ln_alpha bits");
+        assert_eq!(x.ln_d1.to_bits(), y.ln_d1.to_bits(), "ln_d1 bits");
+        assert_eq!(
+            x.routed_value_before.to_bits(),
+            y.routed_value_before.to_bits()
+        );
+    }
+    assert_eq!(a.carry.len(), b.carry.len());
+    for (x, y) in a.carry.iter().zip(&b.carry) {
+        assert_eq!(x.to_bits(), y.to_bits(), "carry diverged");
+    }
+}
+
+/// A context exercising masks, scaled residuals, and carried weights,
+/// derived deterministically from the seed.
+fn context_vectors(inst: &UfpInstance, seed: u64) -> (Vec<f64>, Vec<bool>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    let caps: Vec<f64> = inst
+        .graph()
+        .edges()
+        .iter()
+        .map(|e| e.capacity * rng.random_range(0.5..=1.0))
+        .collect();
+    // Mask a minority of edges so paths still exist often.
+    let usable: Vec<bool> = (0..caps.len())
+        .map(|_| rng.random_range(0..5u32) != 0)
+        .collect();
+    let carry: Vec<f64> = (0..caps.len())
+        .map(|_| rng.random_range(0.0..0.8))
+        .collect();
+    (caps, usable, carry)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn one_shot_runs_bit_identical((inst, eps) in arb_instance()) {
+        let fan = bounded_ufp_epoch(&inst, &with_strategy(eps, SelectionStrategy::FanOut), None);
+        let inc = bounded_ufp_epoch(&inst, &with_strategy(eps, SelectionStrategy::Incremental), None);
+        assert_outcomes_bit_identical(&fan, &inc);
+        // Parallel pools change nothing either.
+        let inc_par = bounded_ufp_epoch(
+            &inst,
+            &with_strategy(eps, SelectionStrategy::Incremental).parallel(Pool::new(4)),
+            None,
+        );
+        assert_outcomes_bit_identical(&fan, &inc_par);
+    }
+
+    #[test]
+    fn epoch_context_runs_bit_identical((inst, eps) in arb_instance(), seed in any::<u64>()) {
+        let (caps, usable, carry) = context_vectors(&inst, seed);
+        let ctx = EpochContext { capacities: &caps, usable: &usable, carry: &carry };
+        let fan = bounded_ufp_epoch(&inst, &with_strategy(eps, SelectionStrategy::FanOut), Some(&ctx));
+        let inc = bounded_ufp_epoch(&inst, &with_strategy(eps, SelectionStrategy::Incremental), Some(&ctx));
+        assert_outcomes_bit_identical(&fan, &inc);
+    }
+
+    #[test]
+    fn respect_residual_runs_bit_identical((inst, eps) in arb_instance()) {
+        let mut fan_cfg = with_strategy(eps, SelectionStrategy::FanOut);
+        fan_cfg.respect_residual = true;
+        let mut inc_cfg = with_strategy(eps, SelectionStrategy::Incremental);
+        inc_cfg.respect_residual = true;
+        let fan = bounded_ufp_epoch(&inst, &fan_cfg, None);
+        let inc = bounded_ufp_epoch(&inst, &inc_cfg, None);
+        assert_outcomes_bit_identical(&fan, &inc);
+    }
+
+    #[test]
+    fn traces_and_resumes_cross_strategies((inst, eps) in arb_instance(), seed in any::<u64>()) {
+        // A trace recorded under one strategy must checkpoint and resume
+        // bit-identically under the other — this is what lets PR 2's
+        // resumed payments and PR 3's snapshots run unchanged on top.
+        let fan_cfg = with_strategy(eps, SelectionStrategy::FanOut);
+        let inc_cfg = with_strategy(eps, SelectionStrategy::Incremental);
+        let (fan_full, fan_trace) = bounded_ufp_epoch_traced(&inst, &fan_cfg, None);
+        let (inc_full, inc_trace) = bounded_ufp_epoch_traced(&inst, &inc_cfg, None);
+        assert_outcomes_bit_identical(&fan_full, &inc_full);
+        prop_assert_eq!(fan_trace.num_steps(), inc_trace.num_steps());
+        if fan_trace.num_steps() > 0 {
+            let prefix = (seed as usize) % (fan_trace.num_steps() + 1);
+            // FanOut-recorded trace, resumed incrementally...
+            let ckpt = fan_trace.checkpoint(&inst, &inc_cfg, None, prefix);
+            let resumed = bounded_ufp_epoch_resume(&inst, &inc_cfg, None, ckpt);
+            assert_outcomes_bit_identical(&fan_full, &resumed);
+            // ...and the other way around.
+            let ckpt = inc_trace.checkpoint(&inst, &fan_cfg, None, prefix);
+            let resumed = bounded_ufp_epoch_resume(&inst, &fan_cfg, None, ckpt);
+            assert_outcomes_bit_identical(&fan_full, &resumed);
+        }
+    }
+
+    #[test]
+    fn watch_probes_agree_across_strategies((inst, eps) in arb_instance()) {
+        // The payment-probe primitive: lower a winner's declared value,
+        // resume from its selection step watching for it. Membership
+        // verdicts and checkpoint depths must match across strategies
+        // (this covers the early-exit used by critical-value pricing).
+        let fan_cfg = with_strategy(eps, SelectionStrategy::FanOut);
+        let inc_cfg = with_strategy(eps, SelectionStrategy::Incremental);
+        let (full, trace) = bounded_ufp_epoch_traced(&inst, &fan_cfg, None);
+        for (rid, _) in full.run.solution.routed.iter().take(3) {
+            let k = trace.selection_step(*rid).unwrap();
+            let declared = inst.request(*rid).value;
+            for factor in [0.85, 0.4, 0.05] {
+                let probe =
+                    inst.with_declared_type(*rid, inst.request(*rid).demand, declared * factor);
+                let fan_watch = bounded_ufp_epoch_resume_watch(
+                    &probe, &fan_cfg, None,
+                    trace.checkpoint(&probe, &fan_cfg, None, k), *rid,
+                );
+                let inc_watch = bounded_ufp_epoch_resume_watch(
+                    &probe, &inc_cfg, None,
+                    trace.checkpoint(&probe, &inc_cfg, None, k), *rid,
+                );
+                prop_assert_eq!(fan_watch.is_some(), inc_watch.is_some(),
+                    "watch membership diverged for {:?} at {}x", rid, factor);
+                if let (Some(a), Some(b)) = (&fan_watch, &inc_watch) {
+                    prop_assert_eq!(a.steps(), b.steps(),
+                        "watch checkpoint depth diverged for {:?} at {}x", rid, factor);
+                }
+            }
+        }
+    }
+}
+
+/// Weight re-centering rescales every materialized Dijkstra weight,
+/// which invalidates the incremental cache's distance *scale*. Force
+/// hundreds of recenters in one run and require bit-identity throughout.
+#[test]
+fn recentering_flush_preserves_bit_identity() {
+    // One wide edge, capacity 2000: each selection bumps the edge by
+    // ε·B·d/c = 1, so the run crosses the RECENTER_AT = 600 threshold
+    // repeatedly while admitting many hundreds of requests.
+    let mut gb = GraphBuilder::directed(2);
+    gb.add_edge(NodeId(0), NodeId(1), 2000.0);
+    let inst = UfpInstance::new(
+        gb.build(),
+        (0..700)
+            .map(|i| Request::new(NodeId(0), NodeId(1), 1.0, 1.0 + (i % 13) as f64))
+            .collect(),
+    );
+    let fan = bounded_ufp_epoch(&inst, &with_strategy(1.0, SelectionStrategy::FanOut), None);
+    let inc = bounded_ufp_epoch(
+        &inst,
+        &with_strategy(1.0, SelectionStrategy::Incremental),
+        None,
+    );
+    assert!(
+        fan.run.solution.routed.len() > 600,
+        "fixture must cross the recenter threshold (routed {})",
+        fan.run.solution.routed.len()
+    );
+    assert_outcomes_bit_identical(&fan, &inc);
+}
+
+/// A bottleneck shared by every request: each winner dirties *all*
+/// remaining requests, driving the selector through its eager grouped
+/// fan-out refresh (the large-dirty-set path) on every iteration.
+#[test]
+fn dirty_storm_takes_the_eager_path_bit_identically() {
+    let mut gb = GraphBuilder::directed(3);
+    gb.add_edge(NodeId(0), NodeId(1), 120.0);
+    gb.add_edge(NodeId(1), NodeId(2), 120.0);
+    let inst = UfpInstance::new(
+        gb.build(),
+        (0..150)
+            .map(|i| {
+                Request::new(
+                    NodeId(0),
+                    NodeId(2),
+                    0.5 + 0.05 * (i % 10) as f64,
+                    0.7 + ((i * 11) % 17) as f64,
+                )
+            })
+            .collect(),
+    );
+    for eps in [0.3, 0.8] {
+        let fan = bounded_ufp_epoch(&inst, &with_strategy(eps, SelectionStrategy::FanOut), None);
+        let inc = bounded_ufp_epoch(
+            &inst,
+            &with_strategy(eps, SelectionStrategy::Incremental),
+            None,
+        );
+        assert!(!fan.run.solution.routed.is_empty());
+        assert_outcomes_bit_identical(&fan, &inc);
+        // Parallel eager refresh changes nothing.
+        let inc_par = bounded_ufp_epoch(
+            &inst,
+            &with_strategy(eps, SelectionStrategy::Incremental).parallel(Pool::new(4)),
+            None,
+        );
+        assert_outcomes_bit_identical(&fan, &inc_par);
+    }
+}
+
+/// Residual-gated search with a dirty storm: the per-request edge filter
+/// (demand vs residual) flows through the eager refresh too.
+#[test]
+fn residual_gate_dirty_storm_bit_identical() {
+    let mut gb = GraphBuilder::directed(4);
+    gb.add_edge(NodeId(0), NodeId(1), 40.0);
+    gb.add_edge(NodeId(1), NodeId(3), 40.0);
+    gb.add_edge(NodeId(0), NodeId(2), 45.0);
+    gb.add_edge(NodeId(2), NodeId(3), 45.0);
+    let inst = UfpInstance::new(
+        gb.build(),
+        (0..120)
+            .map(|i| {
+                Request::new(
+                    NodeId(0),
+                    NodeId(3),
+                    0.3 + 0.07 * (i % 10) as f64,
+                    0.5 + ((i * 7) % 19) as f64,
+                )
+            })
+            .collect(),
+    );
+    let mut fan_cfg = with_strategy(0.6, SelectionStrategy::FanOut);
+    fan_cfg.respect_residual = true;
+    let mut inc_cfg = with_strategy(0.6, SelectionStrategy::Incremental);
+    inc_cfg.respect_residual = true;
+    let fan = bounded_ufp_epoch(&inst, &fan_cfg, None);
+    let inc = bounded_ufp_epoch(&inst, &inc_cfg, None);
+    assert!(!fan.run.solution.routed.is_empty());
+    assert_outcomes_bit_identical(&fan, &inc);
+}
+
+/// `bounded_ufp` (the public one-shot entry) defaults to Incremental;
+/// explicit FanOut must agree on the classic fixtures.
+#[test]
+fn default_strategy_is_incremental_and_equivalent() {
+    assert_eq!(
+        BoundedUfpConfig::default().selection,
+        SelectionStrategy::Incremental
+    );
+    let mut gb = GraphBuilder::directed(4);
+    gb.add_edge(NodeId(0), NodeId(1), 20.0);
+    gb.add_edge(NodeId(1), NodeId(3), 20.0);
+    gb.add_edge(NodeId(0), NodeId(2), 20.0);
+    gb.add_edge(NodeId(2), NodeId(3), 20.0);
+    let inst = UfpInstance::new(
+        gb.build(),
+        (0..30)
+            .map(|i| Request::new(NodeId(0), NodeId(3), 1.0, 1.0 + (i % 5) as f64))
+            .collect(),
+    );
+    let default_run = bounded_ufp(&inst, &BoundedUfpConfig::with_epsilon(0.5));
+    let fan_run = bounded_ufp(
+        &inst,
+        &BoundedUfpConfig::with_epsilon(0.5).with_selection(SelectionStrategy::FanOut),
+    );
+    assert_eq!(
+        default_run.solution.routed.len(),
+        fan_run.solution.routed.len()
+    );
+    for (a, b) in default_run
+        .solution
+        .routed
+        .iter()
+        .zip(&fan_run.solution.routed)
+    {
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1.nodes(), b.1.nodes());
+    }
+}

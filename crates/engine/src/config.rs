@@ -1,6 +1,6 @@
 //! Engine configuration.
 
-use ufp_core::BoundedUfpConfig;
+use ufp_core::{BoundedUfpConfig, SelectionStrategy};
 use ufp_mechanism::PaymentConfig;
 use ufp_par::Pool;
 
@@ -126,6 +126,16 @@ pub struct EngineConfig {
     pub residual_floor: ResidualFloor,
     /// Payment computation.
     pub payments: PaymentPolicy,
+    /// How each epoch's allocation loop finds its per-iteration argmin.
+    /// [`SelectionStrategy::Incremental`] (the default) and
+    /// [`SelectionStrategy::FanOut`] are bit-identical in every output —
+    /// admissions, records, payments, snapshots — so this is purely a
+    /// performance knob, and the snapshot config fingerprint keeps the
+    /// two in **one class** (a snapshot taken under either restores
+    /// under the other), the same contract as
+    /// [`PaymentPolicy::CriticalValue`] /
+    /// [`PaymentPolicy::CriticalValueNaive`].
+    pub selection: SelectionStrategy,
     /// Event-log granularity.
     pub events: EventLevel,
     /// Retention cap for the in-engine event log. When the log reaches
@@ -147,6 +157,7 @@ impl Default for EngineConfig {
             carry_decay: 0.5,
             residual_floor: ResidualFloor::Regime,
             payments: PaymentPolicy::None,
+            selection: SelectionStrategy::default(),
             events: EventLevel::Epoch,
             event_capacity: 1 << 16,
         }
@@ -178,10 +189,17 @@ impl EngineConfig {
         self
     }
 
+    /// Same configuration with the given selection strategy.
+    pub fn with_selection(mut self, selection: SelectionStrategy) -> Self {
+        self.selection = selection;
+        self
+    }
+
     /// The per-epoch allocator configuration this engine drives.
     pub fn allocator_config(&self) -> BoundedUfpConfig {
         let mut cfg = BoundedUfpConfig::with_epsilon(self.epsilon);
         cfg.pool = self.pool;
+        cfg.selection = self.selection;
         cfg
     }
 
@@ -262,11 +280,19 @@ mod tests {
     }
 
     #[test]
-    fn allocator_config_inherits_epsilon_and_pool() {
-        let cfg = EngineConfig::with_epsilon(0.7).parallel(Pool::new(3));
+    fn allocator_config_inherits_epsilon_pool_and_selection() {
+        let cfg = EngineConfig::with_epsilon(0.7)
+            .parallel(Pool::new(3))
+            .with_selection(SelectionStrategy::FanOut);
         let a = cfg.allocator_config();
         assert_eq!(a.epsilon, 0.7);
         assert_eq!(a.pool.threads(), 3);
         assert!(!a.respect_residual);
+        assert_eq!(a.selection, SelectionStrategy::FanOut);
+        // The engine default follows the allocator default: incremental.
+        assert_eq!(
+            EngineConfig::default().selection,
+            SelectionStrategy::Incremental
+        );
     }
 }

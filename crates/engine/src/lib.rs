@@ -117,3 +117,4 @@ pub use engine::{Admission, Arrival, Engine, EpochReport};
 pub use event::EngineEvent;
 pub use metrics::EngineMetrics;
 pub use snapshot::{Recovered, SnapshotStore};
+pub use ufp_core::SelectionStrategy;

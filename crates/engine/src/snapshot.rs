@@ -143,7 +143,12 @@ pub fn encode_engine(engine: &Engine, driver: &[u8]) -> Vec<u8> {
     // share for continuation to stay bit-identical. The worker pool is
     // deliberately absent — parallel and sequential fan-outs produce
     // identical results by `ufp_par`'s ordered reduction, so a snapshot
-    // may be restored under a different thread count.
+    // may be restored under a different thread count. The selection
+    // strategy is deliberately absent too: `SelectionStrategy::
+    // Incremental` and `::FanOut` are bit-identical by contract
+    // (proptested in ufp-core's selection_equivalence suite), so they
+    // form one fingerprint class and snapshots restore across the pair —
+    // the same contract as `CriticalValue` ≡ `CriticalValueNaive`.
     let mut s = Writer::new();
     let cfg = &engine.config;
     s.put_f64(cfg.epsilon);

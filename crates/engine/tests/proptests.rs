@@ -214,6 +214,67 @@ proptest! {
         }
     }
 
+    /// PR 4: the incremental (dirty-set) selection loop and the full
+    /// fan-out produce bit-identical *engines* over whole churned
+    /// streams — every epoch report, admission path, critical-value
+    /// payment, and metrics counter — including the watch-mode early
+    /// exits inside the prefix-resumed payment probes.
+    #[test]
+    fn incremental_selection_bit_identical_across_churned_epochs(
+        (graph, requests, epsilon) in arb_scenario(),
+        batches in 1usize..5,
+        ttl in 1u32..4,
+        decay in 0.0..=1.0f64,
+    ) {
+        use ufp_engine::SelectionStrategy;
+        let build = |selection: SelectionStrategy, graph: Graph| {
+            Engine::new(graph, EngineConfig {
+                carry_decay: decay,
+                residual_floor: ResidualFloor::Permissive,
+                selection,
+                ..EngineConfig::with_epsilon(epsilon)
+                    .with_payments(PaymentPolicy::critical_value())
+            })
+        };
+        let mut inc = build(SelectionStrategy::Incremental, graph.clone());
+        let mut fan = build(SelectionStrategy::FanOut, graph);
+        let chunk = requests.len().div_ceil(batches).max(1);
+        for (i, batch) in requests.chunks(chunk).enumerate() {
+            let arrivals: Vec<Arrival> = batch
+                .iter()
+                .enumerate()
+                .map(|(j, &r)| if (i + j) % 2 == 0 {
+                    Arrival::with_ttl(r, ttl)
+                } else {
+                    Arrival::permanent(r)
+                })
+                .collect();
+            let ri = inc.submit_batch(&arrivals);
+            let rf = fan.submit_batch(&arrivals);
+            prop_assert_eq!(ri.accepted, rf.accepted, "epoch {} allocations diverged", i + 1);
+            prop_assert_eq!(ri.stop, rf.stop, "epoch {} stop reasons diverged", i + 1);
+            prop_assert_eq!(
+                ri.revenue.to_bits(), rf.revenue.to_bits(),
+                "epoch {} revenue diverged: {} vs {}", i + 1, ri.revenue, rf.revenue
+            );
+            prop_assert_eq!(ri.min_residual.to_bits(), rf.min_residual.to_bits());
+        }
+        prop_assert_eq!(inc.admissions().len(), fan.admissions().len());
+        for (a, b) in inc.admissions().iter().zip(fan.admissions()) {
+            prop_assert_eq!(a.request, b.request);
+            prop_assert_eq!(a.path.nodes(), b.path.nodes());
+            prop_assert_eq!(a.released, b.released);
+            prop_assert_eq!(
+                a.payment.to_bits(), b.payment.to_bits(),
+                "payment diverged for {:?}: {} vs {}", a.request, a.payment, b.payment
+            );
+        }
+        prop_assert_eq!(
+            inc.metrics().revenue.to_bits(),
+            fan.metrics().revenue.to_bits()
+        );
+    }
+
     /// Regression: holding the graph behind a shared `Arc` (and keeping
     /// other references to it alive) changes **no** engine trace output —
     /// events, admissions, payments, and metrics counters are identical

@@ -10,7 +10,11 @@
 //!   sparse-row adjacency built once at construction ([`GraphBuilder`]).
 //! * [`dijkstra`] — non-negative shortest paths with reusable workspaces
 //!   (the inner loop of the paper's Algorithm 1 is "one Dijkstra per
-//!   remaining request per iteration", so this is the hot path).
+//!   remaining request per iteration", so this is the hot path), backed
+//!   by the indexed 4-ary decrease-key heap of [`heap`].
+//! * [`pathcache`] — per-slot shortest-path cache with a reverse
+//!   edge→slot interest index, the storage layer of `ufp-core`'s
+//!   incremental (dirty-set) selection loop.
 //! * [`bellman`] — a Bellman–Ford reference implementation used as a test
 //!   oracle against Dijkstra.
 //! * [`enumerate`] — bounded simple-path enumeration, used by the
@@ -31,14 +35,18 @@ pub mod dijkstra;
 pub mod enumerate;
 pub mod generators;
 pub mod graph;
+pub mod heap;
 pub mod ids;
 pub mod ordered;
 pub mod path;
+pub mod pathcache;
 pub mod residual;
 
-pub use dijkstra::{Dijkstra, ShortestPathResult};
+pub use dijkstra::{Dijkstra, HeapKind, ShortestPathResult};
 pub use graph::{Edge, Graph, GraphBuilder, GraphKind};
+pub use heap::IndexedMinHeap;
 pub use ids::{EdgeId, NodeId};
 pub use ordered::OrderedF64;
 pub use path::Path;
+pub use pathcache::PathCache;
 pub use residual::ResidualCaps;

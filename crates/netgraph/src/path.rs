@@ -70,6 +70,26 @@ impl Path {
         &self.nodes
     }
 
+    /// Rebuild this path's contents in place, reusing the existing
+    /// `Vec` allocations (the structural invariant is re-checked after
+    /// `fill` runs). Crate-internal: this is the engine room of
+    /// [`crate::dijkstra::Dijkstra::path_to_into`], which lets hot loops
+    /// rematerialize paths into a long-lived buffer instead of
+    /// allocating two fresh `Vec`s per reconstruction.
+    pub(crate) fn rebuild<F>(&mut self, fill: F)
+    where
+        F: FnOnce(&mut Vec<NodeId>, &mut Vec<EdgeId>),
+    {
+        self.nodes.clear();
+        self.edges.clear();
+        fill(&mut self.nodes, &mut self.edges);
+        assert_eq!(
+            self.nodes.len(),
+            self.edges.len() + 1,
+            "path must have exactly one more node than edges"
+        );
+    }
+
     /// Sum of `weights[e]` over the path's edges — the quantity
     /// `|p| = Σ_{e∈p} y_e` from the paper.
     pub fn weight(&self, weights: &[f64]) -> f64 {

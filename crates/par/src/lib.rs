@@ -218,6 +218,35 @@ impl Pool {
         pairs.into_iter().map(|(_, u)| u).collect()
     }
 
+    /// [`Pool::map_with`] that stays on the calling thread when `items`
+    /// is shorter than `floor`.
+    ///
+    /// The incremental selection loop's dirty-set refresh calls this
+    /// thousands of times per epoch with wildly varying batch sizes: a
+    /// winner whose path crosses a quiet edge dirties two or three
+    /// requests (dispatching those to workers costs more in latch
+    /// traffic than the Dijkstra work itself), while a winner on a
+    /// hotspot edge dirties hundreds (worth fanning out). Results are
+    /// identical either way — `map_with` already reduces in input order
+    /// — so the floor is purely a cost model, never a semantics switch.
+    pub fn map_with_floor<T, U, W, I, F>(&self, items: &[T], floor: usize, init: I, f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        I: Fn() -> W + Sync,
+        F: Fn(&mut W, usize, &T) -> U + Sync,
+    {
+        if items.len() < floor {
+            let mut w = init();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, t)| f(&mut w, i, t))
+                .collect();
+        }
+        self.map_with(items, init, f)
+    }
+
     /// Parallel indexed map without a per-thread workspace.
     pub fn map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
     where
@@ -309,6 +338,17 @@ mod tests {
         );
         assert_eq!(out, (1..257).collect::<Vec<_>>());
         assert!(inits.load(Ordering::SeqCst) <= 4);
+    }
+
+    #[test]
+    fn map_with_floor_matches_map_with() {
+        let items: Vec<u64> = (0..100).collect();
+        let pool = Pool::new(4);
+        let expect: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        for floor in [0, 1, 50, 100, 101, usize::MAX] {
+            let got = pool.map_with_floor(&items, floor, || (), |_, _, &x| x * 3);
+            assert_eq!(got, expect, "floor={floor}");
+        }
     }
 
     #[test]
