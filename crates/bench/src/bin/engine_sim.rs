@@ -51,12 +51,18 @@ use ufp_bench::table::{f2, Table};
 use ufp_core::StopReason;
 use ufp_engine::codec::{CodecError, Fnv64, Reader, Writer};
 use ufp_engine::{
-    Arrival, Engine, EngineConfig, EventLevel, PaymentPolicy, SelectionStrategy, SnapshotStore,
+    Arrival, Engine, EngineConfig, EpochReport, EventLevel, PaymentPolicy, SelectionStrategy,
+    SnapshotStore,
 };
 use ufp_netgraph::generators;
+use ufp_netgraph::graph::Graph;
 use ufp_par::Pool;
+use ufp_shard::{
+    EdgeCut, HotspotPairs, NodeBlocks, Partitioner, ShardConfig, ShardStats, ShardedEngine,
+};
 use ufp_workloads::arrivals::{arrival_trace, ArrivalProcess, ArrivalTraceConfig};
 use ufp_workloads::random_ufp::required_b;
+use ufp_workloads::sharded::{block_shard_map, sharded_arrival_trace, ShardedTraceConfig};
 
 struct Options {
     nodes: usize,
@@ -76,6 +82,12 @@ struct Options {
     snapshot_dir: Option<String>,
     restore_from: Option<String>,
     stop_after: Option<usize>,
+    shards: usize,
+    partitioner: String,
+    communities: usize,
+    inter_edges: usize,
+    cross_fraction: f64,
+    lease_fraction: f64,
 }
 
 impl Default for Options {
@@ -98,13 +110,83 @@ impl Default for Options {
             snapshot_dir: None,
             restore_from: None,
             stop_after: None,
+            shards: 1,
+            partitioner: "blocks".to_string(),
+            communities: 0,
+            inter_edges: 0,
+            cross_fraction: 0.0,
+            lease_fraction: 0.5,
+        }
+    }
+}
+
+/// The replay target: a single engine or a sharded one. Identical
+/// deterministic outputs are the whole point of the sharded engine, so
+/// the replay loop drives both through one surface.
+enum Sim {
+    Single(Box<Engine>),
+    Sharded(Box<ShardedEngine>),
+}
+
+impl Sim {
+    fn submit_batch(&mut self, batch: &[Arrival]) -> EpochReport {
+        match self {
+            Sim::Single(e) => e.submit_batch(batch),
+            Sim::Sharded(e) => e.submit_batch(batch),
+        }
+    }
+
+    fn metrics(&self) -> &ufp_engine::EngineMetrics {
+        match self {
+            Sim::Single(e) => e.metrics(),
+            Sim::Sharded(e) => e.metrics(),
+        }
+    }
+
+    fn total_utilization(&self) -> f64 {
+        match self {
+            Sim::Single(e) => e.residual().total_utilization(),
+            Sim::Sharded(e) => e.residual().total_utilization(),
+        }
+    }
+
+    fn utilization_histogram(&self, buckets: usize) -> Vec<usize> {
+        match self {
+            Sim::Single(e) => e.utilization_histogram(buckets),
+            Sim::Sharded(e) => e.utilization_histogram(buckets),
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        match self {
+            Sim::Single(e) => e.epoch(),
+            Sim::Sharded(e) => e.epoch(),
+        }
+    }
+
+    fn feasibility(&self, check_cumulative: bool) -> (bool, Option<bool>) {
+        let (instance, active, cumulative) = match self {
+            Sim::Single(e) => (e.instance(), e.active_solution(), e.cumulative_solution()),
+            Sim::Sharded(e) => (e.instance(), e.active_solution(), e.cumulative_solution()),
+        };
+        let active_ok = active.check_feasible(&instance, false).is_ok();
+        let cumulative_ok =
+            check_cumulative.then(|| cumulative.check_feasible(&instance, false).is_ok());
+        (active_ok, cumulative_ok)
+    }
+
+    fn shard_stats(&self) -> Option<Vec<ShardStats>> {
+        match self {
+            Sim::Single(_) => None,
+            Sim::Sharded(e) => Some(e.shard_stats()),
         }
     }
 }
 
 /// Version tag of the driver blob carried in the snapshot's driver
 /// section (bumped independently of the engine codec version).
-const DRIVER_VERSION: u8 = 1;
+/// v2: community/cross-traffic trace flags joined the fingerprint.
+const DRIVER_VERSION: u8 = 2;
 
 /// Digest of the full arrival trace: proof that a restore run's flags
 /// regenerate byte-for-byte the stream the snapshot was taken from. The
@@ -148,6 +230,9 @@ fn encode_driver(options: &Options, digest: u64, stop_counts: &[usize; 4]) -> Ve
             w.put_u32(hi);
         }
     }
+    w.put_u64(options.communities as u64);
+    w.put_u64(options.inter_edges as u64);
+    w.put_f64(options.cross_fraction);
     w.put_u64(digest);
     for &c in stop_counts {
         w.put_u64(c as u64);
@@ -198,6 +283,17 @@ fn decode_driver(bytes: &[u8], options: &Options, digest: u64) -> Result<[usize;
     };
     if churn != options.churn {
         return Err(fail("--churn"));
+    }
+    if r.get_u64("driver communities").map_err(err)? != options.communities as u64 {
+        return Err(fail("--communities"));
+    }
+    if r.get_u64("driver inter edges").map_err(err)? != options.inter_edges as u64 {
+        return Err(fail("--inter-edges"));
+    }
+    if r.get_f64("driver cross fraction").map_err(err)?.to_bits()
+        != options.cross_fraction.to_bits()
+    {
+        return Err(fail("--cross-fraction"));
     }
     if r.get_u64("driver trace digest").map_err(err)? != digest {
         return Err(fail("arrival-trace digest"));
@@ -265,6 +361,39 @@ fn parse_options() -> Result<Options, String> {
                 }
                 options.stop_after = Some(j);
             }
+            "--shards" => {
+                options.shards = value("--shards")?.parse().map_err(|e| format!("{e}"))?;
+                if options.shards == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+            }
+            "--partitioner" => options.partitioner = value("--partitioner")?,
+            "--communities" => {
+                options.communities = value("--communities")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--inter-edges" => {
+                options.inter_edges = value("--inter-edges")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--cross-fraction" => {
+                options.cross_fraction = value("--cross-fraction")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                if !(0.0..=1.0).contains(&options.cross_fraction) {
+                    return Err("--cross-fraction must lie in [0, 1]".to_string());
+                }
+            }
+            "--lease-fraction" => {
+                options.lease_fraction = value("--lease-fraction")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                if !(0.0..=1.0).contains(&options.lease_fraction) {
+                    return Err("--lease-fraction must lie in [0, 1]".to_string());
+                }
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -280,10 +409,37 @@ fn main() -> ExitCode {
         }
     };
 
-    // Network: random digraph in the large-capacity regime for the chosen ε.
+    // Network: random digraph in the large-capacity regime for the
+    // chosen ε — one connected G(n, m) by default, or a
+    // community-structured digraph (`--communities K`, optionally with
+    // `--inter-edges` cross links) for sharded scenarios.
     let b = required_b(options.edges, options.epsilon).ceil();
     let mut graph_rng = StdRng::seed_from_u64(options.seed);
-    let graph = generators::gnm_digraph(options.nodes, options.edges, (b, 2.0 * b), &mut graph_rng);
+    let graph: Graph = if options.communities > 0 {
+        let k = options.communities;
+        if options.nodes < 2 * k {
+            eprintln!(
+                "engine_sim: --communities {k} needs at least {} nodes",
+                2 * k
+            );
+            return ExitCode::FAILURE;
+        }
+        generators::community_digraph(
+            k,
+            options.nodes / k,
+            options.edges / k,
+            options.inter_edges,
+            (b, 2.0 * b),
+            (b, 2.0 * b),
+            &mut graph_rng,
+        )
+    } else {
+        if options.cross_fraction > 0.0 || options.inter_edges > 0 {
+            eprintln!("engine_sim: --cross-fraction / --inter-edges require --communities");
+            return ExitCode::FAILURE;
+        }
+        generators::gnm_digraph(options.nodes, options.edges, (b, 2.0 * b), &mut graph_rng)
+    };
 
     let process = match options.process.as_str() {
         "poisson" => ArrivalProcess::Poisson { mean: options.mean },
@@ -303,16 +459,39 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let trace_config = ArrivalTraceConfig {
-        epochs: options.epochs,
-        process,
-        hotspot_pairs: Some(options.hotspots),
-        demand_range: (0.2, 1.0),
-        ttl_range: options.churn,
-        seed: options.seed,
-        ..Default::default()
+    let trace = if options.communities > 0 {
+        // Community-local traffic with a tunable cross fraction; the
+        // trace depends on the communities, not on --shards, so sharded
+        // and single replays see the byte-identical stream.
+        let labels = block_shard_map(graph.num_nodes(), options.communities);
+        sharded_arrival_trace(
+            &graph,
+            &labels,
+            &ShardedTraceConfig {
+                epochs: options.epochs,
+                process,
+                cross_fraction: options.cross_fraction,
+                hotspot_pairs: Some((options.hotspots / options.communities).max(1)),
+                demand_range: (0.2, 1.0),
+                ttl_range: options.churn,
+                seed: options.seed,
+                ..Default::default()
+            },
+        )
+    } else {
+        arrival_trace(
+            &graph,
+            &ArrivalTraceConfig {
+                epochs: options.epochs,
+                process,
+                hotspot_pairs: Some(options.hotspots),
+                demand_range: (0.2, 1.0),
+                ttl_range: options.churn,
+                seed: options.seed,
+                ..Default::default()
+            },
+        )
     };
-    let trace = arrival_trace(&graph, &trace_config);
     let total_requests: usize = trace.iter().map(Vec::len).sum();
 
     // Replay.
@@ -342,13 +521,75 @@ fn main() -> ExitCode {
     let digest = trace_digest(&trace);
     let graph = Arc::new(graph);
 
+    if options.shards > 1
+        && (options.snapshot_every.is_some()
+            || options.snapshot_dir.is_some()
+            || options.restore_from.is_some())
+    {
+        eprintln!(
+            "engine_sim: snapshot flags are not supported with --shards > 1 \
+             (use ShardedEngine::snapshot_to programmatically)"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Sharded replay: partition the network and drive a ShardedEngine.
+    let sharded = if options.shards > 1 {
+        let plan = match options.partitioner.as_str() {
+            "blocks" => NodeBlocks.partition(&graph, options.shards),
+            "edge-cut" => EdgeCut.partition(&graph, options.shards),
+            "hotspot" => {
+                // Seed territories from the trace's observed endpoint
+                // pairs, in order of first appearance.
+                let mut seen = std::collections::HashSet::new();
+                let mut pairs = Vec::new();
+                for a in trace.iter().flatten() {
+                    if seen.insert((a.request.src, a.request.dst)) {
+                        pairs.push((a.request.src, a.request.dst));
+                    }
+                }
+                if pairs.is_empty() {
+                    eprintln!("engine_sim: empty trace cannot seed the hotspot partitioner");
+                    return ExitCode::FAILURE;
+                }
+                HotspotPairs { pairs }.partition(&graph, options.shards)
+            }
+            other => {
+                eprintln!("engine_sim: unknown partitioner {other} (blocks|edge-cut|hotspot)");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!(
+            "engine_sim: {} shards via {} partitioner, {} boundary edges",
+            options.shards,
+            options.partitioner,
+            plan.boundary_edges().len()
+        );
+        Some(ShardedEngine::new(
+            Arc::clone(&graph),
+            plan,
+            ShardConfig {
+                engine: engine_config.clone(),
+                lease_fraction: options.lease_fraction,
+            },
+        ))
+    } else {
+        None
+    };
+
     // Fresh engine at epoch 0, or one recovered from the newest loadable
     // snapshot (replay then covers only the epochs after its watermark).
     let (mut engine, mut stop_counts) = match &options.restore_from {
-        None => (
-            Engine::from_shared(Arc::clone(&graph), engine_config.clone()),
-            [0usize; 4],
-        ),
+        None => {
+            let sim = match sharded {
+                Some(s) => Sim::Sharded(Box::new(s)),
+                None => Sim::Single(Box::new(Engine::from_shared(
+                    Arc::clone(&graph),
+                    engine_config.clone(),
+                ))),
+            };
+            (sim, [0usize; 4])
+        }
         Some(dir) => {
             let store = match SnapshotStore::open(dir) {
                 Ok(s) => s,
@@ -365,7 +606,10 @@ fn main() -> ExitCode {
                 Ok(None) => {
                     eprintln!("engine_sim: no snapshot in {dir}, starting from epoch 0");
                     (
-                        Engine::from_shared(Arc::clone(&graph), engine_config.clone()),
+                        Sim::Single(Box::new(Engine::from_shared(
+                            Arc::clone(&graph),
+                            engine_config.clone(),
+                        ))),
                         [0usize; 4],
                     )
                 }
@@ -388,7 +632,7 @@ fn main() -> ExitCode {
                         recovered.epoch,
                         recovered.path.display()
                     );
-                    (recovered.engine, stop_counts)
+                    (Sim::Single(Box::new(recovered.engine)), stop_counts)
                 }
             }
         }
@@ -433,13 +677,15 @@ fn main() -> ExitCode {
                 f2(report.min_residual),
             ]);
         }
-        if let (Some(every), Some(store)) = (options.snapshot_every, &store) {
+        if let (Some(every), Some(store), Sim::Single(single)) =
+            (options.snapshot_every, &store, &engine)
+        {
             if (t + 1) % every == 0 {
                 let driver = encode_driver(&options, digest, &stop_counts);
-                match store.save_with(&engine, &driver) {
+                match store.save_with(single, &driver) {
                     Ok(path) => eprintln!(
                         "engine_sim: snapshot at epoch {} -> {}",
-                        engine.epoch(),
+                        single.epoch(),
                         path.display()
                     ),
                     Err(e) => {
@@ -464,14 +710,8 @@ fn main() -> ExitCode {
     let replay_elapsed = replay_started.elapsed();
 
     // Feasibility verdict: active always; cumulative too when no churn.
-    let instance = engine.instance();
-    let active_ok = engine.active_solution().check_feasible(&instance, false);
-    let cumulative_ok = options.churn.is_none().then(|| {
-        engine
-            .cumulative_solution()
-            .check_feasible(&instance, false)
-    });
-    let feasible = active_ok.is_ok() && cumulative_ok.as_ref().is_none_or(|c| c.is_ok());
+    let (active_ok, cumulative_ok) = engine.feasibility(options.churn.is_none());
+    let feasible = active_ok && cumulative_ok.is_none_or(|c| c);
 
     if options.json {
         let metrics = engine.metrics();
@@ -483,7 +723,9 @@ fn main() -> ExitCode {
         println!(
             "  \"config\": {{\"nodes\": {}, \"edges\": {}, \"epochs\": {}, \"mean\": {}, \
              \"hotspots\": {}, \"eps\": {}, \"seed\": {}, \"process\": \"{}\", \
-             \"churn\": {}, \"payments\": \"{}\", \"selection\": \"{}\", \"threads\": {}}},",
+             \"churn\": {}, \"payments\": \"{}\", \"selection\": \"{}\", \"threads\": {}, \
+             \"shards\": {}, \"partitioner\": \"{}\", \"communities\": {}, \
+             \"inter_edges\": {}, \"cross_fraction\": {}, \"lease_fraction\": {}}},",
             options.nodes,
             options.edges,
             options.epochs,
@@ -495,7 +737,13 @@ fn main() -> ExitCode {
             churn,
             options.payments,
             options.selection,
-            options.threads
+            options.threads,
+            options.shards,
+            options.partitioner,
+            options.communities,
+            options.inter_edges,
+            options.cross_fraction,
+            options.lease_fraction
         );
         println!(
             "  \"totals\": {{\"requests\": {}, \"accepted\": {}, \"rejected\": {}, \
@@ -509,22 +757,56 @@ fn main() -> ExitCode {
             metrics.acceptance_rate(),
             metrics.value_admitted,
             metrics.revenue,
-            engine.residual().total_utilization(),
+            engine.total_utilization(),
             stop_counts[0],
             stop_counts[1],
             stop_counts[2],
             stop_counts[3]
         );
+        // Per-shard deterministic counters (lease accounting; the last
+        // row is the reconciler). Wall-clock per-shard epoch time lives
+        // in the "timing" object below.
+        if let Some(stats) = engine.shard_stats() {
+            let rows: Vec<String> = stats
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"shard\": {}, \"requests\": {}, \"admissions\": {}, \
+                         \"lease_granted\": {:.6}, \"lease_used\": {:.6}, \
+                         \"lease_utilization\": {:.6}}}",
+                        s.shard,
+                        s.requests,
+                        s.admissions,
+                        s.lease_granted,
+                        s.lease_used,
+                        s.lease_utilization
+                    )
+                })
+                .collect();
+            println!("  \"shards_detail\": [{}],", rows.join(", "));
+        }
         println!("  \"feasible\": {feasible},");
         // Wall-clock block — the one non-deterministic part of the
         // document; strip it before byte-comparing runs.
+        let shard_timing = match engine.shard_stats() {
+            None => String::new(),
+            Some(stats) => format!(
+                ", \"shard_epoch_us\": [{}]",
+                stats
+                    .iter()
+                    .map(|s| s.epoch_time_us.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        };
         println!(
             "  \"timing\": {{\"elapsed_s\": {:.3}, \"p50_us\": {}, \"p99_us\": {}, \
-             \"requests_per_s\": {:.1}}}",
+             \"requests_per_s\": {:.1}{}}}",
             replay_elapsed.as_secs_f64(),
             metrics.p50_latency_us().unwrap_or(0),
             metrics.p99_latency_us().unwrap_or(0),
-            metrics.requests_per_second().unwrap_or(0.0)
+            metrics.requests_per_second().unwrap_or(0.0),
+            shard_timing
         );
         println!("}}");
         return if feasible {
@@ -580,8 +862,27 @@ fn main() -> ExitCode {
     kv(
         &mut summary,
         "total utilization %",
-        f2(100.0 * engine.residual().total_utilization()),
+        f2(100.0 * engine.total_utilization()),
     );
+    if let Some(stats) = engine.shard_stats() {
+        for s in &stats {
+            let label = if s.shard == stats.len() - 1 {
+                "reconciler".to_string()
+            } else {
+                format!("shard {}", s.shard)
+            };
+            kv(
+                &mut summary,
+                &format!("{label} req/adm/lease util %"),
+                format!(
+                    "{}/{}/{}",
+                    s.requests,
+                    s.admissions,
+                    f2(100.0 * s.lease_utilization)
+                ),
+            );
+        }
+    }
     let hist = engine.utilization_histogram(10);
     kv(
         &mut summary,
@@ -600,13 +901,14 @@ fn main() -> ExitCode {
         ),
     );
 
-    match &active_ok {
-        Ok(()) => summary.note("active solution: check_feasible PASS"),
-        Err(e) => summary.note(format!("active solution: check_feasible FAIL — {e}")),
+    if active_ok {
+        summary.note("active solution: check_feasible PASS");
+    } else {
+        summary.note("active solution: check_feasible FAIL");
     }
-    match &cumulative_ok {
-        Some(Ok(())) => summary.note("cumulative solution: check_feasible PASS"),
-        Some(Err(e)) => summary.note(format!("cumulative solution: check_feasible FAIL — {e}")),
+    match cumulative_ok {
+        Some(true) => summary.note("cumulative solution: check_feasible PASS"),
+        Some(false) => summary.note("cumulative solution: check_feasible FAIL"),
         None => summary.note("cumulative feasibility skipped (churn releases capacity)"),
     }
     print!("{}", summary.render());

@@ -165,6 +165,15 @@ pub struct EpochContext<'a> {
     /// `y_e` starts at `e^{carry_e}/c_e` instead of `1/c_e`, preserving
     /// congestion memory across batches.
     pub carry: &'a [f64],
+    /// Edges this run may *route over*, on top of `usable` (`None` = all
+    /// usable edges, the pre-sharding behavior). A sharded engine hands
+    /// every shard the **global** `capacities`/`usable`/`carry` — so the
+    /// bound `B`, the guard sum `D₁`, and the line-10 exponents are
+    /// bit-identical to a single global engine's — while restricting
+    /// path search to the shard's own territory through this mask.
+    /// Routable-but-unusable edges stay excluded; usable-but-unroutable
+    /// edges still count toward `B` and `D₁` but never appear on paths.
+    pub routable: Option<&'a [bool]>,
 }
 
 /// Result of a [`bounded_ufp_epoch`] run: the ordinary run result plus
@@ -215,6 +224,26 @@ pub struct EpochResumeTrace {
     steps: Vec<ResumeStep>,
 }
 
+/// Read-only view of one recorded selection step, exposed so external
+/// replayers — in particular `ufp_shard`'s cross-shard reconciliation,
+/// which merges several shards' traces into one global order and
+/// re-applies the recorded bumps through a global [`DualWeights`] — can
+/// reproduce the exact arithmetic of the traced run without re-running
+/// any shortest-path work.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceStep<'a> {
+    /// The request this step selected.
+    pub selected: RequestId,
+    /// `ln α` of the selected path at selection time (shift-invariant,
+    /// so scores recorded by runs with different materialization scales
+    /// remain comparable).
+    pub ln_alpha: f64,
+    /// The routed path.
+    pub path: &'a Path,
+    /// Line-10 exponent per path edge, verbatim as applied.
+    pub bumps: &'a [f64],
+}
+
 impl EpochResumeTrace {
     /// Number of recorded selection steps.
     pub fn num_steps(&self) -> usize {
@@ -224,6 +253,44 @@ impl EpochResumeTrace {
     /// The step index at which `r` was selected, if it was.
     pub fn selection_step(&self, r: RequestId) -> Option<usize> {
         self.steps.iter().position(|s| s.record.selected == r)
+    }
+
+    /// Read-only view of step `i` (panics past the end of the trace).
+    pub fn step(&self, i: usize) -> TraceStep<'_> {
+        let s = &self.steps[i];
+        TraceStep {
+            selected: s.record.selected,
+            ln_alpha: s.record.ln_alpha,
+            path: &s.path,
+            bumps: &s.bumps,
+        }
+    }
+
+    /// Repackage the first `steps` selections as a completed
+    /// [`EpochOutcome`] with the given stop reason — bit-identical
+    /// solution, records, and carry prefix, reconstructed by arithmetic
+    /// replay. This is how a sharded engine truncates a shard's
+    /// over-admission when the *global* guard (which the shard could not
+    /// see) tripped mid-epoch: the kept prefix is exactly the run the
+    /// shard would have produced had it stopped there.
+    pub fn prefix_outcome(
+        &self,
+        instance: &UfpInstance,
+        config: &BoundedUfpConfig,
+        ctx: Option<&EpochContext<'_>>,
+        steps: usize,
+        stop_reason: StopReason,
+    ) -> EpochOutcome {
+        let checkpoint = self.checkpoint(instance, config, ctx, steps);
+        let b = epoch_bound_b(instance, ctx);
+        let ln_guard = config.epsilon * (b - 1.0);
+        finish_outcome(
+            config,
+            ctx.is_some(),
+            checkpoint.state,
+            stop_reason,
+            ln_guard,
+        )
     }
 
     /// Reconstruct the run state after the first `steps` selections, by
@@ -389,7 +456,18 @@ fn validate_epoch_inputs(
         assert_eq!(c.capacities.len(), m);
         assert_eq!(c.usable.len(), m);
         assert_eq!(c.carry.len(), m);
+        if let Some(r) = c.routable {
+            assert_eq!(r.len(), m);
+        }
     }
+}
+
+/// The loop's path-search filter: `usable ∧ routable`, materialized only
+/// when the context actually restricts routing beyond usability.
+fn path_mask(ctx: Option<&EpochContext<'_>>) -> Option<Vec<bool>> {
+    let c = ctx?;
+    let r = c.routable?;
+    Some(c.usable.iter().zip(r).map(|(&u, &x)| u && x).collect())
 }
 
 /// The guard bound `B`: minimum capacity over (usable) edges.
@@ -760,7 +838,8 @@ fn run_epoch(
     validate_epoch_inputs(instance, config, ctx);
     let b = epoch_bound_b(instance, ctx);
     let ln_guard = config.epsilon * (b - 1.0);
-    let usable = ctx.map(|c| c.usable);
+    let merged_mask = path_mask(ctx);
+    let usable = merged_mask.as_deref().or(ctx.map(|c| c.usable));
     let mut state = EpochRunState::init(instance, ctx);
     let end = run_epoch_loop(
         instance,
@@ -795,7 +874,8 @@ pub fn bounded_ufp_epoch_resume(
     validate_epoch_inputs(instance, config, ctx);
     let b = epoch_bound_b(instance, ctx);
     let ln_guard = config.epsilon * (b - 1.0);
-    let usable = ctx.map(|c| c.usable);
+    let merged_mask = path_mask(ctx);
+    let usable = merged_mask.as_deref().or(ctx.map(|c| c.usable));
     let mut state = checkpoint.state;
     let end = run_epoch_loop(
         instance, config, usable, b, ln_guard, &mut state, None, None,
@@ -826,7 +906,8 @@ pub fn bounded_ufp_epoch_resume_watch(
     validate_epoch_inputs(instance, config, ctx);
     let b = epoch_bound_b(instance, ctx);
     let ln_guard = config.epsilon * (b - 1.0);
-    let usable = ctx.map(|c| c.usable);
+    let merged_mask = path_mask(ctx);
+    let usable = merged_mask.as_deref().or(ctx.map(|c| c.usable));
     let mut state = checkpoint.state;
     match run_epoch_loop(
         instance,
@@ -1242,6 +1323,7 @@ mod tests {
             capacities: &caps,
             usable: &usable,
             carry: &carry,
+            routable: None,
         };
         let epoch = bounded_ufp_epoch(&inst, &cfg, Some(&ctx));
         assert_eq!(
@@ -1288,6 +1370,7 @@ mod tests {
             capacities: &caps,
             usable: &usable,
             carry: &carry,
+            routable: None,
         };
         let cfg = BoundedUfpConfig::with_epsilon(0.5);
         let epoch = bounded_ufp_epoch(&inst, &cfg, Some(&ctx));
@@ -1317,6 +1400,7 @@ mod tests {
             capacities: &caps,
             usable: &usable,
             carry: &carry,
+            routable: None,
         };
         let cfg = BoundedUfpConfig::with_epsilon(0.5);
         let epoch = bounded_ufp_epoch(&inst, &cfg, Some(&ctx));
@@ -1395,6 +1479,7 @@ mod tests {
             capacities: &caps,
             usable: &usable,
             carry: &carry,
+            routable: None,
         };
         let (full, trace) = bounded_ufp_epoch_traced(&inst, &cfg, Some(&ctx));
         for prefix in 0..=trace.num_steps() {

@@ -57,7 +57,7 @@ pub mod weights;
 pub use bounded_ufp::{
     bounded_ufp, bounded_ufp_epoch, bounded_ufp_epoch_resume, bounded_ufp_epoch_resume_watch,
     bounded_ufp_epoch_traced, BoundedUfpConfig, EpochCheckpoint, EpochContext, EpochOutcome,
-    EpochResumeTrace, UfpRunResult,
+    EpochResumeTrace, TraceStep, UfpRunResult,
 };
 pub use exact::{exact_optimum, ExactConfig, ExactResult};
 pub use instance::UfpInstance;

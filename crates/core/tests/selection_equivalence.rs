@@ -136,7 +136,9 @@ proptest! {
     #[test]
     fn epoch_context_runs_bit_identical((inst, eps) in arb_instance(), seed in any::<u64>()) {
         let (caps, usable, carry) = context_vectors(&inst, seed);
-        let ctx = EpochContext { capacities: &caps, usable: &usable, carry: &carry };
+        let ctx = EpochContext { capacities: &caps, usable: &usable, carry: &carry,
+            routable: None,
+        };
         let fan = bounded_ufp_epoch(&inst, &with_strategy(eps, SelectionStrategy::FanOut), Some(&ctx));
         let inc = bounded_ufp_epoch(&inst, &with_strategy(eps, SelectionStrategy::Incremental), Some(&ctx));
         assert_outcomes_bit_identical(&fan, &inc);

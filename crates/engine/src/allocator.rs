@@ -20,6 +20,11 @@ pub struct EpochAllocator<'a> {
     pub usable: &'a [bool],
     /// Carried (already decayed) dual exponents, frozen at epoch start.
     pub carry: &'a [f64],
+    /// Shard-territory path restriction, frozen at epoch start (`None`
+    /// outside sharded mode). Probes must search exactly the edge set
+    /// the real run could use, or a counterfactual declaration could
+    /// "win" over a path the shard was never allowed to route.
+    pub routable: Option<&'a [bool]>,
 }
 
 impl EpochAllocator<'_> {
@@ -28,6 +33,7 @@ impl EpochAllocator<'_> {
             capacities: self.capacities,
             usable: self.usable,
             carry: self.carry,
+            routable: self.routable,
         }
     }
 }
@@ -89,6 +95,7 @@ mod tests {
             capacities: &caps,
             usable: &usable,
             carry: &carry,
+            routable: None,
         };
         let offline_alloc = UfpAllocator {
             config: config.clone(),
@@ -129,6 +136,7 @@ mod tests {
             capacities: &caps,
             usable: &usable,
             carry: &carry,
+            routable: None,
         };
         let sel = alloc.selected(&inst);
         assert_eq!(sel, vec![true, true, false]);

@@ -5,7 +5,8 @@ use std::time::Instant;
 
 use ufp_core::{
     bounded_ufp_epoch, bounded_ufp_epoch_resume_watch, bounded_ufp_epoch_traced, BoundedUfpConfig,
-    EpochContext, EpochResumeTrace, Request, RequestId, StopReason, UfpInstance, UfpSolution,
+    EpochContext, EpochOutcome, EpochResumeTrace, Request, RequestId, StopReason, UfpInstance,
+    UfpSolution,
 };
 use ufp_mechanism::{critical_value, critical_value_from_probe};
 use ufp_netgraph::graph::Graph;
@@ -60,6 +61,89 @@ pub struct Admission {
     pub released: bool,
 }
 
+/// Externally supplied epoch context for [`Engine::plan_epoch`]: a
+/// sharded orchestrator's view of the world, replacing the engine's own
+/// residual-derived context. All slices are indexed by edge id of the
+/// engine's graph.
+///
+/// Handing every shard the **global** capacities, usable mask, and
+/// (already decayed) carry makes each shard's bound `B`, guard sum, and
+/// line-10 exponents bit-identical to a single global engine's, while
+/// `routable` confines its paths to the territory it holds leases on.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochOverride<'a> {
+    /// Effective capacity per edge (interior: global residual; boundary:
+    /// this shard's lease).
+    pub capacities: &'a [f64],
+    /// Edges participating in `B` and the guard sum.
+    pub usable: &'a [bool],
+    /// Edges this engine may route over (`None` = all usable edges).
+    pub routable: Option<&'a [bool]>,
+    /// Carried ln-space dual exponents, already decayed by the caller.
+    pub carry: &'a [f64],
+}
+
+/// A planned-but-uncommitted epoch, produced by [`Engine::plan_epoch`]
+/// and consumed by [`Engine::commit_epoch`]. Holds the frozen epoch
+/// context, the allocation outcome, and (for traced runs) the per-step
+/// resume trace an orchestrator replays during reconciliation.
+#[derive(Debug)]
+pub struct EpochPlan {
+    epoch: u64,
+    started: Instant,
+    instance: UfpInstance,
+    arrivals: Vec<Arrival>,
+    /// First global request id of this batch.
+    base: u32,
+    /// Admission indices released when the epoch opened.
+    released: Vec<usize>,
+    outcome: EpochOutcome,
+    resume_trace: Option<EpochResumeTrace>,
+    ctx_capacities: Vec<f64>,
+    ctx_usable: Vec<bool>,
+    ctx_routable: Option<Vec<bool>>,
+    ctx_carry: Vec<f64>,
+}
+
+impl EpochPlan {
+    /// The epoch this plan belongs to (1-based).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of planned selection steps (= planned admissions).
+    pub fn num_steps(&self) -> usize {
+        self.outcome.run.solution.routed.len()
+    }
+
+    /// The per-step resume trace (`Some` for traced plans: overridden
+    /// contexts always, otherwise per the payment policy).
+    pub fn trace(&self) -> Option<&EpochResumeTrace> {
+        self.resume_trace.as_ref()
+    }
+
+    /// The allocation outcome as planned (before any truncation).
+    pub fn outcome(&self) -> &EpochOutcome {
+        &self.outcome
+    }
+
+    /// Admission indices (into [`Engine::admissions`]) released when
+    /// this epoch opened, in release order.
+    pub fn released_admissions(&self) -> &[usize] {
+        &self.released
+    }
+
+    /// The planned batch.
+    pub fn arrivals(&self) -> &[Arrival] {
+        &self.arrivals
+    }
+
+    /// First global request id assigned to this batch.
+    pub fn base_request_id(&self) -> u32 {
+        self.base
+    }
+}
+
 /// Summary of one [`Engine::submit_batch`] call.
 #[derive(Clone, Debug)]
 pub struct EpochReport {
@@ -87,11 +171,6 @@ pub struct EpochReport {
     pub elapsed: std::time::Duration,
 }
 
-/// Loads at or below this are "no committed traffic" for the usable-edge
-/// mask: floating-point commit/release round-trips leave residue around
-/// 1e-16 per operation, far below any real normalized demand (> 0).
-const LOAD_EPSILON: f64 = 1e-9;
-
 /// The long-lived engine. See the crate docs for the epoch / residual
 /// model.
 ///
@@ -106,6 +185,12 @@ pub struct Engine {
     /// Resolved residual floor (see [`crate::config::ResidualFloor`]).
     pub(crate) floor: f64,
     pub(crate) residual: ResidualCaps,
+    /// Wall-clock cost of the most recent [`Engine::open_epoch`]'s TTL
+    /// releases, folded into the next plan's latency sample so churn
+    /// work keeps counting toward batch latency across the open/plan
+    /// split (transient; not snapshotted — restored engines simply
+    /// start the next epoch's clock at zero release cost).
+    pub(crate) pending_release_cost: std::time::Duration,
     pub(crate) carry: Vec<f64>,
     /// Append-only global request registry.
     pub(crate) requests: Vec<Request>,
@@ -146,6 +231,7 @@ impl Engine {
             allocator_config,
             floor,
             residual,
+            pending_release_cost: std::time::Duration::ZERO,
             carry,
             requests: Vec::new(),
             admissions: Vec::new(),
@@ -173,21 +259,82 @@ impl Engine {
     /// Process one batch of arrivals as a new epoch: release expired
     /// admissions, allocate with the monotone rule over the residual
     /// network, charge payments, commit routes.
+    ///
+    /// Equivalent to [`Engine::plan_epoch`] (with no override) followed
+    /// by [`Engine::commit_epoch`] keeping every planned admission — the
+    /// split exists so an orchestrator (`ufp_shard`) can plan several
+    /// engines' epochs in parallel, reconcile them globally, and only
+    /// then commit each engine's surviving prefix.
     pub fn submit_batch(&mut self, arrivals: &[Arrival]) -> EpochReport {
-        let start = Instant::now();
+        let plan = self.plan_epoch(arrivals, None);
+        self.commit_epoch(plan, None)
+    }
+
+    /// Open a new epoch and run its allocation **without committing**:
+    /// expired admissions are released, the batch is registered in the
+    /// global request registry, and the monotone allocation runs against
+    /// either the engine's own residual view (`overrides: None` — the
+    /// classic single-engine epoch) or an externally supplied context
+    /// (`overrides: Some` — a sharded orchestrator's global residuals,
+    /// usable mask, leased routable territory, and already-decayed
+    /// carry). Nothing is charged or committed until
+    /// [`Engine::commit_epoch`]; exactly one commit must follow each
+    /// plan.
+    ///
+    /// With an override the run is always traced (the orchestrator's
+    /// reconciliation replays the steps); without one, tracing follows
+    /// the payment policy as before.
+    pub fn plan_epoch(
+        &mut self,
+        arrivals: &[Arrival],
+        overrides: Option<&EpochOverride<'_>>,
+    ) -> EpochPlan {
+        let released = self.open_epoch(arrivals.len());
+        self.plan_epoch_in(arrivals, released, overrides)
+    }
+
+    /// Open the next epoch without planning it: advance the epoch
+    /// counter, log the `EpochStarted` event, and release expired
+    /// admissions, returning their admission indices in release order.
+    ///
+    /// An orchestrator opens *every* engine's epoch first (so releases
+    /// across all shards are visible before any global residual view is
+    /// computed), then plans each engine with
+    /// [`Engine::plan_epoch_in`]. Exactly one `plan_epoch_in` must
+    /// follow each `open_epoch`.
+    pub fn open_epoch(&mut self, arrivals: usize) -> Vec<usize> {
+        let opened = Instant::now();
         self.epoch += 1;
         let epoch = self.epoch;
-
         // Every epoch opens with a Started event (paired with the
-        // unconditional EpochCompleted below, so consumers can bracket
-        // epochs even when a time-driven trigger submits empty batches).
-        self.push_event(EngineEvent::EpochStarted {
-            epoch,
-            arrivals: arrivals.len(),
-        });
-
-        // 1. Churn: release expired admissions.
+        // unconditional EpochCompleted in commit, so consumers can
+        // bracket epochs even when a time-driven trigger submits empty
+        // batches).
+        self.push_event(EngineEvent::EpochStarted { epoch, arrivals });
         let released = self.release_expired();
+        // Churn work belongs to the epoch's latency sample; the next
+        // plan backdates its clock by this much (see `plan_epoch_in`),
+        // so the open/plan split does not shrink latency metrics
+        // relative to the pre-split `submit_batch`.
+        self.pending_release_cost = opened.elapsed();
+        released
+    }
+
+    /// Plan an epoch already opened by [`Engine::open_epoch`] (whose
+    /// returned release list is passed back in). See
+    /// [`Engine::plan_epoch`] for the semantics.
+    pub fn plan_epoch_in(
+        &mut self,
+        arrivals: &[Arrival],
+        released: Vec<usize>,
+        overrides: Option<&EpochOverride<'_>>,
+    ) -> EpochPlan {
+        // Backdate by the epoch-open (TTL release) cost so the latency
+        // sample covers the same work as the pre-split submit_batch.
+        let release_cost = std::mem::take(&mut self.pending_release_cost);
+        let now = Instant::now();
+        let started = now.checked_sub(release_cost).unwrap_or(now);
+        let epoch = self.epoch;
 
         // 2. Register arrivals globally and build the epoch instance.
         let base = self.requests.len() as u32;
@@ -199,45 +346,126 @@ impl Engine {
             self.requests.push(a.request);
         }
         let batch: Vec<Request> = arrivals.iter().map(|a| a.request).collect();
-        let epoch_instance = UfpInstance::from_shared(Arc::clone(&self.graph), batch);
+        let instance = UfpInstance::from_shared(Arc::clone(&self.graph), batch);
 
-        // 3. Residual view + decayed carry, frozen for the whole epoch
-        //    (allocation and every payment probe see the same state).
-        for k in &mut self.carry {
-            *k *= self.config.carry_decay;
-        }
-        let capacities = self.residual.residuals();
-        let usable: Vec<bool> = (0..capacities.len())
-            .map(|e| {
-                let eid = ufp_netgraph::ids::EdgeId(e as u32);
-                // Tolerance, not exact equality: commit/release arithmetic
-                // leaves ~1e-16 load residue, and an effectively-empty
-                // edge below the floor must not be frozen out forever.
-                self.residual.load(eid) <= LOAD_EPSILON || capacities[e] >= self.floor
-            })
-            .collect();
-        let carry_in = self.carry.clone();
+        // 3. The epoch context, frozen for the whole epoch (allocation
+        //    and every payment probe see the same state). Own view:
+        //    residuals + decayed carry, as always. Override: the
+        //    orchestrator's slices verbatim — the engine's carry is NOT
+        //    decayed here (the orchestrator owns the global carry and
+        //    hands it in already decayed).
+        let (ctx_capacities, ctx_usable, ctx_routable, ctx_carry) = match overrides {
+            Some(o) => {
+                let m = self.graph.num_edges();
+                assert_eq!(o.capacities.len(), m, "override capacities length");
+                assert_eq!(o.usable.len(), m, "override usable length");
+                assert_eq!(o.carry.len(), m, "override carry length");
+                (
+                    o.capacities.to_vec(),
+                    o.usable.to_vec(),
+                    o.routable.map(<[bool]>::to_vec),
+                    o.carry.to_vec(),
+                )
+            }
+            None => {
+                for k in &mut self.carry {
+                    *k *= self.config.carry_decay;
+                }
+                let capacities = self.residual.residuals();
+                let usable = self.residual.usable_mask(self.floor);
+                (capacities, usable, None, self.carry.clone())
+            }
+        };
         let ctx = EpochContext {
-            capacities: &capacities,
-            usable: &usable,
-            carry: &carry_in,
+            capacities: &ctx_capacities,
+            usable: &ctx_usable,
+            carry: &ctx_carry,
+            routable: ctx_routable.as_deref(),
         };
 
         // 4. The monotone allocation run — traced when resumed payments
-        //    will probe it, so bisection can replay prefixes instead of
-        //    re-running them.
-        let (outcome, resume_trace) =
-            if matches!(self.config.payments, PaymentPolicy::CriticalValue(_)) {
-                let (o, t) =
-                    bounded_ufp_epoch_traced(&epoch_instance, &self.allocator_config, Some(&ctx));
-                (o, Some(t))
-            } else {
-                let o = bounded_ufp_epoch(&epoch_instance, &self.allocator_config, Some(&ctx));
-                (o, None)
-            };
+        //    will probe it (so bisection can replay prefixes instead of
+        //    re-running them) or when an orchestrator will replay it.
+        let traced =
+            overrides.is_some() || matches!(self.config.payments, PaymentPolicy::CriticalValue(_));
+        let (outcome, resume_trace) = if traced {
+            let (o, t) = bounded_ufp_epoch_traced(&instance, &self.allocator_config, Some(&ctx));
+            (o, Some(t))
+        } else {
+            let o = bounded_ufp_epoch(&instance, &self.allocator_config, Some(&ctx));
+            (o, None)
+        };
+
+        EpochPlan {
+            epoch,
+            started,
+            instance,
+            arrivals: arrivals.to_vec(),
+            base,
+            released,
+            outcome,
+            resume_trace,
+            ctx_capacities,
+            ctx_usable,
+            ctx_routable,
+            ctx_carry,
+        }
+    }
+
+    /// Commit a planned epoch: charge payments against the plan's frozen
+    /// context, commit the surviving routes (loads, admissions, TTL
+    /// index, events), and close the epoch's report and metrics.
+    ///
+    /// `keep: Some(k)` truncates the plan to its first `k` selection
+    /// steps before committing — the orchestrator's global guard tripped
+    /// mid-merge, so the shard's over-admissions past `k` are rejected
+    /// exactly as a globally-aware run would have rejected them (the
+    /// kept prefix is reconstructed bit-identically from the resume
+    /// trace). `None` commits every planned admission.
+    pub fn commit_epoch(&mut self, plan: EpochPlan, keep: Option<usize>) -> EpochReport {
+        let EpochPlan {
+            epoch,
+            started,
+            instance: epoch_instance,
+            arrivals,
+            base,
+            released,
+            mut outcome,
+            resume_trace,
+            ctx_capacities,
+            ctx_usable,
+            ctx_routable,
+            ctx_carry,
+        } = plan;
+        assert_eq!(
+            epoch, self.epoch,
+            "commit_epoch must consume the engine's own latest plan"
+        );
+        let ctx = EpochContext {
+            capacities: &ctx_capacities,
+            usable: &ctx_usable,
+            carry: &ctx_carry,
+            routable: ctx_routable.as_deref(),
+        };
+
+        if let Some(k) = keep {
+            if k < outcome.run.solution.routed.len() {
+                let trace = resume_trace
+                    .as_ref()
+                    .expect("truncating commit requires a traced plan");
+                outcome = trace.prefix_outcome(
+                    &epoch_instance,
+                    &self.allocator_config,
+                    Some(&ctx),
+                    k,
+                    StopReason::Guard,
+                );
+            }
+        }
         let stop = outcome.run.trace.stop_reason;
 
-        // 5. Payments against the frozen epoch state.
+        // Payments against the frozen epoch state (truncated winners are
+        // simply absent from the solution and pay nothing).
         let payments = self.compute_payments(
             &epoch_instance,
             &outcome.run.solution,
@@ -245,7 +473,7 @@ impl Engine {
             resume_trace.as_ref(),
         );
 
-        // 6. Commit.
+        // Commit.
         self.carry = outcome.carry;
         let mut accepted = 0usize;
         let mut value_admitted = 0.0f64;
@@ -309,6 +537,7 @@ impl Engine {
             );
         }
 
+        let released = released.len();
         let rejected = arrivals.len() - accepted;
         self.push_event(EngineEvent::EpochCompleted {
             epoch,
@@ -319,7 +548,7 @@ impl Engine {
             revenue,
             stop,
         });
-        let elapsed = start.elapsed();
+        let elapsed = started.elapsed();
         self.metrics.record_batch(
             arrivals.len(),
             accepted,
@@ -349,9 +578,13 @@ impl Engine {
         self.submit_batch(&arrivals)
     }
 
-    fn release_expired(&mut self) -> usize {
+    /// Release admissions expiring at the current epoch, returning their
+    /// admission indices in release order (ascending expiry epoch, then
+    /// admission order within it — the deterministic order the expiry
+    /// index was built in).
+    fn release_expired(&mut self) -> Vec<usize> {
         let epoch = self.epoch;
-        let mut released = 0usize;
+        let mut released = Vec::new();
         let record = self.config.events == EventLevel::Request;
         while let Some(entry) = self.expiry_index.first_entry() {
             if *entry.key() > epoch {
@@ -363,7 +596,7 @@ impl Engine {
                 self.residual
                     .release(&adm.path, self.requests[adm.request.index()].demand);
                 adm.released = true;
-                released += 1;
+                released.push(idx);
                 let request = adm.request;
                 if record {
                     self.push_event(EngineEvent::Released { epoch, request });
@@ -394,6 +627,7 @@ impl Engine {
                     capacities: ctx.capacities,
                     usable: ctx.usable,
                     carry: ctx.carry,
+                    routable: ctx.routable,
                 };
                 for agent in winners {
                     payments[agent] =
@@ -412,13 +646,12 @@ impl Engine {
                     .map(|(step, (rid, _))| (*rid, step))
                     .collect();
                 // Probe runs execute *inside* pool workers during the
-                // fan-out below, and the pool's workers block on nested
-                // dispatch — so the inner allocator must be sequential.
-                // Results are unaffected: parallel and sequential path
-                // fan-outs are bit-identical by `ufp_par`'s ordered
-                // reduction.
-                let mut probe_config = self.allocator_config.clone();
-                probe_config.pool = ufp_par::Pool::sequential();
+                // fan-out below. Nested dispatch is deadlock-free since
+                // `ufp_par` waits help-first, so the inner allocator may
+                // keep the engine's pool; results are unaffected either
+                // way — parallel and sequential path fan-outs are
+                // bit-identical by `ufp_par`'s ordered reduction.
+                let probe_config = self.allocator_config.clone();
                 let resumed: Vec<f64> = self.config.pool.map(&winners, |_, &agent| {
                     let rid = RequestId(agent as u32);
                     let req = *epoch_instance.request(rid);
@@ -591,6 +824,17 @@ impl Engine {
     /// All admissions ever made, including released ones.
     pub fn admissions(&self) -> &[Admission] {
         &self.admissions
+    }
+
+    /// The append-only global request registry (cheap slice access —
+    /// [`Engine::instance`] clones it).
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Number of requests ever registered.
+    pub fn num_requests(&self) -> usize {
+        self.requests.len()
     }
 
     /// The whole submitted history as one instance over the base graph;

@@ -113,7 +113,7 @@ pub mod snapshot;
 pub use allocator::EpochAllocator;
 pub use codec::CodecError;
 pub use config::{EngineConfig, EventLevel, PaymentPolicy, ResidualFloor};
-pub use engine::{Admission, Arrival, Engine, EpochReport};
+pub use engine::{Admission, Arrival, Engine, EpochOverride, EpochPlan, EpochReport};
 pub use event::EngineEvent;
 pub use metrics::EngineMetrics;
 pub use snapshot::{Recovered, SnapshotStore};

@@ -41,8 +41,10 @@ pub struct EngineMetrics {
 pub const LATENCY_WINDOW: usize = 4096;
 
 impl EngineMetrics {
-    /// Record one completed batch.
-    pub(crate) fn record_batch(
+    /// Record one completed batch. Public so engine-compatible
+    /// orchestrators (the sharded engine) can keep their own aggregate
+    /// metrics in the same format the per-engine metrics use.
+    pub fn record_batch(
         &mut self,
         arrivals: usize,
         accepted: usize,
@@ -79,9 +81,11 @@ impl EngineMetrics {
     /// latency view (it is a pure function of the ring buffer: the same
     /// multiset, ascending). Returns `None` when the fields violate a
     /// structural invariant, so the snapshot codec can surface a typed
-    /// error instead of panicking.
+    /// error instead of panicking. Public for the same reason as
+    /// [`EngineMetrics::record_batch`]: orchestrator snapshots restore
+    /// their aggregate metrics through the identical validation.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn from_snapshot(
+    pub fn from_snapshot(
         epochs: u64,
         arrivals: u64,
         accepted: u64,
@@ -158,6 +162,40 @@ impl EngineMetrics {
     /// Tail (p99) per-batch latency in microseconds.
     pub fn p99_latency_us(&self) -> Option<u64> {
         self.latency_percentile_us(99.0)
+    }
+
+    /// Lifetime sum of per-batch wall-clock latencies in microseconds —
+    /// the engine's total time spent inside epochs. Per-shard epoch
+    /// timing in sharded deployments reads this straight off each
+    /// shard's metrics (one subtraction per reporting interval) instead
+    /// of re-aggregating the ring buffer.
+    pub fn total_latency_us(&self) -> u64 {
+        self.total_latency_us
+    }
+
+    /// The raw latency ring buffer in arrival order (at most
+    /// [`LATENCY_WINDOW`] entries) with its write cursor — the exact
+    /// pair [`EngineMetrics::from_snapshot`] takes back, for callers
+    /// that persist metrics outside the engine's own snapshot codec.
+    pub fn latency_ring(&self) -> (&[u64], usize) {
+        (&self.batch_latency_us, self.latency_cursor)
+    }
+
+    /// Wall-clock latency of the most recent batch in microseconds
+    /// (`None` before the first batch).
+    pub fn last_latency_us(&self) -> Option<u64> {
+        if self.batch_latency_us.is_empty() {
+            return None;
+        }
+        let last = (self.latency_cursor + LATENCY_WINDOW - 1) % LATENCY_WINDOW;
+        // While the window is still filling, the cursor equals the push
+        // count, so the most recent sample sits just below it.
+        let idx = if self.batch_latency_us.len() < LATENCY_WINDOW {
+            self.batch_latency_us.len() - 1
+        } else {
+            last
+        };
+        Some(self.batch_latency_us[idx])
     }
 
     /// Throughput over all completed batches: requests per second of

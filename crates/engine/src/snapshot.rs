@@ -256,7 +256,10 @@ pub fn encode_engine(engine: &Engine, driver: &[u8]) -> Vec<u8> {
     w.into_container()
 }
 
-fn encode_event(w: &mut Writer, e: &EngineEvent) {
+/// Serialize one [`EngineEvent`] in the snapshot wire format. Public so
+/// composing snapshot layers (the sharded engine's) share one event
+/// codec instead of forking the tag assignments.
+pub fn encode_event(w: &mut Writer, e: &EngineEvent) {
     match *e {
         EngineEvent::EpochStarted { epoch, arrivals } => {
             w.put_u8(0);
@@ -607,6 +610,7 @@ pub fn decode_engine(
             allocator_config,
             floor,
             residual,
+            pending_release_cost: std::time::Duration::ZERO,
             carry,
             requests,
             admissions,
@@ -627,7 +631,8 @@ fn check_bits(stored: f64, provided: f64, context: &'static str) -> Result<(), C
     Ok(())
 }
 
-fn decode_event(s: &mut Reader<'_>) -> Result<EngineEvent, CodecError> {
+/// Inverse of [`encode_event`].
+pub fn decode_event(s: &mut Reader<'_>) -> Result<EngineEvent, CodecError> {
     Ok(match s.get_u8("event tag")? {
         0 => EngineEvent::EpochStarted {
             epoch: s.get_u64("event epoch")?,

@@ -62,6 +62,89 @@ fn sample_cap<R: Rng>((lo, hi): (f64, f64), rng: &mut R) -> f64 {
     }
 }
 
+/// Community-structured random digraph: `communities` blocks of
+/// `nodes_per` vertices each (community `k` owns the contiguous node-id
+/// block `k·nodes_per .. (k+1)·nodes_per`), with `edges_per` random
+/// intra-community arcs per block and `inter_edges` additional arcs
+/// whose endpoints lie in *different* communities. Capacities are drawn
+/// uniformly from `cap_range` for intra-community edges and from
+/// `inter_cap_range` for the inter-community (boundary) ones.
+///
+/// `inter_edges = 0` yields a disconnected union of components aligned
+/// with the node blocks — the topology on which a block-partitioned
+/// sharded engine is provably equivalent to a single engine (no path can
+/// leave its shard). Small positive `inter_edges` model the realistic
+/// case: mostly-local traffic with a thin cross-shard backbone that
+/// capacity leases arbitrate.
+pub fn community_digraph<R: Rng>(
+    communities: usize,
+    nodes_per: usize,
+    edges_per: usize,
+    inter_edges: usize,
+    cap_range: (f64, f64),
+    inter_cap_range: (f64, f64),
+    rng: &mut R,
+) -> Graph {
+    assert!(communities >= 1 && nodes_per >= 2);
+    let max_intra = nodes_per * (nodes_per - 1);
+    assert!(
+        edges_per <= max_intra,
+        "requested {edges_per} intra-community arcs but only {max_intra} are possible"
+    );
+    let n = communities * nodes_per;
+    let mut b = GraphBuilder::directed(n);
+    let mut used = std::collections::HashSet::with_capacity(communities * edges_per * 2);
+    for k in 0..communities {
+        let base = (k * nodes_per) as u32;
+        let mut added = 0usize;
+        if edges_per * 3 >= max_intra {
+            // Dense block: shuffle the full intra-block arc set.
+            let mut all: Vec<(u32, u32)> = Vec::with_capacity(max_intra);
+            for i in 0..nodes_per as u32 {
+                for j in 0..nodes_per as u32 {
+                    if i != j {
+                        all.push((base + i, base + j));
+                    }
+                }
+            }
+            all.shuffle(rng);
+            for &(i, j) in all.iter().take(edges_per) {
+                used.insert((i, j));
+                b.add_edge(NodeId(i), NodeId(j), sample_cap(cap_range, rng));
+            }
+        } else {
+            while added < edges_per {
+                let i = base + rng.random_range(0..nodes_per as u32);
+                let j = base + rng.random_range(0..nodes_per as u32);
+                if i != j && used.insert((i, j)) {
+                    b.add_edge(NodeId(i), NodeId(j), sample_cap(cap_range, rng));
+                    added += 1;
+                }
+            }
+        }
+    }
+    if communities >= 2 {
+        let max_inter = n * (n - 1) - communities * max_intra;
+        assert!(
+            inter_edges <= max_inter,
+            "requested {inter_edges} inter-community arcs but only {max_inter} are possible"
+        );
+        let mut added = 0usize;
+        while added < inter_edges {
+            let i = rng.random_range(0..n as u32);
+            let j = rng.random_range(0..n as u32);
+            let same = (i as usize) / nodes_per == (j as usize) / nodes_per;
+            if i != j && !same && used.insert((i, j)) {
+                b.add_edge(NodeId(i), NodeId(j), sample_cap(inter_cap_range, rng));
+                added += 1;
+            }
+        }
+    } else {
+        assert_eq!(inter_edges, 0, "one community has no inter-community arcs");
+    }
+    b.build()
+}
+
 /// Undirected `rows × cols` grid with uniform capacity — the "ISP
 /// backbone"-style topology used by the routing example and benchmarks.
 pub fn grid(rows: usize, cols: usize, capacity: f64) -> Graph {
@@ -160,6 +243,38 @@ mod tests {
         let g = gnm_digraph(20, 60, (3.0, 9.0), &mut rng);
         for e in g.edges() {
             assert!(e.capacity >= 3.0 && e.capacity <= 9.0);
+        }
+    }
+
+    #[test]
+    fn community_digraph_respects_block_structure() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = community_digraph(4, 25, 120, 10, (8.0, 16.0), (30.0, 40.0), &mut rng);
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 4 * 120 + 10);
+        let mut inter = 0;
+        for e in g.edges() {
+            let (cs, cd) = (e.src.0 / 25, e.dst.0 / 25);
+            if cs == cd {
+                assert!(e.capacity >= 8.0 && e.capacity <= 16.0);
+            } else {
+                assert!(e.capacity >= 30.0 && e.capacity <= 40.0);
+                inter += 1;
+            }
+        }
+        assert_eq!(inter, 10);
+    }
+
+    #[test]
+    fn community_digraph_zero_inter_is_component_aligned() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let g = community_digraph(3, 20, 80, 0, (4.0, 4.0), (4.0, 4.0), &mut rng);
+        for e in g.edges() {
+            assert_eq!(e.src.0 / 20, e.dst.0 / 20, "no edge may cross blocks");
+        }
+        // No node outside block 0 is reachable from inside it.
+        for d in bfs::hop_distances(&g, NodeId(3)).iter().skip(20) {
+            assert_eq!(*d, usize::MAX);
         }
     }
 

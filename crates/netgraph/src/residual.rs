@@ -11,6 +11,13 @@ use crate::graph::Graph;
 use crate::ids::EdgeId;
 use crate::path::Path;
 
+/// Loads at or below this count as "no committed traffic" for
+/// [`ResidualCaps::usable_mask`]: commit/release round-trips leave
+/// ~1e-16 of float residue per operation, far below any real normalized
+/// demand (> 0), and an effectively-empty edge below the floor must not
+/// be frozen out forever.
+pub const LOAD_EPSILON: f64 = 1e-9;
+
 /// Committed-load tracker over a graph's edges, yielding residual
 /// capacities. Loads are kept separately from capacities so release
 /// (churn) cannot drift the base network.
@@ -92,6 +99,22 @@ impl ResidualCaps {
             return None;
         }
         Some(ResidualCaps { caps, load: loads })
+    }
+
+    /// The per-edge *usable* mask for an epoch with residual floor
+    /// `floor`: an edge participates when it carries no committed
+    /// traffic (up to [`LOAD_EPSILON`] of commit/release float residue)
+    /// or its residual still clears the floor. Centralized here because
+    /// every consumer — the single engine, each shard's context, the
+    /// cross-shard reconciler — must apply the *identical* rule for the
+    /// sharded/single bit-identity contract to hold.
+    pub fn usable_mask(&self, floor: f64) -> Vec<bool> {
+        (0..self.caps.len())
+            .map(|e| {
+                let e = EdgeId(e as u32);
+                self.load(e) <= LOAD_EPSILON || self.residual(e) >= floor
+            })
+            .collect()
     }
 
     /// Fraction of capacity in use on `e` (`load / cap`, in `[0, 1]` up

@@ -19,10 +19,21 @@
 //!   dynamic chunked work distribution via an atomic cursor, and results
 //!   returned in input order regardless of scheduling.
 //! * [`Pool::map`] — the workspace-free convenience wrapper.
+//! * [`Pool::map_mut`] — parallel map over `&mut` items (one engine per
+//!   shard, each mutated by exactly one worker).
 //! * [`Pool::argmin_by_key`] — deterministic parallel argmin.
 //!
 //! Determinism: output is ordered by input index, so parallel and
 //! sequential execution produce identical results.
+//!
+//! **Nested dispatch is deadlock-free.** A job may itself call
+//! [`Pool::map`] (or any other combinator): every latch wait is
+//! *help-first* — a thread blocked on outstanding jobs keeps pulling
+//! queued jobs (its own sub-jobs included) and running them on its own
+//! stack, so the pool can never park all of its workers on latches whose
+//! jobs nobody is left to execute. This is the standard work-stealing
+//! discipline (rayon's `join` does the same), restricted to the one
+//! global FIFO this crate already has.
 //!
 //! ## Safety
 //!
@@ -37,7 +48,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 
 /// A type-erased unit of work with its lifetime erased to `'static`
@@ -46,6 +57,10 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 
 struct GlobalPool {
     tx: Sender<Job>,
+    /// A receiving handle kept for **help-first waiting**: any thread
+    /// blocked on a latch pulls queued jobs and runs them itself (see
+    /// [`Latch::wait_helping`]).
+    rx: Receiver<Job>,
     workers: usize,
 }
 
@@ -67,7 +82,7 @@ fn global_pool() -> &'static GlobalPool {
                 })
                 .expect("failed to spawn worker thread");
         }
-        GlobalPool { tx, workers }
+        GlobalPool { tx, rx, workers }
     })
 }
 
@@ -95,10 +110,45 @@ impl Latch {
         }
     }
 
-    fn wait(&self) {
-        let mut left = self.remaining.lock();
-        while *left > 0 {
-            self.cv.wait(&mut left);
+    /// Wait for every job counted by this latch, **helping** while
+    /// blocked: instead of parking unconditionally, the waiter drains
+    /// queued jobs from the global pool and executes them on its own
+    /// stack. This is what makes *nested* dispatch deadlock-free — a
+    /// worker that fans out a sub-map mid-job and waits on the inner
+    /// latch keeps executing queued jobs (its own sub-jobs included), so
+    /// the pool can never reach a state where every worker is parked on
+    /// a latch whose jobs nobody is left to run. (PR 2 worked around the
+    /// deadlock by forcing nested pools sequential; this lifts that.)
+    ///
+    /// The short timed wait covers the benign race where a job is
+    /// enqueued between `try_recv` and parking: the waiter re-polls the
+    /// queue instead of sleeping until a wakeup that may already have
+    /// been consumed by a sibling helper.
+    fn wait_helping(&self, rx: &Receiver<Job>) {
+        loop {
+            match rx.try_recv() {
+                Ok(job) => {
+                    // Jobs are dispatch bodies that catch their own
+                    // panics (see `map_with`), so helping cannot unwind
+                    // into the waiter.
+                    job();
+                }
+                Err(_) => {
+                    let mut left = self.remaining.lock();
+                    if *left == 0 {
+                        return;
+                    }
+                    self.cv
+                        .wait_for(&mut left, std::time::Duration::from_millis(1));
+                    if *left == 0 {
+                        return;
+                    }
+                }
+            }
+            let left = self.remaining.lock();
+            if *left == 0 {
+                return;
+            }
         }
     }
 }
@@ -207,7 +257,7 @@ impl Pool {
                 dispatch(body);
             }
         }
-        latch.wait();
+        latch.wait_helping(&global_pool().rx);
         if latch.panicked.load(Ordering::SeqCst) > 0 {
             panic!("worker thread panicked during Pool::map_with");
         }
@@ -245,6 +295,37 @@ impl Pool {
                 .collect();
         }
         self.map_with(items, init, f)
+    }
+
+    /// Parallel indexed map over **mutable** items: each item is handed
+    /// to exactly one invocation of `f` as `&mut T`, results return in
+    /// input order. This is the per-shard dispatch primitive — a sharded
+    /// engine runs one epoch per shard concurrently, each shard mutating
+    /// its own engine — and it composes with nested dispatch: `f` may
+    /// itself fan out on any [`Pool`] (see [`Latch::wait_helping`]).
+    pub fn map_mut<T, U, F>(&self, items: &mut [T], f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(usize, &mut T) -> U + Sync,
+    {
+        // Hand the base pointer to the workers; disjoint indices mean
+        // disjoint `&mut` borrows, and `map` completes before this frame
+        // returns, so no borrow outlives `items`.
+        struct BasePtr<T>(*mut T);
+        unsafe impl<T: Send> Sync for BasePtr<T> {}
+        let base = BasePtr(items.as_mut_ptr());
+        // Borrow the wrapper, not its field: closures capture disjoint
+        // fields in edition 2021, and the bare `*mut T` is not `Sync`.
+        let base = &base;
+        let indices: Vec<usize> = (0..items.len()).collect();
+        self.map(&indices, |_, &i| {
+            // SAFETY: every index appears exactly once in `indices`, so
+            // each `&mut` is unique; the latch in `map` keeps `items`
+            // borrowed until all jobs finish.
+            let item = unsafe { &mut *base.0.add(i) };
+            f(i, item)
+        })
     }
 
     /// Parallel indexed map without a per-thread workspace.
@@ -434,6 +515,75 @@ mod tests {
             "repeated dispatch too slow: {:?}",
             start.elapsed()
         );
+    }
+
+    #[test]
+    fn map_mut_mutates_each_item_once() {
+        for threads in [1, 4] {
+            let pool = Pool::new(threads);
+            let mut items: Vec<u64> = (0..257).collect();
+            let out = pool.map_mut(&mut items, |i, x| {
+                *x += 1;
+                *x * i as u64
+            });
+            for (i, x) in items.iter().enumerate() {
+                assert_eq!(*x, i as u64 + 1, "threads={threads}");
+            }
+            let expect: Vec<u64> = (0..257u64).map(|i| (i + 1) * i).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    /// Regression test for the PR 2 nested-dispatch deadlock: a parallel
+    /// map whose jobs themselves fan out on parallel pools must complete.
+    /// Before help-first waiting, this configuration (outer jobs ≥
+    /// workers, every outer job blocking on an inner latch) wedged the
+    /// pool permanently.
+    #[test]
+    fn nested_dispatch_completes() {
+        let outer = Pool::auto();
+        let inner = Pool::auto();
+        let items: Vec<u64> = (0..64).collect();
+        let done = std::sync::mpsc::channel();
+        let tx = done.0;
+        let handle = std::thread::spawn(move || {
+            let sums = outer.map(&items, |_, &x| {
+                let sub: Vec<u64> = (0..50).map(|j| x * 100 + j).collect();
+                inner.map(&sub, |_, &y| y * 2).iter().sum::<u64>()
+            });
+            tx.send(sums).unwrap();
+        });
+        // Deadlock manifests as a hang; bound the wait explicitly so the
+        // regression fails fast instead of timing out the whole suite.
+        let sums = done
+            .1
+            .recv_timeout(std::time::Duration::from_secs(60))
+            .expect("nested dispatch deadlocked");
+        handle.join().unwrap();
+        for (x, s) in (0..64u64).zip(&sums) {
+            let expect: u64 = (0..50).map(|j| (x * 100 + j) * 2).sum();
+            assert_eq!(*s, expect);
+        }
+    }
+
+    /// Three levels of nesting with mutation at the leaves — the shape a
+    /// sharded engine produces (shards in parallel, each shard's epoch
+    /// fanning out shortest-path queries, payments fanning out below
+    /// that).
+    #[test]
+    fn deeply_nested_map_mut_completes() {
+        let pool = Pool::auto();
+        let mut shards: Vec<Vec<u64>> = (0..8).map(|s| vec![s; 32]).collect();
+        let totals = pool.map_mut(&mut shards, |_, shard| {
+            let doubled = pool.map(shard, |_, &x| {
+                pool.map(&[x, x + 1], |_, &y| y).iter().sum::<u64>()
+            });
+            shard.copy_from_slice(&doubled);
+            shard.iter().sum::<u64>()
+        });
+        for (s, t) in totals.iter().enumerate() {
+            assert_eq!(*t, (2 * s as u64 + 1) * 32);
+        }
     }
 
     #[test]

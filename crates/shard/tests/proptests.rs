@@ -1,0 +1,177 @@
+//! Property coverage for the sharded engine's two core contracts:
+//!
+//! * **Zero-cross equivalence** — over random disconnected community
+//!   networks with component-aligned partitions and purely shard-local
+//!   (randomly churned, critically-priced) traffic, `ShardedEngine` is
+//!   bit-identical to a single `Engine` fed the same stream: records
+//!   (admissions with routes and epochs), payments, events, residual
+//!   loads.
+//! * **Snapshot lockstep** — snapshots of sharded runs (with cross
+//!   traffic and leases in play) restore and continue bit-identically
+//!   per shard and globally, from any epoch boundary.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use std::sync::Arc;
+
+use ufp_engine::{Arrival, Engine, EngineConfig, EventLevel, PaymentPolicy};
+use ufp_netgraph::generators;
+use ufp_netgraph::graph::Graph;
+use ufp_shard::{NodeBlocks, Partitioner, ShardConfig, ShardedEngine};
+use ufp_workloads::arrivals::ArrivalProcess;
+use ufp_workloads::sharded::{block_shard_map, sharded_arrival_trace, ShardedTraceConfig};
+
+/// Random sharded scenario: a community digraph (`inter_edges` zero or
+/// small per the caller), its block partition, and a churned trace.
+fn arb_scenario(
+    inter_edges: std::ops::Range<usize>,
+    cross: bool,
+) -> impl Strategy<Value = (Arc<Graph>, usize, Vec<Vec<Arrival>>, f64)> {
+    (
+        2usize..5,    // shards
+        6usize..12,   // nodes per community
+        any::<u64>(), // seed
+        2usize..8,    // epochs
+        4usize..10,   // epsilon decile
+        inter_edges,
+    )
+        .prop_map(
+            move |(shards, nodes_per, seed, epochs, eps_decile, inter)| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let graph = generators::community_digraph(
+                    shards,
+                    nodes_per,
+                    (nodes_per * 4).min(nodes_per * (nodes_per - 1)),
+                    inter,
+                    (50.0, 90.0),
+                    (50.0, 90.0),
+                    &mut rng,
+                );
+                let map = block_shard_map(graph.num_nodes(), shards);
+                let trace = sharded_arrival_trace(
+                    &graph,
+                    &map,
+                    &ShardedTraceConfig {
+                        epochs,
+                        process: ArrivalProcess::Poisson { mean: 14.0 },
+                        cross_fraction: if cross { 0.25 } else { 0.0 },
+                        hotspot_pairs: Some(3),
+                        ttl_range: Some((1, 3)),
+                        seed: seed ^ 0xABCD,
+                        ..Default::default()
+                    },
+                );
+                (Arc::new(graph), shards, trace, 0.1 * eps_decile as f64)
+            },
+        )
+}
+
+fn engine_config(epsilon: f64) -> EngineConfig {
+    EngineConfig {
+        events: EventLevel::Request,
+        payments: PaymentPolicy::critical_value(),
+        ..EngineConfig::with_epsilon(epsilon)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Zero cross-shard traffic ⇒ bit-identical to a single engine.
+    #[test]
+    fn zero_cross_is_bit_identical_to_single_engine(
+        (graph, shards, trace, epsilon) in arb_scenario(0..1, false)
+    ) {
+        let cfg = engine_config(epsilon);
+        let plan = NodeBlocks.partition(&graph, shards);
+        let mut sharded = ShardedEngine::new(
+            Arc::clone(&graph),
+            plan,
+            ShardConfig { engine: cfg.clone(), lease_fraction: 0.5 },
+        );
+        let mut single = Engine::from_shared(Arc::clone(&graph), cfg);
+        for batch in &trace {
+            let rs = sharded.submit_batch(batch);
+            let ro = single.submit_batch(batch);
+            prop_assert_eq!(rs.accepted, ro.accepted, "epoch {} accepted", rs.epoch);
+            prop_assert_eq!(rs.released, ro.released, "epoch {} released", rs.epoch);
+            prop_assert_eq!(rs.stop, ro.stop, "epoch {} stop", rs.epoch);
+            prop_assert_eq!(
+                rs.revenue.to_bits(), ro.revenue.to_bits(),
+                "epoch {} revenue {} vs {}", rs.epoch, rs.revenue, ro.revenue
+            );
+        }
+        // Records: every admission, in order, with route/payment bits.
+        let (sh, si) = (sharded.admissions(), single.admissions());
+        prop_assert_eq!(sh.len(), si.len());
+        for (a, b) in sh.iter().zip(si) {
+            prop_assert_eq!(a.request, b.request);
+            prop_assert_eq!(a.path.nodes(), b.path.nodes());
+            prop_assert_eq!(a.epoch, b.epoch);
+            prop_assert_eq!(a.expires_at, b.expires_at);
+            prop_assert_eq!(a.released, b.released);
+            prop_assert_eq!(
+                a.payment.to_bits(), b.payment.to_bits(),
+                "payment {} vs {}", a.payment, b.payment
+            );
+        }
+        // Events and loads.
+        prop_assert_eq!(sharded.events(), single.events());
+        for (a, b) in sharded.residual().loads().iter().zip(single.residual().loads()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Snapshots of sharded runs (cross traffic + leases in play)
+    /// restore and continue in lockstep from any epoch boundary.
+    #[test]
+    fn snapshots_restore_and_continue_in_lockstep(
+        (graph, shards, trace, epsilon) in arb_scenario(8..20, true),
+        split_frac in 0.0f64..1.0
+    ) {
+        let cfg = engine_config(epsilon);
+        let shard_config = ShardConfig { engine: cfg, lease_fraction: 0.5 };
+        let plan = NodeBlocks.partition(&graph, shards);
+        let mut unbroken =
+            ShardedEngine::new(Arc::clone(&graph), plan.clone(), shard_config.clone());
+        let split = ((trace.len() as f64 * split_frac) as usize).min(trace.len() - 1);
+        for batch in &trace[..split] {
+            unbroken.submit_batch(batch);
+        }
+        let bytes = unbroken.snapshot_bytes();
+        let mut restored = ShardedEngine::restore_from_bytes(
+            &bytes,
+            Arc::clone(&graph),
+            plan,
+            shard_config,
+        ).expect("snapshot must restore");
+        // Identity at the restore point.
+        prop_assert_eq!(restored.epoch(), unbroken.epoch());
+        prop_assert_eq!(restored.requests(), unbroken.requests());
+        // Lockstep continuation.
+        for batch in &trace[split..] {
+            let ru = unbroken.submit_batch(batch);
+            let rr = restored.submit_batch(batch);
+            prop_assert_eq!(ru.accepted, rr.accepted, "epoch {}", ru.epoch);
+            prop_assert_eq!(ru.released, rr.released);
+            prop_assert_eq!(ru.stop, rr.stop);
+            prop_assert_eq!(ru.revenue.to_bits(), rr.revenue.to_bits());
+            prop_assert_eq!(ru.min_residual.to_bits(), rr.min_residual.to_bits());
+        }
+        let (au, ar) = (unbroken.admissions(), restored.admissions());
+        prop_assert_eq!(au.len(), ar.len());
+        for (x, y) in au.iter().zip(&ar) {
+            prop_assert_eq!(x.request, y.request);
+            prop_assert_eq!(x.path.nodes(), y.path.nodes());
+            prop_assert_eq!(x.payment.to_bits(), y.payment.to_bits());
+            prop_assert_eq!(x.released, y.released);
+        }
+        for (x, y) in unbroken.residual().loads().iter().zip(restored.residual().loads()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        prop_assert_eq!(unbroken.events(), restored.events());
+        prop_assert_eq!(unbroken.ledger(), restored.ledger());
+    }
+}

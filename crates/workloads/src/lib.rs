@@ -16,6 +16,9 @@
 //! * [`arrivals`] — streaming arrival-process traces for the
 //!   `ufp-engine` admission controller: Poisson, diurnal sinusoid,
 //!   flash-crowd bursts, and churn with request TTLs.
+//! * [`sharded`] — community-structured, shard-labelled traces for the
+//!   `ufp_shard` sharded engine: per-shard hotspot clusters with a
+//!   tunable cross-shard traffic fraction.
 //!
 //! All generators are deterministic functions of their seed, so every
 //! number in EXPERIMENTS.md is reproducible.
@@ -27,6 +30,7 @@ pub mod figure2;
 pub mod figure3;
 pub mod figure4;
 pub mod random_ufp;
+pub mod sharded;
 
 pub use arrivals::{arrival_trace, poisson_count, ArrivalProcess, ArrivalTraceConfig};
 pub use auctions::{random_auction, required_multiplicity, Popularity, RandomAuctionConfig};
@@ -36,3 +40,4 @@ pub use figure2::{
 pub use figure3::{figure3, figure3_algorithm_bound, figure3_hub, figure3_optimum, figure3_vertex};
 pub use figure4::{figure4, figure4_algorithm_bound, figure4_optimum, figure4_predicted_ratio};
 pub use random_ufp::{random_grid_ufp, random_ufp, required_b, RandomUfpConfig, ValueModel};
+pub use sharded::{block_shard_map, shard_label, sharded_arrival_trace, ShardedTraceConfig};

@@ -1,0 +1,374 @@
+//! Community-structured, **shard-labelled** arrival traces.
+//!
+//! Where [`crate::arrivals`] samples endpoints over the whole network,
+//! this module samples them against a *shard assignment* (node →
+//! shard): most requests stay inside one shard's territory (hotspot
+//! clusters concentrated per shard), and a tunable fraction crosses
+//! shard boundaries — the traffic shape a sharded admission-control
+//! engine is built for. All generators are deterministic functions of
+//! their seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ufp_core::Request;
+use ufp_engine::Arrival;
+use ufp_netgraph::bfs;
+use ufp_netgraph::graph::Graph;
+use ufp_netgraph::ids::NodeId;
+
+use crate::arrivals::{poisson_count, ArrivalProcess};
+use crate::random_ufp::ValueModel;
+
+/// Configuration of [`sharded_arrival_trace`].
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedTraceConfig {
+    /// Number of epochs (batches) to generate.
+    pub epochs: usize,
+    /// Arrival-count process for the whole network (counts are split
+    /// across shards by the per-request shard draw).
+    pub process: ArrivalProcess,
+    /// Fraction of requests in `[0, 1]` whose endpoints lie in
+    /// *different* shards. Zero produces a purely shard-local trace —
+    /// the regime in which a sharded engine is bit-identical to a
+    /// single one.
+    pub cross_fraction: f64,
+    /// When `Some(k)`, each shard's local traffic concentrates on `k`
+    /// fixed connected hotspot pairs inside that shard (and cross
+    /// traffic on `k` fixed cross-shard pairs); `None` samples fresh
+    /// connected pairs every time.
+    pub hotspot_pairs: Option<usize>,
+    /// Demand range within `(0, 1]`.
+    pub demand_range: (f64, f64),
+    /// Value model.
+    pub values: ValueModel,
+    /// Churn: `Some((lo, hi))` draws each TTL uniformly from `lo..=hi`.
+    pub ttl_range: Option<(u32, u32)>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ShardedTraceConfig {
+    fn default() -> Self {
+        ShardedTraceConfig {
+            epochs: 10,
+            process: ArrivalProcess::Poisson { mean: 50.0 },
+            cross_fraction: 0.0,
+            hotspot_pairs: Some(4),
+            demand_range: (0.2, 1.0),
+            values: ValueModel::Uniform(0.5, 2.0),
+            ttl_range: None,
+            seed: 1,
+        }
+    }
+}
+
+/// The shard label of one arrival under `node_shard`: `Some(s)` when
+/// both endpoints lie in shard `s`, `None` when it crosses shards.
+pub fn shard_label(node_shard: &[u32], arrival: &Arrival) -> Option<u32> {
+    let s = node_shard[arrival.request.src.index()];
+    let d = node_shard[arrival.request.dst.index()];
+    (s == d).then_some(s)
+}
+
+/// Shard-aware connected-endpoint sampler with cached reachability and
+/// per-shard (plus cross-shard) hotspot pools.
+struct ShardSampler<'a> {
+    node_shard: &'a [u32],
+    shards: usize,
+    /// Nodes of each shard (sampling domain for sources).
+    members: Vec<Vec<u32>>,
+    reach_cache: Vec<Option<Vec<u32>>>,
+    /// Fixed hotspot pools: one per shard plus one cross pool at the end.
+    pools: Vec<Vec<(NodeId, NodeId)>>,
+    pool_target: usize,
+}
+
+impl<'a> ShardSampler<'a> {
+    fn new(graph: &Graph, node_shard: &'a [u32], hotspot_pairs: Option<usize>) -> Self {
+        assert_eq!(node_shard.len(), graph.num_nodes(), "shard map length");
+        let shards = node_shard
+            .iter()
+            .map(|&s| s as usize + 1)
+            .max()
+            .unwrap_or(1);
+        let mut members = vec![Vec::new(); shards];
+        for (v, &s) in node_shard.iter().enumerate() {
+            members[s as usize].push(v as u32);
+        }
+        assert!(
+            members.iter().all(|m| !m.is_empty()),
+            "every shard needs at least one node"
+        );
+        ShardSampler {
+            node_shard,
+            shards,
+            members,
+            reach_cache: vec![None; graph.num_nodes()],
+            pools: vec![Vec::new(); shards + 1],
+            pool_target: hotspot_pairs.unwrap_or(0),
+        }
+    }
+
+    fn reachable(&mut self, graph: &Graph, src: NodeId) -> &[u32] {
+        self.reach_cache[src.index()].get_or_insert_with(|| {
+            bfs::hop_distances(graph, src)
+                .into_iter()
+                .enumerate()
+                .filter(|&(v, d)| d != usize::MAX && v != src.index())
+                .map(|(v, _)| v as u32)
+                .collect()
+        })
+    }
+
+    /// Draw one pair: intra-shard within `Some(shard)`, cross-shard for
+    /// `None`. Panics when the graph cannot supply such a pair within a
+    /// generous retry budget (e.g. cross traffic requested over
+    /// disconnected communities).
+    fn sample<R: Rng>(
+        &mut self,
+        graph: &Graph,
+        shard: Option<usize>,
+        rng: &mut R,
+    ) -> (NodeId, NodeId) {
+        let pool_idx = shard.unwrap_or(self.shards);
+        if self.pool_target > 0 && self.pools[pool_idx].len() >= self.pool_target {
+            let pool = &self.pools[pool_idx];
+            return pool[rng.random_range(0..pool.len())];
+        }
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
+            assert!(
+                attempts <= 100_000,
+                "no {} pair found — does the topology support it?",
+                if shard.is_some() {
+                    "intra-shard connected"
+                } else {
+                    "cross-shard connected"
+                }
+            );
+            let src = match shard {
+                Some(s) => {
+                    let m = &self.members[s];
+                    NodeId(m[rng.random_range(0..m.len())])
+                }
+                None => NodeId(rng.random_range(0..graph.num_nodes() as u32)),
+            };
+            let src_shard = self.node_shard[src.index()];
+            let node_shard = self.node_shard;
+            let want_same = shard.is_some();
+            let candidates: Vec<u32> = self
+                .reachable(graph, src)
+                .iter()
+                .copied()
+                .filter(|&v| (node_shard[v as usize] == src_shard) == want_same)
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            let dst = NodeId(candidates[rng.random_range(0..candidates.len())]);
+            if self.pool_target > 0 {
+                self.pools[pool_idx].push((src, dst));
+            }
+            return (src, dst);
+        }
+    }
+}
+
+/// Generate a deterministic shard-labelled arrival trace over `graph`:
+/// one batch per epoch, endpoints sampled against `node_shard` with
+/// [`ShardedTraceConfig::cross_fraction`] of requests crossing shard
+/// boundaries and the rest confined to (and hotspot-concentrated
+/// within) a single shard.
+pub fn sharded_arrival_trace(
+    graph: &Graph,
+    node_shard: &[u32],
+    config: &ShardedTraceConfig,
+) -> Vec<Vec<Arrival>> {
+    let (dlo, dhi) = config.demand_range;
+    assert!(
+        0.0 < dlo && dlo <= dhi && dhi <= 1.0,
+        "demands must lie in (0,1]"
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.cross_fraction),
+        "cross_fraction must lie in [0, 1]"
+    );
+    if let Some((lo, hi)) = config.ttl_range {
+        assert!(1 <= lo && lo <= hi, "ttl range must be 1 <= lo <= hi");
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut sampler = ShardSampler::new(graph, node_shard, config.hotspot_pairs);
+    let shards = sampler.shards;
+    let mut trace = Vec::with_capacity(config.epochs);
+    for t in 0..config.epochs {
+        let count = poisson_count(config.process.mean_at(t as u32), &mut rng);
+        let mut batch = Vec::with_capacity(count);
+        for _ in 0..count {
+            let cross =
+                config.cross_fraction > 0.0 && rng.random_range(0.0..1.0) < config.cross_fraction;
+            let shard = if cross {
+                None
+            } else {
+                Some(rng.random_range(0..shards))
+            };
+            let (src, dst) = sampler.sample(graph, shard, &mut rng);
+            let demand = if dlo == dhi {
+                dlo
+            } else {
+                rng.random_range(dlo..=dhi)
+            };
+            let value = config.values.sample_value(demand, &mut rng);
+            let request = Request::new(src, dst, demand, value);
+            let arrival = match config.ttl_range {
+                None => Arrival::permanent(request),
+                Some((lo, hi)) => Arrival::with_ttl(request, rng.random_range(lo..=hi)),
+            };
+            batch.push(arrival);
+        }
+        trace.push(batch);
+    }
+    trace
+}
+
+/// The block shard map matching
+/// [`ufp_netgraph::generators::community_digraph`] **and**
+/// `ufp_shard::NodeBlocks`: node `v` belongs to shard
+/// `min(v / ceil(n / shards), shards - 1)`. The ceiling-division
+/// convention is deliberately identical to the `NodeBlocks`
+/// partitioner's, so traces labelled with this map stay shard-local
+/// under a `NodeBlocks` partition even when `num_nodes` is not
+/// divisible by `shards`.
+pub fn block_shard_map(num_nodes: usize, shards: usize) -> Vec<u32> {
+    assert!(shards >= 1 && num_nodes >= shards);
+    let per = num_nodes.div_ceil(shards);
+    (0..num_nodes)
+        .map(|v| ((v / per) as u32).min(shards as u32 - 1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ufp_netgraph::generators;
+
+    fn community(inter: usize, seed: u64) -> (Graph, Vec<u32>) {
+        let g = generators::community_digraph(
+            4,
+            25,
+            150,
+            inter,
+            (40.0, 80.0),
+            (40.0, 80.0),
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let map = block_shard_map(g.num_nodes(), 4);
+        (g, map)
+    }
+
+    #[test]
+    fn zero_cross_fraction_stays_shard_local() {
+        let (g, map) = community(0, 1);
+        let cfg = ShardedTraceConfig {
+            epochs: 6,
+            ..Default::default()
+        };
+        let trace = sharded_arrival_trace(&g, &map, &cfg);
+        let mut per_shard = [0usize; 4];
+        for a in trace.iter().flatten() {
+            let label = shard_label(&map, a).expect("zero cross fraction must stay local");
+            per_shard[label as usize] += 1;
+        }
+        let total: usize = per_shard.iter().sum();
+        assert!(total > 100, "trace too small to be meaningful: {total}");
+        for (s, &c) in per_shard.iter().enumerate() {
+            // Uniform shard draw: each shard holds roughly a quarter.
+            assert!(
+                c * 10 > total && c * 10 < total * 6,
+                "shard {s} got {c} of {total} requests"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_fraction_is_respected() {
+        let (g, map) = community(120, 2);
+        let cfg = ShardedTraceConfig {
+            epochs: 10,
+            process: ArrivalProcess::Poisson { mean: 100.0 },
+            cross_fraction: 0.3,
+            ..Default::default()
+        };
+        let trace = sharded_arrival_trace(&g, &map, &cfg);
+        let total: usize = trace.iter().map(Vec::len).sum();
+        let cross = trace
+            .iter()
+            .flatten()
+            .filter(|a| shard_label(&map, a).is_none())
+            .count();
+        let frac = cross as f64 / total as f64;
+        assert!(
+            (frac - 0.3).abs() < 0.06,
+            "cross fraction {frac} far from configured 0.3 ({cross}/{total})"
+        );
+    }
+
+    #[test]
+    fn hotspot_pools_bound_distinct_pairs() {
+        let (g, map) = community(60, 3);
+        let cfg = ShardedTraceConfig {
+            epochs: 8,
+            cross_fraction: 0.2,
+            hotspot_pairs: Some(3),
+            ..Default::default()
+        };
+        let trace = sharded_arrival_trace(&g, &map, &cfg);
+        let mut intra_pairs = std::collections::HashSet::new();
+        let mut cross_pairs = std::collections::HashSet::new();
+        for a in trace.iter().flatten() {
+            let key = (a.request.src, a.request.dst);
+            match shard_label(&map, a) {
+                Some(_) => intra_pairs.insert(key),
+                None => cross_pairs.insert(key),
+            };
+        }
+        assert!(
+            intra_pairs.len() <= 4 * 3,
+            "expected ≤ 3 hotspot pairs per shard, got {}",
+            intra_pairs.len()
+        );
+        assert!(
+            cross_pairs.len() <= 3,
+            "expected ≤ 3 cross hotspot pairs, got {}",
+            cross_pairs.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (g, map) = community(40, 4);
+        let cfg = ShardedTraceConfig {
+            epochs: 4,
+            cross_fraction: 0.25,
+            ..Default::default()
+        };
+        assert_eq!(
+            sharded_arrival_trace(&g, &map, &cfg),
+            sharded_arrival_trace(&g, &map, &cfg)
+        );
+        let other = sharded_arrival_trace(&g, &map, &ShardedTraceConfig { seed: 9, ..cfg });
+        assert_ne!(sharded_arrival_trace(&g, &map, &cfg), other);
+    }
+
+    #[test]
+    fn block_shard_map_covers_remainders() {
+        // Ceiling-division blocks, the NodeBlocks convention: the
+        // remainder shrinks the *last* shard.
+        let map = block_shard_map(10, 3);
+        assert_eq!(map, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2]);
+        assert_eq!(block_shard_map(4, 4), vec![0, 1, 2, 3]);
+    }
+}

@@ -50,6 +50,7 @@
 //! | [`ufp_mechanism`] | critical-value payments and truthfulness verification |
 //! | [`ufp_workloads`] | Figure 2/3/4 constructions, random workloads, arrival traces |
 //! | [`ufp_engine`] | streaming admission-control engine (epochs, residual capacities, payments, metrics) |
+//! | [`ufp_shard`] | sharded engine: partitioned parallel epochs, capacity leases, cross-shard reconciliation |
 
 pub use ufp_auction;
 pub use ufp_core;
@@ -58,6 +59,7 @@ pub use ufp_lp;
 pub use ufp_mechanism;
 pub use ufp_netgraph;
 pub use ufp_par;
+pub use ufp_shard;
 pub use ufp_workloads;
 
 /// One-stop imports for applications.
@@ -75,4 +77,5 @@ pub mod prelude {
     };
     pub use ufp_netgraph::{Graph, GraphBuilder, NodeId, Path};
     pub use ufp_par::Pool;
+    pub use ufp_shard::{Partitioner, ShardConfig, ShardPlan, ShardedEngine};
 }

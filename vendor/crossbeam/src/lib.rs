@@ -120,10 +120,35 @@ pub mod channel {
             }
         }
 
+        /// Non-blocking receive: `Ok(v)` when a message is queued,
+        /// `Err(TryRecvError::Empty)` when the queue is momentarily
+        /// empty, `Err(TryRecvError::Disconnected)` once it is empty and
+        /// every sender has dropped.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(v) = inner.queue.pop_front() {
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
         /// Blocking iterator over incoming messages.
         pub fn iter(&self) -> Iter<'_, T> {
             Iter { receiver: self }
         }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message is currently queued.
+        Empty,
+        /// The queue is empty and all senders have dropped.
+        Disconnected,
     }
 
     impl<T> Clone for Receiver<T> {

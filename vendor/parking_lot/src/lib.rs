@@ -70,6 +70,22 @@ impl Condvar {
         }
     }
 
+    /// Like [`Condvar::wait`] with a timeout; returns `true` when the
+    /// wait timed out (parking_lot's `WaitTimeoutResult::timed_out`
+    /// collapsed to the bool this workspace needs).
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
+        // Same guard-swap bridge as `wait`; see the comment there.
+        unsafe {
+            let inner = std::ptr::read(&guard.0);
+            let (reacquired, result) = self
+                .0
+                .wait_timeout(inner, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            std::ptr::write(&mut guard.0, reacquired);
+            result.timed_out()
+        }
+    }
+
     /// Wake one waiter.
     pub fn notify_one(&self) {
         self.0.notify_one();
