@@ -24,6 +24,14 @@
 //! the `"timing"` object differ between runs (`BENCH_PR4.json` records
 //! the speedups).
 //!
+//! Observability: `--trace-out FILE` (span JSONL), `--trace-chrome
+//! FILE` (chrome://tracing), `--metrics-out FILE` (registry + epoch
+//! profiles), and `--profile` (per-epoch phase breakdown inside the
+//! `"timing"` object) all enable the `ufp_obs` recorder. Strictly
+//! out-of-band: the deterministic stdout document is byte-identical
+//! with tracing on or off (CI enforces the diff), and exports go to
+//! side files only.
+//!
 //! Durability: `--snapshot-every K --snapshot-dir DIR` persists the
 //! engine every `K` epochs; `--stop-after J` aborts the replay after
 //! epoch `J` (a simulated crash — snapshots already on disk survive);
@@ -88,6 +96,10 @@ struct Options {
     inter_edges: usize,
     cross_fraction: f64,
     lease_fraction: f64,
+    trace_out: Option<String>,
+    trace_chrome: Option<String>,
+    metrics_out: Option<String>,
+    profile: bool,
 }
 
 impl Default for Options {
@@ -116,6 +128,10 @@ impl Default for Options {
             inter_edges: 0,
             cross_fraction: 0.0,
             lease_fraction: 0.5,
+            trace_out: None,
+            trace_chrome: None,
+            metrics_out: None,
+            profile: false,
         }
     }
 }
@@ -164,6 +180,30 @@ impl Sim {
         }
     }
 
+    fn events_dropped(&self) -> u64 {
+        match self {
+            Sim::Single(e) => e.events_dropped(),
+            Sim::Sharded(e) => e.events_dropped(),
+        }
+    }
+
+    /// Deployment-wide lease accounting: `(granted, used)` summed over
+    /// the shards' ledgers; `None` for a single engine (no leases).
+    fn lease_totals(&self) -> Option<(f64, f64)> {
+        match self {
+            Sim::Single(_) => None,
+            Sim::Sharded(e) => {
+                let ledger = e.ledger();
+                let (mut granted, mut used) = (0.0, 0.0);
+                for s in 0..e.shards() {
+                    granted += ledger.granted(s);
+                    used += ledger.used(s);
+                }
+                Some((granted, used))
+            }
+        }
+    }
+
     fn feasibility(&self, check_cumulative: bool) -> (bool, Option<bool>) {
         let (instance, active, cumulative) = match self {
             Sim::Single(e) => (e.instance(), e.active_solution(), e.cumulative_solution()),
@@ -206,6 +246,36 @@ fn trace_digest(trace: &[Vec<Arrival>]) -> u64 {
         }
     }
     h.finish()
+}
+
+/// Render one JSON object per completed epoch profile: wall-clock µs,
+/// the epoch-stage coverage ratio (open+plan+commit over wall), and
+/// every phase that saw activity in the epoch.
+fn profile_rows(snap: &ufp_obs::ObsSnapshot) -> Vec<String> {
+    snap.profiles
+        .iter()
+        .map(|p| {
+            let phases: Vec<String> = ufp_obs::Phase::ALL
+                .iter()
+                .filter(|ph| p.phase_hits[ph.index()] > 0)
+                .map(|ph| {
+                    format!(
+                        "\"{}\": {{\"us\": {}, \"hits\": {}}}",
+                        ph.name(),
+                        p.phase_ns[ph.index()] / 1_000,
+                        p.phase_hits[ph.index()]
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"epoch\": {}, \"wall_us\": {}, \"coverage\": {:.3}, \"phases\": {{{}}}}}",
+                p.epoch,
+                p.wall_ns / 1_000,
+                p.coverage(),
+                phases.join(", ")
+            )
+        })
+        .collect()
 }
 
 /// Serialize the simulation's own recovery state: the trace fingerprint
@@ -394,6 +464,10 @@ fn parse_options() -> Result<Options, String> {
                     return Err("--lease-fraction must lie in [0, 1]".to_string());
                 }
             }
+            "--trace-out" => options.trace_out = Some(value("--trace-out")?),
+            "--trace-chrome" => options.trace_chrome = Some(value("--trace-chrome")?),
+            "--metrics-out" => options.metrics_out = Some(value("--metrics-out")?),
+            "--profile" => options.profile = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -512,10 +586,24 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Observability: any of the export/profile flags turns the recorder
+    // on. Strictly out-of-band — the deterministic stdout document is
+    // byte-identical with it on or off (enforced in CI).
+    let obs = if options.trace_out.is_some()
+        || options.trace_chrome.is_some()
+        || options.metrics_out.is_some()
+        || options.profile
+    {
+        ufp_obs::Recorder::enabled()
+    } else {
+        ufp_obs::Recorder::off()
+    };
+    ufp_par::set_recorder(obs.clone());
     let engine_config = EngineConfig {
         events: EventLevel::Epoch,
         payments: payment_policy,
         selection,
+        obs: obs.clone(),
         ..EngineConfig::with_epsilon(options.epsilon).parallel(Pool::new(options.threads))
     };
     let digest = trace_digest(&trace);
@@ -713,6 +801,43 @@ fn main() -> ExitCode {
     let (active_ok, cumulative_ok) = engine.feasibility(options.churn.is_none());
     let feasible = active_ok && cumulative_ok.is_none_or(|c| c);
 
+    // Observability exports — side files, never part of the
+    // deterministic stdout document.
+    let obs_snapshot = obs.snapshot();
+    if let Some(snap) = &obs_snapshot {
+        let write = |path: &Option<String>, what: &str, body: String| -> Result<(), String> {
+            match path {
+                None => Ok(()),
+                Some(p) => {
+                    std::fs::write(p, body).map_err(|e| format!("cannot write {what} {p}: {e}"))
+                }
+            }
+        };
+        let wrote = write(
+            &options.trace_out,
+            "trace",
+            ufp_obs::export::spans_jsonl(snap),
+        )
+        .and_then(|()| {
+            write(
+                &options.trace_chrome,
+                "chrome trace",
+                ufp_obs::export::chrome_trace(snap),
+            )
+        })
+        .and_then(|()| {
+            write(
+                &options.metrics_out,
+                "metrics",
+                ufp_obs::export::metrics_json(snap),
+            )
+        });
+        if let Err(e) = wrote {
+            eprintln!("engine_sim: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     if options.json {
         let metrics = engine.metrics();
         let churn = match options.churn {
@@ -725,7 +850,8 @@ fn main() -> ExitCode {
              \"hotspots\": {}, \"eps\": {}, \"seed\": {}, \"process\": \"{}\", \
              \"churn\": {}, \"payments\": \"{}\", \"selection\": \"{}\", \"threads\": {}, \
              \"shards\": {}, \"partitioner\": \"{}\", \"communities\": {}, \
-             \"inter_edges\": {}, \"cross_fraction\": {}, \"lease_fraction\": {}}},",
+             \"inter_edges\": {}, \"cross_fraction\": {}, \"lease_fraction\": {}, \
+             \"selection_strategy\": \"{:?}\"}},",
             options.nodes,
             options.edges,
             options.epochs,
@@ -743,12 +869,13 @@ fn main() -> ExitCode {
             options.communities,
             options.inter_edges,
             options.cross_fraction,
-            options.lease_fraction
+            options.lease_fraction,
+            selection
         );
         println!(
             "  \"totals\": {{\"requests\": {}, \"accepted\": {}, \"rejected\": {}, \
              \"released\": {}, \"acceptance_rate\": {:.6}, \"value_admitted\": {:.6}, \
-             \"revenue\": {:.6}, \"utilization\": {:.6}, \
+             \"revenue\": {:.6}, \"utilization\": {:.6}, \"events_dropped\": {}, \
              \"stops\": {{\"exhausted\": {}, \"guard\": {}, \"nopath\": {}, \"cap\": {}}}}},",
             total_requests,
             metrics.accepted,
@@ -758,6 +885,7 @@ fn main() -> ExitCode {
             metrics.value_admitted,
             metrics.revenue,
             engine.total_utilization(),
+            engine.events_dropped(),
             stop_counts[0],
             stop_counts[1],
             stop_counts[2],
@@ -785,6 +913,17 @@ fn main() -> ExitCode {
                 .collect();
             println!("  \"shards_detail\": [{}],", rows.join(", "));
         }
+        // Deployment-wide lease accounting (sharded runs only;
+        // deterministic — CI filters it only in sharded-vs-single
+        // comparisons, where the single side has no leases at all).
+        if let Some((granted, used)) = engine.lease_totals() {
+            println!(
+                "  \"leases\": {{\"granted\": {:.6}, \"used\": {:.6}, \"utilization\": {:.6}}},",
+                granted,
+                used,
+                if granted > 0.0 { used / granted } else { 0.0 }
+            );
+        }
         println!("  \"feasible\": {feasible},");
         // Wall-clock block — the one non-deterministic part of the
         // document; strip it before byte-comparing runs.
@@ -799,14 +938,21 @@ fn main() -> ExitCode {
                     .join(", ")
             ),
         };
+        // Per-epoch phase breakdown (wall-clock; lives inside "timing"
+        // because it is measured, not deterministic).
+        let profile_json = match (&obs_snapshot, options.profile) {
+            (Some(snap), true) => format!(", \"profile\": [{}]", profile_rows(snap).join(", ")),
+            _ => String::new(),
+        };
         println!(
             "  \"timing\": {{\"elapsed_s\": {:.3}, \"p50_us\": {}, \"p99_us\": {}, \
-             \"requests_per_s\": {:.1}{}}}",
+             \"requests_per_s\": {:.1}{}{}}}",
             replay_elapsed.as_secs_f64(),
             metrics.p50_latency_us().unwrap_or(0),
             metrics.p99_latency_us().unwrap_or(0),
             metrics.requests_per_second().unwrap_or(0.0),
-            shard_timing
+            shard_timing,
+            profile_json
         );
         println!("}}");
         return if feasible {
@@ -894,6 +1040,11 @@ fn main() -> ExitCode {
     );
     kv(
         &mut summary,
+        "events dropped",
+        engine.events_dropped().to_string(),
+    );
+    kv(
+        &mut summary,
         "stops exh/guard/nopath/cap",
         format!(
             "{}/{}/{}/{}",
@@ -920,6 +1071,22 @@ fn main() -> ExitCode {
         metrics.p99_latency_us().unwrap_or(0),
         metrics.requests_per_second().unwrap_or(0.0),
     );
+    if options.profile {
+        if let Some(snap) = &obs_snapshot {
+            for p in &snap.profiles {
+                eprintln!(
+                    "profile epoch {}: wall {} µs, open {} µs, plan {} µs, \
+                     commit {} µs, coverage {:.1}%",
+                    p.epoch,
+                    p.wall_ns / 1_000,
+                    p.phase_ns[ufp_obs::Phase::EpochOpen.index()] / 1_000,
+                    p.phase_ns[ufp_obs::Phase::EpochPlan.index()] / 1_000,
+                    p.phase_ns[ufp_obs::Phase::EpochCommit.index()] / 1_000,
+                    100.0 * p.coverage(),
+                );
+            }
+        }
+    }
 
     if feasible {
         ExitCode::SUCCESS

@@ -23,6 +23,7 @@
 use ufp_netgraph::dijkstra::{Dijkstra, Targets};
 use ufp_netgraph::ids::NodeId;
 use ufp_netgraph::path::Path;
+use ufp_obs::{Phase, Recorder};
 use ufp_par::Pool;
 
 use crate::instance::UfpInstance;
@@ -51,6 +52,11 @@ pub struct BoundedUfpConfig {
     /// How each iteration's argmin is found. Both strategies are
     /// bit-identical in every output; see [`SelectionStrategy`].
     pub selection: SelectionStrategy,
+    /// Observability recorder (off by default). Strictly out-of-band:
+    /// it sees guard slack, dual-weight growth, and selection phases,
+    /// and feeds nothing back — runs are bit-identical with it on or
+    /// off.
+    pub obs: Recorder,
 }
 
 impl Default for BoundedUfpConfig {
@@ -60,6 +66,7 @@ impl Default for BoundedUfpConfig {
             pool: Pool::sequential(),
             respect_residual: false,
             selection: SelectionStrategy::default(),
+            obs: Recorder::off(),
         }
     }
 }
@@ -86,6 +93,12 @@ impl BoundedUfpConfig {
     /// Same configuration with the given selection strategy.
     pub fn with_selection(mut self, selection: SelectionStrategy) -> Self {
         self.selection = selection;
+        self
+    }
+
+    /// Same configuration with an observability recorder attached.
+    pub fn with_obs(mut self, obs: Recorder) -> Self {
+        self.obs = obs;
         self
     }
 }
@@ -629,25 +642,28 @@ fn run_epoch_loop_fanout(
         // one targeted re-run for the winner. Both fan-out variants
         // (grouped and residual-gated) follow the same model.
         let collect_paths = state.remaining.len() < instance.graph().num_nodes();
-        let (findings, mut paths) = if config.respect_residual {
-            shortest_findings_residual(
-                instance,
-                &state.remaining,
-                &state.weights,
-                &state.residual,
-                usable,
-                &config.pool,
-                collect_paths,
-            )
-        } else {
-            shortest_findings_grouped(
-                instance,
-                &state.remaining,
-                &state.weights,
-                usable,
-                &config.pool,
-                collect_paths,
-            )
+        let (findings, mut paths) = {
+            let _span = config.obs.span(Phase::SelectionDijkstra);
+            if config.respect_residual {
+                shortest_findings_residual(
+                    instance,
+                    &state.remaining,
+                    &state.weights,
+                    &state.residual,
+                    usable,
+                    &config.pool,
+                    collect_paths,
+                )
+            } else {
+                shortest_findings_grouped(
+                    instance,
+                    &state.remaining,
+                    &state.weights,
+                    usable,
+                    &config.pool,
+                    collect_paths,
+                )
+            }
         };
 
         // Select r̂ minimizing (d/v)·|p| — deterministic tie-break on
@@ -738,6 +754,7 @@ fn run_epoch_loop_incremental(
                 usable,
                 respect_residual: config.respect_residual,
                 pool: &config.pool,
+                obs: &config.obs,
             };
             selector.select(&state.remaining, &inputs)
         };
@@ -854,6 +871,20 @@ fn run_epoch(
     let LoopEnd::Stopped(stop_reason) = end else {
         unreachable!("unwatched runs always stop")
     };
+    if config.obs.is_enabled() {
+        // The paper's internal signals, gauged once per epoch run:
+        // remaining guard headroom `ε(B−1) − ln D₁`, dual-weight
+        // growth, and how often the log-sum-exp scale re-centered.
+        // Counterfactual payment probes (the resume entry points) are
+        // deliberately not gauged — they would drown the real epoch's
+        // signal in replay noise.
+        let obs = &config.obs;
+        obs.gauge_set("core.guard_slack", ln_guard - state.weights.ln_dual_sum());
+        obs.gauge_set("core.dual_weight_max_ln_y", state.weights.max_ln_y());
+        obs.gauge_set("core.weight_recenters", state.weights.recenters() as f64);
+        obs.counter_add("core.epoch_runs", 1);
+        obs.counter_add("core.steps_applied", state.steps_done as u64);
+    }
     finish_outcome(config, ctx.is_some(), state, stop_reason, ln_guard)
 }
 

@@ -48,6 +48,7 @@ use ufp_netgraph::heap::IndexedMinHeap;
 use ufp_netgraph::ids::{EdgeId, NodeId};
 use ufp_netgraph::path::Path;
 use ufp_netgraph::pathcache::PathCache;
+use ufp_obs::{Phase, Recorder};
 use ufp_par::Pool;
 
 use crate::instance::UfpInstance;
@@ -131,6 +132,8 @@ pub(crate) struct SelectInputs<'a> {
     pub usable: Option<&'a [bool]>,
     pub respect_residual: bool,
     pub pool: &'a Pool,
+    /// Observability handle (off by default; never affects selection).
+    pub obs: &'a Recorder,
 }
 
 impl SelectInputs<'_> {
@@ -199,6 +202,10 @@ impl IncrementalSelector {
             self.refresh_eager(inputs);
             self.must_refresh_all = false;
         }
+        // `selection.heap` covers the lazy pop loop (peeks, staleness
+        // checks, re-inserts); the per-request re-queries it triggers
+        // nest inside it as `selection.dijkstra` spans.
+        let _heap = inputs.obs.span(Phase::SelectionHeap);
         loop {
             let (slot, key) = self.heap.peek()?;
             if self.dirty[slot as usize] {
@@ -259,6 +266,7 @@ impl IncrementalSelector {
     /// dirty flag; evicts it permanently if it no longer has a path
     /// (monotonicity: paths never come back within an epoch).
     fn refresh_one(&mut self, slot: u32, inputs: &SelectInputs<'_>) {
+        let _span = inputs.obs.span(Phase::SelectionDijkstra);
         let s = slot as usize;
         debug_assert!(self.alive[s] && self.dirty[s]);
         self.dirty[s] = false;
@@ -295,6 +303,7 @@ impl IncrementalSelector {
     /// requests share one Dijkstra (unless residual-gated, where the
     /// filter is per-request) and groups fan out over the worker pool.
     fn refresh_eager(&mut self, inputs: &SelectInputs<'_>) {
+        let _span = inputs.obs.span(Phase::SelectionDirtyRefresh);
         let mut rids: Vec<RequestId> = Vec::with_capacity(self.dirty_count);
         for slot in self.dirty_list.drain(..) {
             if self.dirty[slot as usize] {

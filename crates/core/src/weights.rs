@@ -71,6 +71,9 @@ pub struct DualWeights {
     /// out of `D₁` so a full link cannot trip the guard for the whole
     /// residual network.
     active: Option<Vec<bool>>,
+    /// Re-centerings performed (observability only — not part of the
+    /// persisted [`DualWeightsState`]; import restarts the count).
+    recenters: u64,
 }
 
 impl DualWeights {
@@ -134,6 +137,7 @@ impl DualWeights {
             max_ln_y,
             caps,
             active,
+            recenters: 0,
         }
     }
 
@@ -147,6 +151,20 @@ impl DualWeights {
     #[inline]
     pub fn shift(&self) -> f64 {
         self.shift
+    }
+
+    /// Running maximum of `ln y_e` over active edges — the dual-weight
+    /// growth signal the observability layer gauges per epoch.
+    #[inline]
+    pub fn max_ln_y(&self) -> f64 {
+        self.max_ln_y
+    }
+
+    /// Log-sum-exp re-centerings performed on this weight vector so
+    /// far (resets on [`DualWeights::import`]).
+    #[inline]
+    pub fn recenters(&self) -> u64 {
+        self.recenters
     }
 
     /// `ln y_e`, exact (masked edges hold an inert `0.0` placeholder).
@@ -175,6 +193,7 @@ impl DualWeights {
     }
 
     fn recenter(&mut self) {
+        self.recenters += 1;
         self.shift = self.max_ln_y;
         for i in 0..self.w.len() {
             self.w[i] = if self.is_active(i) {
@@ -262,6 +281,7 @@ impl DualWeights {
             max_ln_y,
             caps,
             active,
+            recenters: 0,
         })
     }
 

@@ -2,6 +2,7 @@
 
 use ufp_core::{BoundedUfpConfig, SelectionStrategy};
 use ufp_mechanism::PaymentConfig;
+use ufp_obs::Recorder;
 use ufp_par::Pool;
 
 /// How winners are charged.
@@ -147,6 +148,13 @@ pub struct EngineConfig {
     /// [`crate::Engine::drain_events`] regularly — the cap is a memory
     /// backstop, not a delivery guarantee.
     pub event_capacity: usize,
+    /// Observability recorder threaded through the epoch pipeline
+    /// (spans, domain gauges, epoch profiles). Off by default and
+    /// strictly out-of-band: every deterministic output is
+    /// bit-identical with it on or off, and it is **excluded from the
+    /// snapshot config fingerprint** — a snapshot taken while traced
+    /// restores under an untraced engine and vice versa.
+    pub obs: Recorder,
 }
 
 impl Default for EngineConfig {
@@ -160,6 +168,7 @@ impl Default for EngineConfig {
             selection: SelectionStrategy::default(),
             events: EventLevel::Epoch,
             event_capacity: 1 << 16,
+            obs: Recorder::off(),
         }
     }
 }
@@ -195,11 +204,18 @@ impl EngineConfig {
         self
     }
 
+    /// Same configuration with an observability recorder attached.
+    pub fn with_obs(mut self, obs: Recorder) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// The per-epoch allocator configuration this engine drives.
     pub fn allocator_config(&self) -> BoundedUfpConfig {
         let mut cfg = BoundedUfpConfig::with_epsilon(self.epsilon);
         cfg.pool = self.pool;
         cfg.selection = self.selection;
+        cfg.obs = self.obs.clone();
         cfg
     }
 

@@ -1,7 +1,7 @@
 //! The streaming admission-control engine.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ufp_core::{
     bounded_ufp_epoch, bounded_ufp_epoch_resume_watch, bounded_ufp_epoch_traced, BoundedUfpConfig,
@@ -11,6 +11,7 @@ use ufp_core::{
 use ufp_mechanism::{critical_value, critical_value_from_probe};
 use ufp_netgraph::graph::Graph;
 use ufp_netgraph::residual::ResidualCaps;
+use ufp_obs::Phase;
 
 use crate::allocator::EpochAllocator;
 use crate::codec::CodecError;
@@ -266,8 +267,15 @@ impl Engine {
     /// engines' epochs in parallel, reconcile them globally, and only
     /// then commit each engine's surviving prefix.
     pub fn submit_batch(&mut self, arrivals: &[Arrival]) -> EpochReport {
+        // Bracket the whole epoch for the profile table: open + plan +
+        // commit partition this scope, so the recorded phase sum tracks
+        // the bracket's wall time (the `--profile` coverage invariant).
+        let obs = self.config.obs.clone();
+        obs.epoch_begin(self.epoch + 1);
         let plan = self.plan_epoch(arrivals, None);
-        self.commit_epoch(plan, None)
+        let report = self.commit_epoch(plan, None);
+        obs.epoch_end(report.epoch);
+        report
     }
 
     /// Open a new epoch and run its allocation **without committing**:
@@ -303,6 +311,8 @@ impl Engine {
     /// [`Engine::plan_epoch_in`]. Exactly one `plan_epoch_in` must
     /// follow each `open_epoch`.
     pub fn open_epoch(&mut self, arrivals: usize) -> Vec<usize> {
+        let obs = self.config.obs.clone();
+        let _span = obs.span(Phase::EpochOpen);
         let opened = Instant::now();
         self.epoch += 1;
         let epoch = self.epoch;
@@ -329,6 +339,8 @@ impl Engine {
         released: Vec<usize>,
         overrides: Option<&EpochOverride<'_>>,
     ) -> EpochPlan {
+        let obs = self.config.obs.clone();
+        let _span = obs.span(Phase::EpochPlan);
         // Backdate by the epoch-open (TTL release) cost so the latency
         // sample covers the same work as the pre-split submit_batch.
         let release_cost = std::mem::take(&mut self.pending_release_cost);
@@ -423,6 +435,8 @@ impl Engine {
     /// kept prefix is reconstructed bit-identically from the resume
     /// trace). `None` commits every planned admission.
     pub fn commit_epoch(&mut self, plan: EpochPlan, keep: Option<usize>) -> EpochReport {
+        let obs = self.config.obs.clone();
+        let _span = obs.span(Phase::EpochCommit);
         let EpochPlan {
             epoch,
             started,
@@ -557,6 +571,9 @@ impl Engine {
             revenue,
             elapsed,
         );
+        if self.config.obs.is_enabled() {
+            self.record_commit_gauges(elapsed);
+        }
         EpochReport {
             epoch,
             arrivals: arrivals.len(),
@@ -570,6 +587,41 @@ impl Engine {
             total_utilization: self.residual.total_utilization(),
             elapsed,
         }
+    }
+
+    /// Per-epoch domain gauges, recorded only when the recorder is on
+    /// (the gauge math itself — a pass over the edges — must not run on
+    /// untraced epochs). Edges are grouped into capacity octaves
+    /// (`class k` = capacities in `[2^k, 2^{k+1})`), the resolution at
+    /// which the paper's regime bound `B` moves: each class's gauge is
+    /// its mean utilization, making "which capacity tier is filling up"
+    /// a first-class signal.
+    fn record_commit_gauges(&self, elapsed: Duration) {
+        let obs = &self.config.obs;
+        let mut class_used: std::collections::BTreeMap<i32, (f64, f64)> =
+            std::collections::BTreeMap::new();
+        let residuals = self.residual.residuals();
+        for (e, edge) in self.graph.edges().iter().enumerate() {
+            let cap = edge.capacity;
+            if cap <= 0.0 {
+                continue;
+            }
+            let class = cap.log2().floor() as i32;
+            let entry = class_used.entry(class).or_insert((0.0, 0.0));
+            entry.0 += (cap - residuals[e]).max(0.0) / cap;
+            entry.1 += 1.0;
+        }
+        for (class, (util_sum, edges)) in class_used {
+            obs.gauge_set(&format!("residual.util.c{class}"), util_sum / edges);
+        }
+        obs.gauge_set(
+            "engine.total_utilization",
+            self.residual.total_utilization(),
+        );
+        obs.gauge_set("engine.min_residual", self.residual.min_residual());
+        obs.gauge_set("engine.events_dropped", self.events_dropped as f64);
+        obs.gauge_set("engine.active_admissions", self.admissions.len() as f64);
+        obs.histogram_record("engine.epoch_wall_us", elapsed.as_micros() as u64);
     }
 
     /// Convenience: submit permanent (no-TTL) requests.
@@ -629,7 +681,16 @@ impl Engine {
                     carry: ctx.carry,
                     routable: ctx.routable,
                 };
+                let full_len = solution.routed.len() as u64;
                 for agent in winners {
+                    // Naive probes replay the whole epoch: the suffix
+                    // attribute is the full step count, which is what
+                    // the resumed policy's shrinking suffixes compare
+                    // against in a trace viewer.
+                    let _span =
+                        self.config
+                            .obs
+                            .span_attr(Phase::PaymentProbe, "suffix_len", full_len);
                     payments[agent] =
                         critical_value(&allocator, epoch_instance, agent, &payment_config);
                 }
@@ -652,11 +713,19 @@ impl Engine {
                 // way — parallel and sequential path fan-outs are
                 // bit-identical by `ufp_par`'s ordered reduction.
                 let probe_config = self.allocator_config.clone();
+                let total_steps = solution.routed.len();
                 let resumed: Vec<f64> = self.config.pool.map(&winners, |_, &agent| {
                     let rid = RequestId(agent as u32);
                     let req = *epoch_instance.request(rid);
                     let step = *step_of.get(&rid).expect("winner missing from resume trace");
                     debug_assert_eq!(trace.selection_step(rid), Some(step));
+                    // Suffix length = steps the probe may have to replay
+                    // past its resume point; late winners probe cheap.
+                    let _span = probe_config.obs.span_attr(
+                        Phase::PaymentProbe,
+                        "suffix_len",
+                        (total_steps - step) as u64,
+                    );
                     // State at the step that selected this winner: every
                     // probe declares a lower value, so no earlier
                     // selection can change (Lemma 3.4). Selected probes

@@ -336,6 +336,90 @@ mod tests {
     }
 
     #[test]
+    fn empty_window_has_no_percentiles() {
+        let m = EngineMetrics::default();
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert!(m.latency_percentile_us(p).is_none());
+        }
+        assert!(m.p50_latency_us().is_none());
+        assert!(m.p99_latency_us().is_none());
+        assert!(m.last_latency_us().is_none());
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut m = EngineMetrics::default();
+        m.record_batch(1, 1, 0, 1.0, 0.0, Duration::from_micros(777));
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(m.latency_percentile_us(p), Some(777));
+        }
+        assert_eq!(m.last_latency_us(), Some(777));
+        assert_eq!(m.sorted_latency_us, vec![777]);
+    }
+
+    #[test]
+    fn exact_ring_wrap_at_latency_window() {
+        // Fill to exactly LATENCY_WINDOW: the cursor wraps to 0 and the
+        // window is complete with no eviction yet.
+        let mut m = EngineMetrics::default();
+        for i in 0..LATENCY_WINDOW {
+            m.record_batch(1, 1, 0, 1.0, 0.0, Duration::from_micros(i as u64));
+        }
+        assert_eq!(m.batch_latency_us.len(), LATENCY_WINDOW);
+        assert_eq!(m.latency_cursor, 0);
+        assert_eq!(m.latency_percentile_us(0.0), Some(0));
+        assert_eq!(
+            m.latency_percentile_us(100.0),
+            Some((LATENCY_WINDOW - 1) as u64)
+        );
+        assert_eq!(m.last_latency_us(), Some((LATENCY_WINDOW - 1) as u64));
+        // The very next record evicts exactly the oldest sample (0).
+        m.record_batch(
+            1,
+            1,
+            0,
+            1.0,
+            0.0,
+            Duration::from_micros(LATENCY_WINDOW as u64),
+        );
+        assert_eq!(m.sorted_latency_us.len(), LATENCY_WINDOW);
+        assert_eq!(m.latency_cursor, 1);
+        assert_eq!(m.latency_percentile_us(0.0), Some(1));
+        assert_eq!(m.latency_percentile_us(100.0), Some(LATENCY_WINDOW as u64));
+    }
+
+    #[test]
+    fn sorted_window_invariant_survives_from_snapshot() {
+        // A restored metrics object must keep its incrementally
+        // maintained sorted view equal to a fresh sort of the ring
+        // buffer as recording continues through wrap-around (duplicate
+        // values included, to exercise the tie-handling insert/remove).
+        let mut m = EngineMetrics::default();
+        for i in 0..(LATENCY_WINDOW - 3) {
+            m.record_batch(1, 1, 0, 1.0, 0.0, Duration::from_micros((i % 17) as u64));
+        }
+        let mut restored = EngineMetrics::from_snapshot(
+            m.epochs,
+            m.arrivals,
+            m.accepted,
+            m.rejected,
+            m.released,
+            m.value_admitted,
+            m.revenue,
+            m.total_latency_us,
+            m.latency_cursor,
+            m.batch_latency_us.clone(),
+        )
+        .expect("valid snapshot");
+        for i in 0..20u64 {
+            restored.record_batch(1, 1, 0, 1.0, 0.0, Duration::from_micros(i % 5));
+            let mut expect = restored.batch_latency_us.clone();
+            expect.sort_unstable();
+            assert_eq!(restored.sorted_latency_us, expect, "after record {i}");
+        }
+    }
+
+    #[test]
     fn empty_rates() {
         let m = EngineMetrics::default();
         assert_eq!(m.acceptance_rate(), 0.0);

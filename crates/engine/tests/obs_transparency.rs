@@ -1,0 +1,111 @@
+//! Observability non-perturbation: a fully traced engine run must be
+//! **bit-identical** to an untraced one on every deterministic output —
+//! admissions, paths, payments, events, residuals, carry. The recorder
+//! is out-of-band by contract (`ufp_obs` crate docs); this test enforces
+//! the contract at the engine layer, complementing the CI smoke job that
+//! byte-diffs `engine_sim --json` documents.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ufp_core::Request;
+use ufp_engine::{Arrival, Engine, EngineConfig, PaymentPolicy};
+use ufp_netgraph::generators;
+use ufp_netgraph::ids::NodeId;
+use ufp_obs::{Phase, Recorder};
+
+fn replay(config: EngineConfig) -> Engine {
+    let mut rng = StdRng::seed_from_u64(42);
+    let graph = generators::gnm_digraph(40, 160, (20.0, 40.0), &mut rng);
+    let mut engine = Engine::new(graph, config);
+    for _ in 0..6 {
+        let batch: Vec<Arrival> = (0..30)
+            .map(|_| {
+                let src = NodeId(rng.random_range(0..40u32));
+                let mut dst = NodeId(rng.random_range(0..40u32));
+                if dst == src {
+                    dst = NodeId((dst.0 + 1) % 40);
+                }
+                let req = Request::new(
+                    src,
+                    dst,
+                    rng.random_range(0.2..=1.0),
+                    rng.random_range(0.5..4.0),
+                );
+                if rng.random_bool(0.5) {
+                    Arrival::with_ttl(req, rng.random_range(1..4))
+                } else {
+                    Arrival::permanent(req)
+                }
+            })
+            .collect();
+        engine.submit_batch(&batch);
+    }
+    engine
+}
+
+#[test]
+fn traced_run_is_bit_identical_to_untraced() {
+    let base = EngineConfig::with_epsilon(0.7).with_payments(PaymentPolicy::critical_value());
+    let obs = Recorder::enabled();
+    let plain = replay(base.clone());
+    let traced = replay(base.with_obs(obs.clone()));
+
+    // Every deterministic output matches bit for bit.
+    assert_eq!(plain.epoch(), traced.epoch());
+    assert_eq!(plain.admissions().len(), traced.admissions().len());
+    for (a, b) in plain.admissions().iter().zip(traced.admissions()) {
+        assert_eq!(a.request, b.request);
+        assert_eq!(a.path.edges(), b.path.edges());
+        assert_eq!(a.epoch, b.epoch);
+        assert_eq!(a.expires_at, b.expires_at);
+        assert_eq!(a.payment.to_bits(), b.payment.to_bits());
+        assert_eq!(a.released, b.released);
+    }
+    assert_eq!(plain.events().len(), traced.events().len());
+    assert_eq!(
+        plain.residual().residuals().len(),
+        traced.residual().residuals().len()
+    );
+    for (r, s) in plain
+        .residual()
+        .residuals()
+        .iter()
+        .zip(traced.residual().residuals())
+    {
+        assert_eq!(r.to_bits(), s.to_bits());
+    }
+    assert_eq!(
+        plain.metrics().value_admitted.to_bits(),
+        traced.metrics().value_admitted.to_bits()
+    );
+    assert_eq!(
+        plain.metrics().revenue.to_bits(),
+        traced.metrics().revenue.to_bits()
+    );
+
+    // And the recorder actually observed the run: epoch brackets with
+    // the open/plan/commit trio, selection activity, payment probes,
+    // and the engine's domain gauges.
+    let snap = obs.snapshot().expect("enabled recorder snapshots");
+    assert_eq!(snap.profiles.len(), 6);
+    for stage in [Phase::EpochOpen, Phase::EpochPlan, Phase::EpochCommit] {
+        assert_eq!(snap.phase_hits[stage.index()], 6, "{}", stage.name());
+    }
+    assert!(snap.phase_hits[Phase::SelectionDijkstra.index()] > 0);
+    assert!(snap.phase_hits[Phase::PaymentProbe.index()] > 0);
+    let gauge_names: Vec<&str> = snap.gauges.iter().map(|(n, _)| n.as_str()).collect();
+    for expected in [
+        "core.guard_slack",
+        "core.dual_weight_max_ln_y",
+        "engine.total_utilization",
+        "engine.min_residual",
+    ] {
+        assert!(gauge_names.contains(&expected), "missing gauge {expected}");
+    }
+    // Every profile's epoch-stage coverage is a sane fraction.
+    for p in &snap.profiles {
+        let c = p.coverage();
+        assert!((0.0..=1.5).contains(&c), "coverage {c} out of range");
+    }
+}

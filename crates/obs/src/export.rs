@@ -1,0 +1,240 @@
+//! Serializers for [`ObsSnapshot`](crate::ObsSnapshot): span JSONL, a
+//! chrome://tracing-compatible trace file, and a metrics-registry JSON
+//! dump. All output is **out-of-band telemetry** — none of it may be
+//! embedded in a deterministic report (timestamps and durations are
+//! wall-clock and vary run to run).
+
+use crate::phase::Phase;
+use crate::ObsSnapshot;
+use std::fmt::Write as _;
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // Bare integers are valid JSON numbers, but keep floats
+        // visually typed for downstream tooling.
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// One JSON object per line, one line per retained span:
+/// `{"phase":"epoch.plan","ts_us":…,"dur_us":…,"tid":…}` with the
+/// optional attribute inlined as its own key. A final `meta` line
+/// carries the drop counter so consumers can detect truncation.
+pub fn spans_jsonl(snap: &ObsSnapshot) -> String {
+    let mut out = String::new();
+    for s in &snap.spans {
+        let _ = write!(
+            out,
+            "{{\"phase\":\"{}\",\"ts_us\":{},\"dur_us\":{},\"tid\":{}",
+            s.phase.name(),
+            s.start_ns / 1_000,
+            s.dur_ns / 1_000,
+            s.tid
+        );
+        if let Some((name, value)) = s.attr {
+            let _ = write!(out, ",\"{}\":{}", escape(name), value);
+        }
+        out.push_str("}\n");
+    }
+    let _ = writeln!(
+        out,
+        "{{\"meta\":\"ufp_obs\",\"spans\":{},\"spans_dropped\":{}}}",
+        snap.spans.len(),
+        snap.spans_dropped
+    );
+    out
+}
+
+/// A chrome://tracing (and Perfetto) compatible JSON document: one
+/// complete event (`"ph":"X"`) per span, microsecond timestamps, the
+/// recorder's dense thread ids as `tid`.
+pub fn chrome_trace(snap: &ObsSnapshot) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    for s in &snap.spans {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"ufp\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{}",
+            s.phase.name(),
+            s.tid,
+            s.start_ns / 1_000,
+            s.dur_ns / 1_000
+        );
+        if let Some((name, value)) = s.attr {
+            let _ = write!(out, ",\"args\":{{\"{}\":{}}}", escape(name), value);
+        }
+        out.push('}');
+    }
+    let _ = write!(
+        out,
+        "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"spans_dropped\":\"{}\"}}}}\n",
+        snap.spans_dropped
+    );
+    out
+}
+
+/// The full registry plus phase totals and epoch profiles as one JSON
+/// document — the `--metrics-out` payload.
+pub fn metrics_json(snap: &ObsSnapshot) -> String {
+    let mut out = String::from("{\n  \"counters\": {");
+    for (i, (name, value)) in snap.counters.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(out, "{sep}\n    \"{}\": {}", escape(name), value);
+    }
+    out.push_str("\n  },\n  \"gauges\": {");
+    for (i, (name, value)) in snap.gauges.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(out, "{sep}\n    \"{}\": {}", escape(name), fmt_f64(*value));
+    }
+    out.push_str("\n  },\n  \"histograms\": {");
+    for (i, (name, count, sum, buckets)) in snap.histograms.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"buckets\": [",
+            escape(name),
+            count,
+            sum
+        );
+        for (j, (lo, hi, hits)) in buckets.iter().enumerate() {
+            let sep = if j == 0 { "" } else { ", " };
+            let _ = write!(out, "{sep}[{lo}, {hi}, {hits}]");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n  },\n  \"phases\": {");
+    for (i, p) in Phase::ALL.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    \"{}\": {{\"total_us\": {}, \"spans\": {}}}",
+            p.name(),
+            snap.phase_ns[p.index()] / 1_000,
+            snap.phase_hits[p.index()]
+        );
+    }
+    let _ = write!(
+        out,
+        "\n  }},\n  \"spans_retained\": {},\n  \"spans_dropped\": {},\n  \"epoch_profiles\": [",
+        snap.spans.len(),
+        snap.spans_dropped
+    );
+    for (i, prof) in snap.profiles.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    {{\"epoch\": {}, \"wall_us\": {}, \"coverage\": {}, \"phases\": {{",
+            prof.epoch,
+            prof.wall_ns / 1_000,
+            fmt_f64(prof.coverage())
+        );
+        let mut first = true;
+        for p in Phase::ALL {
+            if prof.phase_hits[p.index()] == 0 && prof.phase_ns[p.index()] == 0 {
+                continue;
+            }
+            let sep = if first { "" } else { ", " };
+            first = false;
+            let _ = write!(
+                out,
+                "{sep}\"{}\": [{}, {}]",
+                p.name(),
+                prof.phase_ns[p.index()] / 1_000,
+                prof.phase_hits[p.index()]
+            );
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Phase, Recorder};
+
+    fn sample_snapshot() -> ObsSnapshot {
+        let r = Recorder::enabled();
+        r.epoch_begin(0);
+        {
+            let _g = r.span(Phase::EpochPlan);
+        }
+        {
+            let _g = r.span_attr(Phase::PaymentProbe, "suffix_len", 9);
+        }
+        r.epoch_end(0);
+        r.counter_add("par.steals", 3);
+        r.gauge_set("engine.guard_slack", 1.5);
+        r.histogram_record("probe.suffix", 9);
+        r.snapshot().unwrap()
+    }
+
+    #[test]
+    fn jsonl_has_one_object_per_span_plus_meta() {
+        let snap = sample_snapshot();
+        let text = spans_jsonl(&snap);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), snap.spans.len() + 1);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(lines[1].contains("\"suffix_len\":9"));
+        assert!(lines.last().unwrap().contains("\"spans_dropped\":0"));
+    }
+
+    #[test]
+    fn chrome_trace_is_complete_events() {
+        let snap = sample_snapshot();
+        let text = chrome_trace(&snap);
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert_eq!(text.matches("\"ph\":\"X\"").count(), snap.spans.len());
+        assert!(text.contains("\"name\":\"epoch.plan\""));
+        assert!(text.contains("\"args\":{\"suffix_len\":9}"));
+    }
+
+    #[test]
+    fn metrics_json_carries_registry_and_profiles() {
+        let snap = sample_snapshot();
+        let text = metrics_json(&snap);
+        assert!(text.contains("\"par.steals\": 3"));
+        assert!(text.contains("\"engine.guard_slack\": 1.5"));
+        assert!(text.contains("\"probe.suffix\": {\"count\": 1, \"sum\": 9"));
+        assert!(text.contains("\"epoch\": 0"));
+        assert!(text.contains("\"payment.probe\""));
+    }
+
+    #[test]
+    fn escaping_and_float_formatting() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(fmt_f64(2.0), "2.0");
+        assert_eq!(fmt_f64(0.25), "0.25");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+    }
+}

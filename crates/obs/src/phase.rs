@@ -1,0 +1,127 @@
+//! The span taxonomy: every phase the pipeline can spend time in.
+//!
+//! Phases are a closed enum rather than free-form strings so the hot
+//! path can accumulate into a fixed-size atomic array (no hashing, no
+//! locking) and so the set of observable phases is reviewable in one
+//! place. The dotted names mirror the layer that owns each phase:
+//!
+//! | prefix       | layer        | what it measures                         |
+//! |--------------|--------------|------------------------------------------|
+//! | `epoch.*`    | `ufp_engine` | the three stages of one engine epoch     |
+//! | `selection.*`| `ufp_core`   | the incremental selection loop internals |
+//! | `payment.*`  | `ufp_engine` | one critical-value bisection probe       |
+//! | `shard.*`    | `ufp_shard`  | the sharded pipeline's own stages        |
+//! | `par.*`      | `ufp_par`    | pool fan-out and help-first stealing     |
+//!
+//! `epoch.open/plan/commit` partition an engine epoch end to end (the
+//! other phases nest inside them or, for `shard.*`, run between per-
+//! shard epochs), so `Σ epoch.* ≈ epoch wall time` is the profile
+//! invariant `engine_sim --profile` reports against.
+
+/// One pipeline phase. `as usize` is a dense index into per-phase
+/// accumulator arrays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Phase {
+    /// TTL releases + residual re-derivation at the top of an epoch.
+    EpochOpen,
+    /// The Bounded-UFP(ε) allocation loop over the epoch's batch.
+    EpochPlan,
+    /// Payments, residual commit, events, metrics at the epoch tail.
+    EpochCommit,
+    /// One grouped shortest-path recomputation (lazy, per heap top).
+    SelectionDijkstra,
+    /// Lazy-heap maintenance in the incremental selection loop.
+    SelectionHeap,
+    /// One eager grouped refresh of the dirty set (parallel fan-out).
+    SelectionDirtyRefresh,
+    /// One critical-value bisection probe (attr: resumed suffix length).
+    PaymentProbe,
+    /// Boundary-edge lease computation before parallel shard epochs.
+    ShardLease,
+    /// Deterministic merge-replay of shard plans into the global order.
+    ShardMergeReplay,
+    /// Cross-shard request routing against full global residuals.
+    ShardCrossRoute,
+    /// One pool fan-out (`map`/`map_mut`/... dispatch + join).
+    ParDispatch,
+    /// One job executed by a waiter via help-first stealing.
+    ParSteal,
+}
+
+/// Number of phases (size of the dense accumulator arrays).
+pub const PHASE_COUNT: usize = 12;
+
+impl Phase {
+    /// Every phase, in dense-index order.
+    pub const ALL: [Phase; PHASE_COUNT] = [
+        Phase::EpochOpen,
+        Phase::EpochPlan,
+        Phase::EpochCommit,
+        Phase::SelectionDijkstra,
+        Phase::SelectionHeap,
+        Phase::SelectionDirtyRefresh,
+        Phase::PaymentProbe,
+        Phase::ShardLease,
+        Phase::ShardMergeReplay,
+        Phase::ShardCrossRoute,
+        Phase::ParDispatch,
+        Phase::ParSteal,
+    ];
+
+    /// Dense index (0-based, stable across a build).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The dotted external name used in every export format.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::EpochOpen => "epoch.open",
+            Phase::EpochPlan => "epoch.plan",
+            Phase::EpochCommit => "epoch.commit",
+            Phase::SelectionDijkstra => "selection.dijkstra",
+            Phase::SelectionHeap => "selection.heap",
+            Phase::SelectionDirtyRefresh => "selection.dirty_refresh",
+            Phase::PaymentProbe => "payment.probe",
+            Phase::ShardLease => "shard.lease",
+            Phase::ShardMergeReplay => "shard.merge_replay",
+            Phase::ShardCrossRoute => "shard.cross_route",
+            Phase::ParDispatch => "par.dispatch",
+            Phase::ParSteal => "par.steal",
+        }
+    }
+
+    /// True for the three phases that partition an engine epoch end to
+    /// end (the profile-coverage trio; everything else nests inside
+    /// them or runs at the sharded layer between them).
+    #[inline]
+    pub fn is_epoch_stage(self) -> bool {
+        matches!(
+            self,
+            Phase::EpochOpen | Phase::EpochPlan | Phase::EpochCommit
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_indices_match_all_order() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_dotted() {
+        let mut seen = std::collections::HashSet::new();
+        for p in Phase::ALL {
+            assert!(p.name().contains('.'), "{}", p.name());
+            assert!(seen.insert(p.name()), "duplicate name {}", p.name());
+        }
+    }
+}

@@ -45,11 +45,46 @@
 //! provide, amortized over one thread spawn per process instead of one
 //! per call.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
+use ufp_obs::{Phase, Recorder};
+
+/// Jobs currently enqueued (or started but not yet decremented) on the
+/// global pool — the `par.queue_depth` gauge source. Maintained
+/// unconditionally (one relaxed atomic per *chunk job*, not per item,
+/// which is noise next to the dispatch itself).
+static QUEUE_DEPTH: AtomicIsize = AtomicIsize::new(0);
+
+/// Fast gate for the observer: `false` means [`obs_recorder`] returns
+/// the no-op recorder without touching the slot's lock.
+static OBS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn obs_slot() -> &'static Mutex<Recorder> {
+    static OBS: OnceLock<Mutex<Recorder>> = OnceLock::new();
+    OBS.get_or_init(|| Mutex::new(Recorder::off()))
+}
+
+/// Install an observability recorder for pool internals (`par.dispatch`
+/// spans per fan-out, `par.steal` spans per helped job, the
+/// `par.queue_depth` gauge). The pool is a `Copy` handle over global
+/// workers, so the observer is process-global too; installing
+/// `Recorder::off()` (the initial state) silences it again. Purely
+/// observational — scheduling and results are unaffected.
+pub fn set_recorder(recorder: Recorder) {
+    let on = recorder.is_enabled();
+    *obs_slot().lock() = recorder;
+    OBS_ENABLED.store(on, Ordering::Release);
+}
+
+fn obs_recorder() -> Recorder {
+    if !OBS_ENABLED.load(Ordering::Acquire) {
+        return Recorder::off();
+    }
+    obs_slot().lock().clone()
+}
 
 /// A type-erased unit of work with its lifetime erased to `'static`
 /// (see module-level safety note).
@@ -124,13 +159,14 @@ impl Latch {
     /// enqueued between `try_recv` and parking: the waiter re-polls the
     /// queue instead of sleeping until a wakeup that may already have
     /// been consumed by a sibling helper.
-    fn wait_helping(&self, rx: &Receiver<Job>) {
+    fn wait_helping(&self, rx: &Receiver<Job>, obs: &Recorder) {
         loop {
             match rx.try_recv() {
                 Ok(job) => {
                     // Jobs are dispatch bodies that catch their own
                     // panics (see `map_with`), so helping cannot unwind
                     // into the waiter.
+                    let _steal = obs.span(Phase::ParSteal);
                     job();
                 }
                 Err(_) => {
@@ -214,6 +250,17 @@ impl Pool {
                 .collect();
         }
 
+        let obs = obs_recorder();
+        let _dispatch = obs.span(Phase::ParDispatch);
+        if obs.is_enabled() {
+            // Depth *before* this call's own jobs land: how backed up
+            // the pool already was when we fanned out.
+            obs.gauge_set(
+                "par.queue_depth",
+                QUEUE_DEPTH.load(Ordering::Relaxed) as f64,
+            );
+        }
+
         // Dynamic scheduling through an atomic cursor; 4x chunk
         // oversubscription balances uneven costs.
         let chunk = (n / (workers * 4)).max(1);
@@ -257,7 +304,7 @@ impl Pool {
                 dispatch(body);
             }
         }
-        latch.wait_helping(&global_pool().rx);
+        latch.wait_helping(&global_pool().rx, &obs);
         if latch.panicked.load(Ordering::SeqCst) > 0 {
             panic!("worker thread panicked during Pool::map_with");
         }
@@ -369,6 +416,11 @@ impl Pool {
 /// in `map_with` by `Latch::wait`), so the erased borrows stay valid for
 /// the job's whole execution.
 fn dispatch<'a, F: FnOnce() + Send + 'a>(job: F) {
+    QUEUE_DEPTH.fetch_add(1, Ordering::Relaxed);
+    let job = move || {
+        QUEUE_DEPTH.fetch_sub(1, Ordering::Relaxed);
+        job();
+    };
     let boxed: Box<dyn FnOnce() + Send + 'a> = Box::new(job);
     // SAFETY: see function docs — completion is awaited before any
     // borrow captured by `job` can expire.
@@ -584,6 +636,34 @@ mod tests {
         for (s, t) in totals.iter().enumerate() {
             assert_eq!(*t, (2 * s as u64 + 1) * 32);
         }
+    }
+
+    /// The installed recorder observes fan-outs without changing
+    /// results, and uninstalling silences it again. Single test for
+    /// the whole observer lifecycle because the slot is process-global
+    /// and tests run concurrently.
+    #[test]
+    fn recorder_observes_dispatch_without_perturbing() {
+        let items: Vec<u64> = (0..512).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 7).collect();
+        let pool = Pool::new(4);
+        let r = ufp_obs::Recorder::enabled();
+        set_recorder(r.clone());
+        let got = pool.map(&items, |_, &x| x * 7);
+        set_recorder(ufp_obs::Recorder::off());
+        assert_eq!(got, expect);
+        let snap = r.snapshot().unwrap();
+        if global_pool().workers > 1 {
+            assert!(snap.phase_hits[Phase::ParDispatch.index()] >= 1);
+            assert!(snap.gauges.iter().any(|(n, _)| n == "par.queue_depth"));
+        }
+        // Silenced: a later fan-out adds nothing to the old recorder.
+        let before = r.snapshot().unwrap().phase_hits[Phase::ParDispatch.index()];
+        let _ = pool.map(&items, |_, &x| x + 1);
+        assert_eq!(
+            r.snapshot().unwrap().phase_hits[Phase::ParDispatch.index()],
+            before
+        );
     }
 
     #[test]

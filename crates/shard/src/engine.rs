@@ -44,6 +44,7 @@ use ufp_netgraph::graph::Graph;
 use ufp_netgraph::ids::EdgeId;
 use ufp_netgraph::path::Path;
 use ufp_netgraph::residual::ResidualCaps;
+use ufp_obs::Phase;
 
 use crate::ledger::LeaseLedger;
 use crate::partition::{EdgeOwner, ShardPlan};
@@ -261,6 +262,11 @@ impl ShardedEngine {
         let reconciler_id = shards as u32;
         self.epoch += 1;
         let epoch = self.epoch;
+        // Every shard engine shares this recorder handle (cloned
+        // configs share one core), so the orchestrator owns the epoch
+        // bracket and the per-engine open/plan/commit spans nest inside.
+        let obs = self.config.engine.obs.clone();
+        obs.epoch_begin(epoch);
         self.push_event(EngineEvent::EpochStarted {
             epoch,
             arrivals: arrivals.len(),
@@ -300,6 +306,7 @@ impl ShardedEngine {
         let released = self.mirror_releases(epoch, &released_local);
 
         // 3. Global residual view, decayed carry, and boundary leases.
+        let lease_span = obs.span(Phase::ShardLease);
         for k in &mut self.carry {
             *k *= self.config.engine.carry_decay;
         }
@@ -331,6 +338,7 @@ impl ShardedEngine {
                 (caps_s, usable_s, routable_s)
             })
             .collect();
+        drop(lease_span);
 
         // 4. Plan every shard's epoch in parallel. Override mode always
         //    traces, so the merge below can replay each step verbatim.
@@ -367,15 +375,22 @@ impl ShardedEngine {
         // 5. Merge-replay with the global guard; bumps land in the
         //    global carry in merged order (the order a single engine
         //    would have applied them).
-        let merge = merge_replay(
-            &capacities,
-            &usable,
-            &carry_in,
-            &mut self.carry,
-            self.config.engine.epsilon,
-            &plans,
-            &local_to_global,
-        );
+        let merge = {
+            let _span = obs.span_attr(
+                Phase::ShardMergeReplay,
+                "steps",
+                plans.iter().map(|p| p.num_steps() as u64).sum(),
+            );
+            merge_replay(
+                &capacities,
+                &usable,
+                &carry_in,
+                &mut self.carry,
+                self.config.engine.epsilon,
+                &plans,
+                &local_to_global,
+            )
+        };
 
         // 6. Commit surviving prefixes in parallel (payments per
         //    shard), then mirror into the global state in merged order.
@@ -456,10 +471,14 @@ impl ShardedEngine {
             }
         }
         self.ledger.settle_epoch(&lease_granted, &lease_used);
+        if obs.is_enabled() {
+            self.record_lease_gauges(&obs);
+        }
 
         // 7. Reconciliation part 2: route cross-shard requests against
         //    the post-epoch global residuals and carry.
         let reconcile_begun = Instant::now();
+        let cross_span = obs.span_attr(Phase::ShardCrossRoute, "batch", cross_batch.len() as u64);
         let cross_stop = if cross_batch.is_empty() {
             // The reconciler's epoch was opened in step 2; close it
             // (handing back its own release list so its report and
@@ -483,6 +502,7 @@ impl ShardedEngine {
                 &mut admitted_global,
             ))
         };
+        drop(cross_span);
         self.shard_epoch_us[shards] += reconcile_begun.elapsed().as_micros() as u64;
 
         // Rejections, stop reason, report.
@@ -516,6 +536,7 @@ impl ShardedEngine {
             revenue,
             elapsed,
         );
+        obs.epoch_end(epoch);
         EpochReport {
             epoch,
             arrivals: arrivals.len(),
@@ -529,6 +550,28 @@ impl ShardedEngine {
             total_utilization: self.residual.total_utilization(),
             elapsed,
         }
+    }
+
+    /// Record per-shard lease-ledger gauges (grant/use ratios) plus the
+    /// deployment-wide aggregate. Only called when the recorder is
+    /// enabled; strictly out-of-band (reads the settled ledger, mutates
+    /// nothing the deterministic pipeline sees).
+    fn record_lease_gauges(&self, obs: &ufp_obs::Recorder) {
+        let shards = self.shards();
+        let (mut granted, mut used) = (0.0f64, 0.0f64);
+        for s in 0..shards {
+            granted += self.ledger.granted(s);
+            used += self.ledger.used(s);
+            obs.gauge_set(&format!("shard.lease_utilization.s{s}"), {
+                self.ledger.utilization(s)
+            });
+        }
+        obs.gauge_set("shard.lease_granted_total", granted);
+        obs.gauge_set("shard.lease_used_total", used);
+        obs.gauge_set(
+            "shard.lease_utilization",
+            if granted > 0.0 { used / granted } else { 0.0 },
+        );
     }
 
     /// Convenience: submit permanent (no-TTL) requests.
