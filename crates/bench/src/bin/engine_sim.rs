@@ -66,7 +66,8 @@ use ufp_netgraph::generators;
 use ufp_netgraph::graph::Graph;
 use ufp_par::Pool;
 use ufp_shard::{
-    EdgeCut, HotspotPairs, NodeBlocks, Partitioner, ShardConfig, ShardStats, ShardedEngine,
+    EdgeCut, HotspotPairs, NodeBlocks, Partitioner, PaymentScope, ShardConfig, ShardStats,
+    ShardedEngine,
 };
 use ufp_workloads::arrivals::{arrival_trace, ArrivalProcess, ArrivalTraceConfig};
 use ufp_workloads::random_ufp::required_b;
@@ -95,7 +96,9 @@ struct Options {
     communities: usize,
     inter_edges: usize,
     cross_fraction: f64,
+    cross_unroutable: bool,
     lease_fraction: f64,
+    payment_scope: String,
     trace_out: Option<String>,
     trace_chrome: Option<String>,
     metrics_out: Option<String>,
@@ -127,7 +130,9 @@ impl Default for Options {
             communities: 0,
             inter_edges: 0,
             cross_fraction: 0.0,
+            cross_unroutable: false,
             lease_fraction: 0.5,
+            payment_scope: "global".to_string(),
             trace_out: None,
             trace_chrome: None,
             metrics_out: None,
@@ -226,7 +231,8 @@ impl Sim {
 /// Version tag of the driver blob carried in the snapshot's driver
 /// section (bumped independently of the engine codec version).
 /// v2: community/cross-traffic trace flags joined the fingerprint.
-const DRIVER_VERSION: u8 = 2;
+/// v3: the unroutable-cross sampling mode joined (it changes the trace).
+const DRIVER_VERSION: u8 = 3;
 
 /// Digest of the full arrival trace: proof that a restore run's flags
 /// regenerate byte-for-byte the stream the snapshot was taken from. The
@@ -303,6 +309,7 @@ fn encode_driver(options: &Options, digest: u64, stop_counts: &[usize; 4]) -> Ve
     w.put_u64(options.communities as u64);
     w.put_u64(options.inter_edges as u64);
     w.put_f64(options.cross_fraction);
+    w.put_bool(options.cross_unroutable);
     w.put_u64(digest);
     for &c in stop_counts {
         w.put_u64(c as u64);
@@ -364,6 +371,9 @@ fn decode_driver(bytes: &[u8], options: &Options, digest: u64) -> Result<[usize;
         != options.cross_fraction.to_bits()
     {
         return Err(fail("--cross-fraction"));
+    }
+    if r.get_bool("driver cross unroutable").map_err(err)? != options.cross_unroutable {
+        return Err(fail("--cross-unroutable"));
     }
     if r.get_u64("driver trace digest").map_err(err)? != digest {
         return Err(fail("arrival-trace digest"));
@@ -456,6 +466,16 @@ fn parse_options() -> Result<Options, String> {
                     return Err("--cross-fraction must lie in [0, 1]".to_string());
                 }
             }
+            "--cross-unroutable" => options.cross_unroutable = true,
+            "--payment-scope" => {
+                options.payment_scope = value("--payment-scope")?;
+                if !matches!(options.payment_scope.as_str(), "global" | "shard-local") {
+                    return Err(format!(
+                        "--payment-scope must be global or shard-local, got {}",
+                        options.payment_scope
+                    ));
+                }
+            }
             "--lease-fraction" => {
                 options.lease_fraction = value("--lease-fraction")?
                     .parse()
@@ -508,8 +528,11 @@ fn main() -> ExitCode {
             &mut graph_rng,
         )
     } else {
-        if options.cross_fraction > 0.0 || options.inter_edges > 0 {
-            eprintln!("engine_sim: --cross-fraction / --inter-edges require --communities");
+        if options.cross_fraction > 0.0 || options.inter_edges > 0 || options.cross_unroutable {
+            eprintln!(
+                "engine_sim: --cross-fraction / --inter-edges / --cross-unroutable \
+                 require --communities"
+            );
             return ExitCode::FAILURE;
         }
         generators::gnm_digraph(options.nodes, options.edges, (b, 2.0 * b), &mut graph_rng)
@@ -548,6 +571,7 @@ fn main() -> ExitCode {
                 hotspot_pairs: Some((options.hotspots / options.communities).max(1)),
                 demand_range: (0.2, 1.0),
                 ttl_range: options.churn,
+                allow_unroutable_cross: options.cross_unroutable,
                 seed: options.seed,
                 ..Default::default()
             },
@@ -653,12 +677,18 @@ fn main() -> ExitCode {
             options.partitioner,
             plan.boundary_edges().len()
         );
+        let payment_scope = match options.payment_scope.as_str() {
+            "global" => PaymentScope::GlobalTrace,
+            "shard-local" => PaymentScope::ShardLocal,
+            other => unreachable!("parse_options validated --payment-scope, got {other}"),
+        };
         Some(ShardedEngine::new(
             Arc::clone(&graph),
             plan,
             ShardConfig {
                 engine: engine_config.clone(),
                 lease_fraction: options.lease_fraction,
+                payment_scope,
             },
         ))
     } else {
@@ -850,7 +880,8 @@ fn main() -> ExitCode {
              \"hotspots\": {}, \"eps\": {}, \"seed\": {}, \"process\": \"{}\", \
              \"churn\": {}, \"payments\": \"{}\", \"selection\": \"{}\", \"threads\": {}, \
              \"shards\": {}, \"partitioner\": \"{}\", \"communities\": {}, \
-             \"inter_edges\": {}, \"cross_fraction\": {}, \"lease_fraction\": {}, \
+             \"inter_edges\": {}, \"cross_fraction\": {}, \"cross_unroutable\": {}, \
+             \"lease_fraction\": {}, \"payment_scope\": \"{}\", \
              \"selection_strategy\": \"{:?}\"}},",
             options.nodes,
             options.edges,
@@ -869,7 +900,9 @@ fn main() -> ExitCode {
             options.communities,
             options.inter_edges,
             options.cross_fraction,
+            options.cross_unroutable,
             options.lease_fraction,
+            options.payment_scope,
             selection
         );
         println!(

@@ -216,6 +216,11 @@ struct ResumeStep {
     path: Path,
     /// Line-10 exponent per path edge, in `path.edges()` order.
     bumps: Vec<f64>,
+    /// Raw (materialized-scale) argmin score `(d/v)·|p|` at selection
+    /// time — the exact `f64` the selection loop compared, before the
+    /// `ln`+shift round-trip that produces `record.ln_alpha`. Kept so
+    /// external mergers can break `ln α` ties by the loop's own key.
+    raw_score: f64,
     record: IterationRecord,
 }
 
@@ -251,6 +256,16 @@ pub struct TraceStep<'a> {
     /// so scores recorded by runs with different materialization scales
     /// remain comparable).
     pub ln_alpha: f64,
+    /// Raw argmin score `(d/v)·|p|` exactly as the selection loop
+    /// compared it — the full-precision key behind `ln_alpha`, which
+    /// loses up to one ulp in the `ln` round-trip. Tie-break on this
+    /// (then on id) to reproduce single-run selection order exactly.
+    /// Unlike `ln_alpha` it is in the run's materialization scale, so it
+    /// is only comparable across runs whose `DualWeights` shifts agree
+    /// (true for shards replaying the same epoch context until a
+    /// re-center diverges — and a divergent re-center already perturbs
+    /// `ln_alpha`'s own bits).
+    pub raw_score: f64,
     /// The routed path.
     pub path: &'a Path,
     /// Line-10 exponent per path edge, verbatim as applied.
@@ -274,9 +289,55 @@ impl EpochResumeTrace {
         TraceStep {
             selected: s.record.selected,
             ln_alpha: s.record.ln_alpha,
+            raw_score: s.raw_score,
             path: &s.path,
             bumps: &s.bumps,
         }
+    }
+
+    /// Append one externally supplied step — the assembly primitive for
+    /// *merged* traces. A sharded engine's merge-replay interleaves the
+    /// shards' recorded steps into the global `(ln α, raw score, id)`
+    /// order; pushing each merged step here (with its request id remapped
+    /// into the global epoch instance, `ln_d1` read from the global dual
+    /// weights, and `routed_value_before` the global running value sum)
+    /// yields an [`EpochResumeTrace`] over the global instance that
+    /// behaves exactly like one produced by [`bounded_ufp_epoch_traced`]:
+    /// [`Self::checkpoint`] / [`Self::prefix_outcome`] replay it by
+    /// arithmetic, and [`bounded_ufp_epoch_resume_watch`] prices winners
+    /// against it with the same O(suffix) resume discipline.
+    ///
+    /// `bumps` must hold one line-10 exponent per `path.edges()` entry,
+    /// and `routed_value_before` must equal the sum of the previously
+    /// pushed steps' request values in push order (the replay
+    /// debug-asserts this ordering invariant).
+    #[allow(clippy::too_many_arguments)] // mirrors the recorded step verbatim
+    pub fn push_step(
+        &mut self,
+        selected: RequestId,
+        ln_alpha: f64,
+        raw_score: f64,
+        ln_d1: f64,
+        routed_value_before: f64,
+        path: Path,
+        bumps: Vec<f64>,
+    ) {
+        assert_eq!(
+            path.edges().len(),
+            bumps.len(),
+            "one bump exponent per path edge"
+        );
+        self.steps.push(ResumeStep {
+            path,
+            bumps,
+            raw_score,
+            record: IterationRecord {
+                selected,
+                ln_alpha,
+                ln_d1,
+                routed_value_before,
+            },
+        });
     }
 
     /// Repackage the first `steps` selections as a completed
@@ -606,6 +667,7 @@ fn apply_step(
         steps.push(ResumeStep {
             path,
             bumps: bumps.unwrap_or_default(),
+            raw_score: score,
             record,
         });
     } else {
@@ -1583,6 +1645,120 @@ mod tests {
                     last_selected_steps = deeper.steps();
                 }
             }
+        }
+    }
+
+    /// Reassemble a recorded trace step by step through the public
+    /// [`EpochResumeTrace::push_step`] API — the merged-trace assembly
+    /// path a sharded engine uses — from the read-only step views plus
+    /// the run's iteration records.
+    fn reassemble(full: &EpochOutcome, trace: &EpochResumeTrace) -> EpochResumeTrace {
+        let mut rebuilt = EpochResumeTrace::default();
+        for i in 0..trace.num_steps() {
+            let s = trace.step(i);
+            let rec = &full.run.trace.records[i];
+            rebuilt.push_step(
+                s.selected,
+                s.ln_alpha,
+                s.raw_score,
+                rec.ln_d1,
+                rec.routed_value_before,
+                s.path.clone(),
+                s.bumps.to_vec(),
+            );
+        }
+        rebuilt
+    }
+
+    #[test]
+    fn pushed_steps_checkpoint_and_resume_like_the_recorded_trace() {
+        let (inst, cfg) = resume_fixture();
+        let caps: Vec<f64> = inst.graph().edges().iter().map(|e| e.capacity).collect();
+        let usable = vec![true; caps.len()];
+        let carry = vec![0.1; caps.len()];
+        let ctx = EpochContext {
+            capacities: &caps,
+            usable: &usable,
+            carry: &carry,
+            routable: None,
+        };
+        let (full, trace) = bounded_ufp_epoch_traced(&inst, &cfg, Some(&ctx));
+        let rebuilt = reassemble(&full, &trace);
+        assert_eq!(rebuilt.num_steps(), trace.num_steps());
+        for prefix in 0..=rebuilt.num_steps() {
+            let a = bounded_ufp_epoch_resume(
+                &inst,
+                &cfg,
+                Some(&ctx),
+                trace.checkpoint(&inst, &cfg, Some(&ctx), prefix),
+            );
+            let b = bounded_ufp_epoch_resume(
+                &inst,
+                &cfg,
+                Some(&ctx),
+                rebuilt.checkpoint(&inst, &cfg, Some(&ctx), prefix),
+            );
+            assert_outcomes_identical(&a, &b);
+            let pa = trace.prefix_outcome(&inst, &cfg, Some(&ctx), prefix, StopReason::Guard);
+            let pb = rebuilt.prefix_outcome(&inst, &cfg, Some(&ctx), prefix, StopReason::Guard);
+            assert_outcomes_identical(&pa, &pb);
+        }
+    }
+
+    #[test]
+    fn probe_resume_over_a_pushed_trace_is_bit_identical() {
+        // The global-payment contract: critical-value probes may bisect
+        // against an externally assembled trace exactly as against the
+        // engine-recorded one.
+        let (inst, cfg) = resume_fixture();
+        let (full, trace) = bounded_ufp_epoch_traced(&inst, &cfg, None);
+        let rebuilt = reassemble(&full, &trace);
+        for (rid, _) in &full.run.solution.routed {
+            let k = rebuilt.selection_step(*rid).unwrap();
+            assert_eq!(k, trace.selection_step(*rid).unwrap());
+            let declared = inst.request(*rid).value;
+            for factor in [0.9, 0.5, 0.11, 0.01] {
+                let probe =
+                    inst.with_declared_type(*rid, inst.request(*rid).demand, declared * factor);
+                let scratch = bounded_ufp_epoch(&probe, &cfg, None);
+                let ckpt = rebuilt.checkpoint(&probe, &cfg, None, k);
+                let resumed = bounded_ufp_epoch_resume(&probe, &cfg, None, ckpt);
+                assert_outcomes_identical(&scratch, &resumed);
+                let watched = bounded_ufp_epoch_resume_watch(
+                    &probe,
+                    &cfg,
+                    None,
+                    rebuilt
+                        .checkpoint(&probe, &cfg, None, k)
+                        .strip_outcome_state(),
+                    *rid,
+                );
+                assert_eq!(watched.is_some(), scratch.run.solution.contains(*rid));
+            }
+        }
+    }
+
+    #[test]
+    fn raw_score_is_the_pre_ln_selection_key() {
+        // The recorded raw score is the selection loop's own comparison
+        // key: ln_alpha = ln(raw_score) + shift, so on a run that never
+        // re-centers the offset is a single constant across all steps,
+        // and argmin scores never decrease (weights only grow) — the two
+        // properties the cross-shard merge tie-break leans on.
+        let (inst, cfg) = resume_fixture();
+        let (_, trace) = bounded_ufp_epoch_traced(&inst, &cfg, None);
+        assert!(trace.num_steps() > 1);
+        let shift = trace.step(0).ln_alpha - trace.step(0).raw_score.ln();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..trace.num_steps() {
+            let s = trace.step(i);
+            assert!(s.raw_score > 0.0 && s.raw_score.is_finite());
+            assert!(
+                (s.ln_alpha - s.raw_score.ln() - shift).abs() <= 1e-12 * shift.abs().max(1.0),
+                "step {i}: ln_alpha is not ln(raw_score) + shift"
+            );
+            assert!(s.raw_score >= prev, "argmin scores must be nondecreasing");
+            prev = s.raw_score;
         }
     }
 

@@ -435,6 +435,43 @@ impl Engine {
     /// kept prefix is reconstructed bit-identically from the resume
     /// trace). `None` commits every planned admission.
     pub fn commit_epoch(&mut self, plan: EpochPlan, keep: Option<usize>) -> EpochReport {
+        self.commit_epoch_inner(plan, keep, None)
+    }
+
+    /// [`Engine::commit_epoch`], but with the winners' payments supplied
+    /// by the caller instead of priced here against the shard-local
+    /// trace. This is the deferred-payment commit of a sharded
+    /// deployment: the orchestrator merges the shards' traces into the
+    /// global step order, prices every surviving winner against that
+    /// merged trace ([`Engine::price_winners_against_trace`]), and hands
+    /// each shard its slice — so admissions, events, revenue, and
+    /// metrics all carry the *global* critical values from the moment
+    /// they are recorded (nothing to patch up afterwards, nothing extra
+    /// to snapshot).
+    ///
+    /// `payments` is indexed by batch-local request index (the plan's
+    /// arrival order); entries for rejected or truncated requests are
+    /// ignored.
+    pub fn commit_epoch_with_payments(
+        &mut self,
+        plan: EpochPlan,
+        keep: Option<usize>,
+        payments: Vec<f64>,
+    ) -> EpochReport {
+        assert_eq!(
+            payments.len(),
+            plan.arrivals.len(),
+            "one payment slot per batch arrival"
+        );
+        self.commit_epoch_inner(plan, keep, Some(payments))
+    }
+
+    fn commit_epoch_inner(
+        &mut self,
+        plan: EpochPlan,
+        keep: Option<usize>,
+        supplied_payments: Option<Vec<f64>>,
+    ) -> EpochReport {
         let obs = self.config.obs.clone();
         let _span = obs.span(Phase::EpochCommit);
         let EpochPlan {
@@ -479,13 +516,17 @@ impl Engine {
         let stop = outcome.run.trace.stop_reason;
 
         // Payments against the frozen epoch state (truncated winners are
-        // simply absent from the solution and pay nothing).
-        let payments = self.compute_payments(
-            &epoch_instance,
-            &outcome.run.solution,
-            &ctx,
-            resume_trace.as_ref(),
-        );
+        // simply absent from the solution and pay nothing), unless the
+        // caller already priced the winners globally.
+        let payments = match supplied_payments {
+            Some(p) => p,
+            None => self.compute_payments(
+                &epoch_instance,
+                &outcome.run.solution,
+                &ctx,
+                resume_trace.as_ref(),
+            ),
+        };
 
         // Commit.
         self.carry = outcome.carry;
@@ -760,6 +801,79 @@ impl Engine {
             }
         }
         payments
+    }
+
+    /// Price winners by critical-value bisection against a
+    /// caller-provided trace — the global-payment probe entry point for
+    /// sharded deployments. `trace` is an [`EpochResumeTrace`] over
+    /// `instance` (typically assembled with
+    /// [`EpochResumeTrace::push_step`] from a cross-shard merge), `ctx`
+    /// the frozen epoch context it replays under, and each winner comes
+    /// with its selection step in that trace. Probes are read-only
+    /// replays, so the winners fan out on the engine's `ufp_par` pool,
+    /// each under a `payment.probe` span whose `suffix_len` records the
+    /// steps past its resume point.
+    ///
+    /// Policy handling mirrors [`Engine::commit_epoch`]'s shard-local
+    /// pass: `PaymentPolicy::None` returns zeros;
+    /// `PaymentPolicy::CriticalValue` advances each winner's checkpoint
+    /// through the probes' `Some(deeper)` returns (Lemma 3.4
+    /// monotonicity, the O(suffix) discipline);
+    /// `PaymentPolicy::CriticalValueNaive` answers the *same* probe
+    /// sequence from the unadvanced winner-step checkpoint every time —
+    /// a from-scratch rerun could not reproduce a merged trace, so the
+    /// naive baseline here degrades only resume depth, never answers,
+    /// keeping the two policies bit-identical by construction.
+    ///
+    /// Returns one payment per winner, in `winners` order.
+    pub fn price_winners_against_trace(
+        &self,
+        instance: &UfpInstance,
+        ctx: &EpochContext<'_>,
+        trace: &EpochResumeTrace,
+        winners: &[(RequestId, usize)],
+    ) -> Vec<f64> {
+        let payment_config = match self.config.payments {
+            PaymentPolicy::None => return vec![0.0; winners.len()],
+            PaymentPolicy::CriticalValue(pc) | PaymentPolicy::CriticalValueNaive(pc) => pc,
+        };
+        let advance = matches!(self.config.payments, PaymentPolicy::CriticalValue(_));
+        let probe_config = self.allocator_config.clone();
+        let total_steps = trace.num_steps();
+        self.config.pool.map(winners, |_, &(rid, step)| {
+            let req = *instance.request(rid);
+            debug_assert_eq!(
+                trace.step(step).selected,
+                rid,
+                "winner step does not match the merged trace"
+            );
+            let _span = probe_config.obs.span_attr(
+                Phase::PaymentProbe,
+                "suffix_len",
+                (total_steps - step) as u64,
+            );
+            let mut ckpt = trace
+                .checkpoint(instance, &probe_config, Some(ctx), step)
+                .strip_outcome_state();
+            critical_value_from_probe(req.value, &payment_config, |value| {
+                let probe = instance.with_declared_type(rid, req.demand, value);
+                match bounded_ufp_epoch_resume_watch(
+                    &probe,
+                    &probe_config,
+                    Some(ctx),
+                    ckpt.clone(),
+                    rid,
+                ) {
+                    Some(deeper) => {
+                        if advance {
+                            ckpt = deeper;
+                        }
+                        true
+                    }
+                    None => false,
+                }
+            })
+        })
     }
 
     // ------------------------------------------------------------------

@@ -23,10 +23,16 @@
 //!    step's dual-weight bumps through one global [`DualWeights`] and
 //!    enforcing the *global* guard — truncating any shard's
 //!    over-admission the moment the merged dual mass crosses the
-//!    threshold. Pure arithmetic replay; no shortest-path work.
-//! 6. **Commit** each shard's surviving prefix in parallel
-//!    (critical-value payments computed per shard against its frozen
-//!    context), mirror the admissions into the global state in merged
+//!    threshold. Pure arithmetic replay; no shortest-path work. When
+//!    payments are on, the pass also assembles the merged steps into a
+//!    global [`EpochResumeTrace`] over the epoch's full batch.
+//! 6. **Price + commit**: price every surviving winner by
+//!    critical-value bisection against the *merged* trace under the
+//!    epoch-start frozen context (read-only probe replays, fanned out
+//!    on the `ufp_par` pool with `payment.probe` spans — the exact
+//!    probe schedule a single global engine would run), then commit
+//!    each shard's surviving prefix in parallel with its payment slice
+//!    supplied, mirror the admissions into the global state in merged
 //!    order, and settle the lease ledger.
 //! 7. **Reconcile** (part 2): route the cross-shard batch with the
 //!    reconciler engine against the post-epoch global residuals and
@@ -35,10 +41,12 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use ufp_core::{DualWeights, Request, RequestId, StopReason};
+use ufp_core::{
+    DualWeights, EpochContext, EpochResumeTrace, Request, RequestId, StopReason, UfpInstance,
+};
 use ufp_engine::{
     Admission, Arrival, Engine, EngineConfig, EngineEvent, EngineMetrics, EpochOverride, EpochPlan,
-    EpochReport, EventLevel,
+    EpochReport, EventLevel, PaymentPolicy,
 };
 use ufp_netgraph::graph::Graph;
 use ufp_netgraph::ids::EdgeId;
@@ -48,6 +56,24 @@ use ufp_obs::Phase;
 
 use crate::ledger::LeaseLedger;
 use crate::partition::{EdgeOwner, ShardPlan};
+
+/// Where a sharded deployment prices its critical-value payments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PaymentScope {
+    /// Price winners against the **merged** replay trace, under the
+    /// epoch-start frozen context — the exact probe schedule a single
+    /// global engine would run, so payments are covered by the
+    /// bit-identity contract unconditionally (guard-stopping probes
+    /// included). This is the correct, default mode.
+    #[default]
+    GlobalTrace,
+    /// Legacy per-shard pass: each shard prices its winners against its
+    /// own local trace. A probe that guard-stops sees the shard's
+    /// (smaller) dual mass instead of the global one and can misprice —
+    /// kept only as the baseline `scripts/bench_pr8.sh` measures the
+    /// global pass against.
+    ShardLocal,
+}
 
 /// Configuration of a [`ShardedEngine`].
 #[derive(Clone, Debug)]
@@ -61,6 +87,9 @@ pub struct ShardConfig {
     /// pass; `1.0` hands the full residual to the shards (starving the
     /// reconciler on boundary edges for that epoch).
     pub lease_fraction: f64,
+    /// Whether winners are priced against the merged global trace
+    /// (default) or the legacy shard-local one.
+    pub payment_scope: PaymentScope,
 }
 
 impl Default for ShardConfig {
@@ -68,6 +97,7 @@ impl Default for ShardConfig {
         ShardConfig {
             engine: EngineConfig::default(),
             lease_fraction: 0.5,
+            payment_scope: PaymentScope::default(),
         }
     }
 }
@@ -137,6 +167,11 @@ struct MergeOutcome {
     /// leftover-rejection as `Guard` rather than `NoPath`, matching
     /// the single engine's check-before-discover order).
     final_over_guard: bool,
+    /// The merged steps assembled as one global [`EpochResumeTrace`]
+    /// over the epoch's full batch instance (requests id'd by batch
+    /// position), built only when the global payment pass needs it.
+    /// Step `k`'s `selected` is winner `k` in merged order.
+    global_trace: Option<EpochResumeTrace>,
 }
 
 /// The sharded admission-control engine. Drop-in analogue of
@@ -180,6 +215,10 @@ pub struct ShardedEngine {
     /// metrics it excludes time spent waiting on the other shards or on
     /// the sequential merge.
     pub(crate) shard_epoch_us: Vec<u64>,
+    /// Pre-interned per-shard gauge names (`shard.lease_utilization.s{s}`),
+    /// built once at construction so the per-epoch gauge pass allocates
+    /// nothing. Derived from the shard count — never snapshotted.
+    pub(crate) lease_gauge_names: Vec<String>,
 }
 
 impl ShardedEngine {
@@ -215,6 +254,7 @@ impl ShardedEngine {
             metrics: EngineMetrics::default(),
             ledger: LeaseLedger::new(shards),
             shard_epoch_us: vec![0; shards + 1],
+            lease_gauge_names: lease_gauge_names(shards),
             graph,
         }
     }
@@ -374,7 +414,11 @@ impl ShardedEngine {
 
         // 5. Merge-replay with the global guard; bumps land in the
         //    global carry in merged order (the order a single engine
-        //    would have applied them).
+        //    would have applied them). When the global payment pass is
+        //    on, the merge also assembles the merged steps into one
+        //    global resume trace over the epoch's batch.
+        let global_payments = self.config.payment_scope == PaymentScope::GlobalTrace
+            && !matches!(self.config.engine.payments, PaymentPolicy::None);
         let merge = {
             let _span = obs.span_attr(
                 Phase::ShardMergeReplay,
@@ -389,29 +433,80 @@ impl ShardedEngine {
                 self.config.engine.epsilon,
                 &plans,
                 &local_to_global,
+                &self.requests,
+                base,
+                global_payments,
             )
         };
 
-        // 6. Commit surviving prefixes in parallel (payments per
-        //    shard), then mirror into the global state in merged order.
+        // 6a. Global payment pass: price every surviving winner by
+        //     critical-value bisection against the *merged* trace,
+        //     under the epoch-start frozen context (capacities / usable
+        //     / carry captured in step 3) — the exact probe schedule a
+        //     single global engine would run, guard stops included.
+        //     Probes are read-only replays; the entry point fans them
+        //     out on the pool under `payment.probe` spans. The results
+        //     are scattered back into per-shard, batch-local payment
+        //     slices for the deferred commits below.
+        let shard_payments: Option<Vec<Vec<f64>>> = merge.global_trace.as_ref().map(|gtrace| {
+            let winners: Vec<(RequestId, usize)> = (0..gtrace.num_steps())
+                .map(|k| (gtrace.step(k).selected, k))
+                .collect();
+            let epoch_requests: Vec<Request> = arrivals.iter().map(|a| a.request).collect();
+            let instance = UfpInstance::from_shared(Arc::clone(&self.graph), epoch_requests);
+            let ctx = EpochContext {
+                capacities: &capacities,
+                usable: &usable,
+                carry: &carry_in,
+                routable: None,
+            };
+            let priced = self
+                .reconciler
+                .price_winners_against_trace(&instance, &ctx, gtrace, &winners);
+            let mut per_shard: Vec<Vec<f64>> =
+                shard_work.iter().map(|(b, _)| vec![0.0; b.len()]).collect();
+            for (k, &(s, j)) in merge.merged.iter().enumerate() {
+                let trace = plans[s].trace().expect("override plans are traced");
+                per_shard[s][trace.step(j).selected.index()] = priced[k];
+            }
+            per_shard
+        });
+
+        // 6b. Commit surviving prefixes in parallel (each with its
+        //     globally-priced payment slice when the pass ran, or the
+        //     legacy shard-local pricing otherwise), then mirror into
+        //     the global state in merged order.
         let adm_base: Vec<u32> = (0..shards)
             .map(|s| self.engines[s].admissions().len() as u32)
             .collect();
-        let plan_slots: Vec<std::sync::Mutex<Option<(EpochPlan, usize)>>> = plans
+        let mut shard_payments = shard_payments;
+        type CommitSlot = (EpochPlan, usize, Option<Vec<f64>>);
+        let plan_slots: Vec<std::sync::Mutex<Option<CommitSlot>>> = plans
             .into_iter()
             .zip(merge.keep.iter())
-            .map(|(p, &k)| std::sync::Mutex::new(Some((p, k))))
+            .enumerate()
+            .map(|(s, (p, &k))| {
+                let pay = shard_payments.as_mut().map(|ps| std::mem::take(&mut ps[s]));
+                std::sync::Mutex::new(Some((p, k, pay)))
+            })
             .collect();
         let commit_us: Vec<u64> = {
             let slots = &plan_slots;
             pool.map_mut(&mut self.engines, |s, engine| {
                 let begun = Instant::now();
-                let (plan, keep) = slots[s]
+                let (plan, keep, pay) = slots[s]
                     .lock()
                     .expect("plan slot")
                     .take()
                     .expect("each plan committed exactly once");
-                engine.commit_epoch(plan, Some(keep));
+                match pay {
+                    Some(p) => {
+                        engine.commit_epoch_with_payments(plan, Some(keep), p);
+                    }
+                    None => {
+                        engine.commit_epoch(plan, Some(keep));
+                    }
+                }
                 begun.elapsed().as_micros() as u64
             })
         };
@@ -562,9 +657,7 @@ impl ShardedEngine {
         for s in 0..shards {
             granted += self.ledger.granted(s);
             used += self.ledger.used(s);
-            obs.gauge_set(&format!("shard.lease_utilization.s{s}"), {
-                self.ledger.utilization(s)
-            });
+            obs.gauge_set(&self.lease_gauge_names[s], self.ledger.utilization(s));
         }
         obs.gauge_set("shard.lease_granted_total", granted);
         obs.gauge_set("shard.lease_used_total", used);
@@ -851,10 +944,29 @@ impl ShardedEngine {
     }
 }
 
+/// Per-shard lease-utilization gauge names, interned once per
+/// [`ShardedEngine`] (construction and snapshot restore) so the
+/// per-epoch gauge pass never allocates.
+pub(crate) fn lease_gauge_names(shards: usize) -> Vec<String> {
+    (0..shards)
+        .map(|s| format!("shard.lease_utilization.s{s}"))
+        .collect()
+}
+
 /// The merge-replay pass: consume shard selection steps in global score
 /// order through one global [`DualWeights`], enforcing the global
 /// guard. Applies every consumed step's bumps to `carry` (already
 /// decayed) in merged order.
+///
+/// With `build_trace` set, the consumed steps are simultaneously
+/// assembled into a global [`EpochResumeTrace`] over the epoch's batch
+/// instance (requests id'd by batch position, i.e. `global - base`):
+/// each pushed step carries the shard-recorded `ln α` / raw score /
+/// path / bumps verbatim, plus the *global* `ln D₁` (the dual sum this
+/// merge checks against the guard) and the global running routed value
+/// — exactly the record a single engine's traced run would have
+/// produced, so payment probes can checkpoint and resume against it.
+#[allow(clippy::too_many_arguments)] // one call site, mirrors the epoch context
 fn merge_replay(
     capacities: &[f64],
     usable: &[bool],
@@ -863,6 +975,9 @@ fn merge_replay(
     epsilon: f64,
     plans: &[EpochPlan],
     local_to_global: &[Vec<u32>],
+    requests: &[Request],
+    base: u32,
+    build_trace: bool,
 ) -> MergeOutcome {
     let shards = plans.len();
     let b = capacities
@@ -876,12 +991,16 @@ fn merge_replay(
     let mut cursors = vec![0usize; shards];
     let mut merged = Vec::new();
     let mut guard_tripped = false;
+    let mut global_trace = build_trace.then(EpochResumeTrace::default);
+    let mut routed_value = 0.0f64;
     loop {
         // The next candidate per shard is its first unconsumed step;
-        // global order is (ln α, global request id) — the same argmin +
-        // id tie-break the single engine's selection loop applies, made
-        // shift-invariant through the recorded log-scores.
-        let mut best: Option<(f64, u32, usize)> = None;
+        // global order is (ln α, raw score, global request id). The raw
+        // score is the selection loop's own full-precision argmin key —
+        // ln α, its shift-invariant ln round-trip, can collapse two
+        // scores one ulp apart onto the same bits, so ties break on the
+        // raw key first and only then on the single engine's id rule.
+        let mut best: Option<(f64, f64, u32, usize)> = None;
         for s in 0..shards {
             if cursors[s] >= plans[s].num_steps() {
                 continue;
@@ -891,16 +1010,22 @@ fn merge_replay(
             let g = local_to_global[s][step.selected.index()];
             let better = match best {
                 None => true,
-                Some((la, gid, _)) => step.ln_alpha < la || (step.ln_alpha == la && g < gid),
+                Some((la, rs, gid, _)) => {
+                    step.ln_alpha < la
+                        || (step.ln_alpha == la
+                            && (step.raw_score < rs || (step.raw_score == rs && g < gid)))
+                }
             };
             if better {
-                best = Some((step.ln_alpha, g, s));
+                best = Some((step.ln_alpha, step.raw_score, g, s));
             }
         }
-        let Some((_, _, s)) = best else { break };
+        let Some((_, _, g, s)) = best else { break };
         // The single engine checks the guard at the top of every
-        // iteration, before selecting; reproduce that exactly.
-        if weights.ln_dual_sum() > ln_guard {
+        // iteration, before selecting; reproduce that exactly. The dual
+        // sum it checks is the ln D₁ its record would carry.
+        let ln_d1 = weights.ln_dual_sum();
+        if ln_d1 > ln_guard {
             guard_tripped = true;
             break;
         }
@@ -909,6 +1034,18 @@ fn merge_replay(
         for (&e, &bump) in step.path.edges().iter().zip(step.bumps) {
             weights.bump(e, bump);
             carry[e.index()] += bump;
+        }
+        if let Some(gt) = global_trace.as_mut() {
+            gt.push_step(
+                RequestId(g - base),
+                step.ln_alpha,
+                step.raw_score,
+                ln_d1,
+                routed_value,
+                step.path.clone(),
+                step.bumps.to_vec(),
+            );
+            routed_value += requests[g as usize].value;
         }
         merged.push((s, cursors[s]));
         cursors[s] += 1;
@@ -919,6 +1056,7 @@ fn merge_replay(
         keep: cursors,
         guard_tripped,
         final_over_guard,
+        global_trace,
     }
 }
 

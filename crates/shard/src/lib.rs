@@ -31,33 +31,40 @@
 //! **Reconciliation** ([`engine`]): shard plans are merged by recorded
 //! score through one global dual-weight replay that enforces the
 //! *global* guard (truncating shard over-admissions the moment the
-//! merged dual mass crosses `e^{ε(B−1)}`), then cross-shard requests
-//! route sequentially against the post-epoch global residuals.
-//! Everything after the parallel plans is pure arithmetic replay — no
-//! shortest-path work — so the whole epoch is deterministic and
-//! byte-replayable regardless of thread scheduling.
+//! merged dual mass crosses `e^{ε(B−1)}`), every surviving winner is
+//! priced by critical-value bisection **against that merged trace**
+//! under the epoch-start context (the probe schedule a single global
+//! engine would run — [`PaymentScope::GlobalTrace`]), then cross-shard
+//! requests route sequentially against the post-epoch global
+//! residuals. Everything after the parallel plans is arithmetic replay
+//! plus read-only probe replays — no new shortest-path state — so the
+//! whole epoch is deterministic and byte-replayable regardless of
+//! thread scheduling.
 //!
 //! ## The equivalence contract
 //!
-//! On instances whose requests never leave their shard's territory —
-//! in particular, component-aligned partitions of disconnected
-//! community graphs with shard-local traffic — the sharded engine is
-//! **bit-identical** to a single [`ufp_engine::Engine`] fed the same
-//! stream: same admissions (ids, paths, order), same critical-value
-//! payments, same events, same residual loads and carry bits
-//! (proptested in `tests/proptests.rs`). See `README.md` for the exact
-//! boundary of the contract (payments under guard pressure, fp ties
-//! across shards).
+//! On instances whose requests never route outside their shard's
+//! territory — component-aligned partitions of disconnected community
+//! graphs, with or without unroutable cross-shard arrivals in the
+//! stream — the sharded engine is **bit-identical** to a single
+//! [`ufp_engine::Engine`] fed the same stream: same admissions (ids,
+//! paths, order), same critical-value payments — *including* epochs
+//! and payment probes that stop on the guard — same events, same
+//! residual loads and carry bits (proptested in `tests/proptests.rs`).
+//! See `README.md` for the contract's one residual caveat (divergent
+//! dual-weight re-centering, which perturbs the recorded score bits
+//! themselves).
 //!
 //! On general instances the contract is weaker but still strong:
-//! feasibility always holds (leases + per-epoch Lemma 3.3), and the
-//! whole run is deterministic and replayable.
+//! feasibility always holds (leases + per-epoch Lemma 3.3), payments
+//! are still priced against the globally merged trace, and the whole
+//! run is deterministic and replayable.
 
 pub mod engine;
 pub mod ledger;
 pub mod partition;
 pub mod snapshot;
 
-pub use engine::{ShardAdmission, ShardConfig, ShardStats, ShardedEngine};
+pub use engine::{PaymentScope, ShardAdmission, ShardConfig, ShardStats, ShardedEngine};
 pub use ledger::LeaseLedger;
 pub use partition::{EdgeCut, EdgeOwner, HotspotPairs, NodeBlocks, Partitioner, ShardPlan};

@@ -6,9 +6,13 @@
 //! engine's ordinary [`ufp_engine`] snapshot as an opaque blob — the
 //! per-shard snapshots restore through the engine codec with all of its
 //! validation, and the orchestrator section pins the **shard layout**
-//! (shard count + partition digest + lease fraction) so a snapshot can
-//! never restore under a different partition: every epoch after such a
-//! mismatch would misroute silently.
+//! (shard count + partition digest + lease fraction + payment scope)
+//! so a snapshot can never restore under a different partition or
+//! pricing mode: every epoch after such a mismatch would misroute (or
+//! misprice) silently. Payments themselves need no extra state here —
+//! the global pass settles within `submit_batch`, so each winner's
+//! globally-priced payment already lives in its owning engine's
+//! admission blob.
 //!
 //! Restore = rebuild each engine, then the global view; continuation is
 //! bit-identical per shard (proptested in `tests/proptests.rs`).
@@ -22,14 +26,25 @@ use ufp_engine::{Engine, EngineMetrics};
 use ufp_netgraph::graph::Graph;
 use ufp_netgraph::residual::ResidualCaps;
 
-use crate::engine::{ShardAdmission, ShardConfig, ShardedEngine};
+use crate::engine::{lease_gauge_names, PaymentScope, ShardAdmission, ShardConfig, ShardedEngine};
 use crate::ledger::LeaseLedger;
 use crate::partition::ShardPlan;
 
 /// Container magic for sharded snapshots (distinct from the engine's).
 const MAGIC: &[u8; 8] = b"UFPSHRD\0";
 /// Bump on any change to the orchestrator section layout.
-const FORMAT_VERSION: u32 = 1;
+/// v2: the payment scope joined the pinned shard layout.
+const FORMAT_VERSION: u32 = 2;
+
+/// Wire tag for [`PaymentScope`] (pinned like the lease fraction: a
+/// snapshot restored under a different pricing mode would silently
+/// change every later epoch's payments).
+fn payment_scope_tag(scope: PaymentScope) -> u8 {
+    match scope {
+        PaymentScope::GlobalTrace => 0,
+        PaymentScope::ShardLocal => 1,
+    }
+}
 
 /// Serialize the full sharded engine state.
 pub fn encode_sharded(engine: &ShardedEngine) -> Vec<u8> {
@@ -39,6 +54,7 @@ pub fn encode_sharded(engine: &ShardedEngine) -> Vec<u8> {
     w.put_u64(shards as u64);
     w.put_u64(engine.plan.digest());
     w.put_f64(engine.config.lease_fraction);
+    w.put_u8(payment_scope_tag(engine.config.payment_scope));
     w.put_u64(engine.epoch);
     w.put_f64_slice(&engine.carry);
     w.put_f64_slice(engine.residual.loads());
@@ -152,6 +168,11 @@ pub fn decode_sharded(
     if r.get_f64("lease fraction")?.to_bits() != config.lease_fraction.to_bits() {
         return Err(CodecError::ConfigMismatch {
             context: "lease fraction",
+        });
+    }
+    if r.get_u8("payment scope")? != payment_scope_tag(config.payment_scope) {
+        return Err(CodecError::ConfigMismatch {
+            context: "payment scope",
         });
     }
     let epoch = r.get_u64("epoch counter")?;
@@ -289,6 +310,7 @@ pub fn decode_sharded(
         metrics,
         ledger,
         shard_epoch_us,
+        lease_gauge_names: lease_gauge_names(shards),
     })
 }
 

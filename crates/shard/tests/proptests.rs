@@ -1,4 +1,4 @@
-//! Property coverage for the sharded engine's two core contracts:
+//! Property coverage for the sharded engine's core contracts:
 //!
 //! * **Zero-cross equivalence** — over random disconnected community
 //!   networks with component-aligned partitions and purely shard-local
@@ -6,9 +6,15 @@
 //!   bit-identical to a single `Engine` fed the same stream: records
 //!   (admissions with routes and epochs), payments, events, residual
 //!   loads.
+//! * **Paid guard-pressure + cross equivalence** — the same
+//!   bit-identity holds with tight capacities that trip the per-epoch
+//!   guard (so payment probes guard-stop) and with unroutable
+//!   cross-shard arrivals in the stream: the merged-trace payment pass
+//!   replays the exact probe schedule a single engine would run.
 //! * **Snapshot lockstep** — snapshots of sharded runs (with cross
-//!   traffic and leases in play) restore and continue bit-identically
-//!   per shard and globally, from any epoch boundary.
+//!   traffic, leases, and the deferred global-payment pass in play)
+//!   restore and continue bit-identically per shard and globally, from
+//!   any epoch boundary.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -24,10 +30,17 @@ use ufp_workloads::arrivals::ArrivalProcess;
 use ufp_workloads::sharded::{block_shard_map, sharded_arrival_trace, ShardedTraceConfig};
 
 /// Random sharded scenario: a community digraph (`inter_edges` zero or
-/// small per the caller), its block partition, and a churned trace.
+/// small per the caller, capacities from `caps`), its block partition,
+/// and a churned trace with `mean` arrivals per epoch. When
+/// `unroutable_cross` is set, cross endpoints skip the connectivity
+/// filter — the disconnected-communities flavor of cross traffic that
+/// stays inside the bit-equivalence regime.
 fn arb_scenario(
     inter_edges: std::ops::Range<usize>,
     cross: bool,
+    unroutable_cross: bool,
+    caps: (f64, f64),
+    mean: f64,
 ) -> impl Strategy<Value = (Arc<Graph>, usize, Vec<Vec<Arrival>>, f64)> {
     (
         2usize..5,    // shards
@@ -45,8 +58,8 @@ fn arb_scenario(
                     nodes_per,
                     (nodes_per * 4).min(nodes_per * (nodes_per - 1)),
                     inter,
-                    (50.0, 90.0),
-                    (50.0, 90.0),
+                    caps,
+                    caps,
                     &mut rng,
                 );
                 let map = block_shard_map(graph.num_nodes(), shards);
@@ -55,10 +68,11 @@ fn arb_scenario(
                     &map,
                     &ShardedTraceConfig {
                         epochs,
-                        process: ArrivalProcess::Poisson { mean: 14.0 },
+                        process: ArrivalProcess::Poisson { mean },
                         cross_fraction: if cross { 0.25 } else { 0.0 },
                         hotspot_pairs: Some(3),
                         ttl_range: Some((1, 3)),
+                        allow_unroutable_cross: unroutable_cross,
                         seed: seed ^ 0xABCD,
                         ..Default::default()
                     },
@@ -76,63 +90,108 @@ fn engine_config(epsilon: f64) -> EngineConfig {
     }
 }
 
+/// Drive a sharded run and a single-engine run over the same stream and
+/// assert bit-identity on every deterministic observable: per-epoch
+/// reports, admissions (routes, epochs, payments), events, residual
+/// loads.
+fn run_pair_and_assert_identical(
+    graph: &Arc<Graph>,
+    shards: usize,
+    trace: &[Vec<Arrival>],
+    epsilon: f64,
+) -> Result<(), TestCaseError> {
+    let cfg = engine_config(epsilon);
+    let plan = NodeBlocks.partition(graph, shards);
+    let mut sharded = ShardedEngine::new(
+        Arc::clone(graph),
+        plan,
+        ShardConfig {
+            engine: cfg.clone(),
+            lease_fraction: 0.5,
+            ..Default::default()
+        },
+    );
+    let mut single = Engine::from_shared(Arc::clone(graph), cfg);
+    for batch in trace {
+        let rs = sharded.submit_batch(batch);
+        let ro = single.submit_batch(batch);
+        prop_assert_eq!(rs.accepted, ro.accepted, "epoch {} accepted", rs.epoch);
+        prop_assert_eq!(rs.released, ro.released, "epoch {} released", rs.epoch);
+        prop_assert_eq!(rs.stop, ro.stop, "epoch {} stop", rs.epoch);
+        prop_assert_eq!(
+            rs.revenue.to_bits(),
+            ro.revenue.to_bits(),
+            "epoch {} revenue {} vs {}",
+            rs.epoch,
+            rs.revenue,
+            ro.revenue
+        );
+    }
+    // Records: every admission, in order, with route/payment bits.
+    let (sh, si) = (sharded.admissions(), single.admissions());
+    prop_assert_eq!(sh.len(), si.len());
+    for (a, b) in sh.iter().zip(si) {
+        prop_assert_eq!(a.request, b.request);
+        prop_assert_eq!(a.path.nodes(), b.path.nodes());
+        prop_assert_eq!(a.epoch, b.epoch);
+        prop_assert_eq!(a.expires_at, b.expires_at);
+        prop_assert_eq!(a.released, b.released);
+        prop_assert_eq!(
+            a.payment.to_bits(),
+            b.payment.to_bits(),
+            "payment {} vs {}",
+            a.payment,
+            b.payment
+        );
+    }
+    // Events and loads.
+    prop_assert_eq!(sharded.events(), single.events());
+    for (a, b) in sharded
+        .residual()
+        .loads()
+        .iter()
+        .zip(single.residual().loads())
+    {
+        prop_assert_eq!(a.to_bits(), b.to_bits());
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// Zero cross-shard traffic ⇒ bit-identical to a single engine.
     #[test]
     fn zero_cross_is_bit_identical_to_single_engine(
-        (graph, shards, trace, epsilon) in arb_scenario(0..1, false)
+        (graph, shards, trace, epsilon) in arb_scenario(0..1, false, false, (50.0, 90.0), 14.0)
     ) {
-        let cfg = engine_config(epsilon);
-        let plan = NodeBlocks.partition(&graph, shards);
-        let mut sharded = ShardedEngine::new(
-            Arc::clone(&graph),
-            plan,
-            ShardConfig { engine: cfg.clone(), lease_fraction: 0.5 },
-        );
-        let mut single = Engine::from_shared(Arc::clone(&graph), cfg);
-        for batch in &trace {
-            let rs = sharded.submit_batch(batch);
-            let ro = single.submit_batch(batch);
-            prop_assert_eq!(rs.accepted, ro.accepted, "epoch {} accepted", rs.epoch);
-            prop_assert_eq!(rs.released, ro.released, "epoch {} released", rs.epoch);
-            prop_assert_eq!(rs.stop, ro.stop, "epoch {} stop", rs.epoch);
-            prop_assert_eq!(
-                rs.revenue.to_bits(), ro.revenue.to_bits(),
-                "epoch {} revenue {} vs {}", rs.epoch, rs.revenue, ro.revenue
-            );
-        }
-        // Records: every admission, in order, with route/payment bits.
-        let (sh, si) = (sharded.admissions(), single.admissions());
-        prop_assert_eq!(sh.len(), si.len());
-        for (a, b) in sh.iter().zip(si) {
-            prop_assert_eq!(a.request, b.request);
-            prop_assert_eq!(a.path.nodes(), b.path.nodes());
-            prop_assert_eq!(a.epoch, b.epoch);
-            prop_assert_eq!(a.expires_at, b.expires_at);
-            prop_assert_eq!(a.released, b.released);
-            prop_assert_eq!(
-                a.payment.to_bits(), b.payment.to_bits(),
-                "payment {} vs {}", a.payment, b.payment
-            );
-        }
-        // Events and loads.
-        prop_assert_eq!(sharded.events(), single.events());
-        for (a, b) in sharded.residual().loads().iter().zip(single.residual().loads()) {
-            prop_assert_eq!(a.to_bits(), b.to_bits());
-        }
+        run_pair_and_assert_identical(&graph, shards, &trace, epsilon)?;
     }
 
-    /// Snapshots of sharded runs (cross traffic + leases in play)
-    /// restore and continue in lockstep from any epoch boundary.
+    /// Tight capacities (guard-stopping epochs and payment probes) plus
+    /// unroutable cross-shard arrivals ⇒ still bit-identical, payments
+    /// included: the full contract PR 8 upgraded the zero-cross one to.
+    #[test]
+    fn paid_guard_pressure_and_cross_traffic_are_bit_identical(
+        (graph, shards, trace, epsilon) in arb_scenario(0..1, true, true, (6.0, 12.0), 30.0)
+    ) {
+        run_pair_and_assert_identical(&graph, shards, &trace, epsilon)?;
+    }
+
+    /// Snapshots of sharded runs (cross traffic + leases + the deferred
+    /// global-payment pass in play) restore and continue in lockstep
+    /// from any epoch boundary.
     #[test]
     fn snapshots_restore_and_continue_in_lockstep(
-        (graph, shards, trace, epsilon) in arb_scenario(8..20, true),
+        (graph, shards, trace, epsilon) in arb_scenario(8..20, true, false, (50.0, 90.0), 14.0),
         split_frac in 0.0f64..1.0
     ) {
         let cfg = engine_config(epsilon);
-        let shard_config = ShardConfig { engine: cfg, lease_fraction: 0.5 };
+        let shard_config = ShardConfig {
+            engine: cfg,
+            lease_fraction: 0.5,
+            ..Default::default()
+        };
         let plan = NodeBlocks.partition(&graph, shards);
         let mut unbroken =
             ShardedEngine::new(Arc::clone(&graph), plan.clone(), shard_config.clone());

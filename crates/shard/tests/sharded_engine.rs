@@ -7,7 +7,11 @@
 //! * one shard over a *general* (connected) topology is bit-identical
 //!   to a single engine (the degenerate partition);
 //! * guard pressure: the merge truncates shard over-admissions exactly
-//!   where a single engine's guard would stop (payments off);
+//!   where a single engine's guard would stop, and the global payment
+//!   pass prices the survivors identically — guard-stopping probes
+//!   included;
+//! * unroutable cross-shard arrivals (disconnected communities) leave
+//!   the paid equivalence intact: both engines reject them identically;
 //! * general cross-shard traffic stays feasible, deterministic, and
 //!   respects the lease ledger;
 //! * snapshots restore and continue in lockstep, and refuse a changed
@@ -26,7 +30,9 @@ use ufp_workloads::arrivals::ArrivalProcess;
 use ufp_workloads::sharded::{block_shard_map, sharded_arrival_trace, ShardedTraceConfig};
 
 /// Disconnected 4-community graph, block shard map, and a shard-local
-/// (or mixed) arrival trace.
+/// (or mixed) arrival trace. With `inter_edges == 0` any cross traffic
+/// must be sampled in the unroutable mode (there is nothing to route it
+/// over), which is exactly the bit-equivalence regime's cross flavor.
 fn community_scenario(
     inter_edges: usize,
     cross_fraction: f64,
@@ -43,6 +49,7 @@ fn community_scenario(
         cross_fraction,
         hotspot_pairs: Some(3),
         ttl_range: Some((1, 3)),
+        allow_unroutable_cross: inter_edges == 0 && cross_fraction > 0.0,
         seed: seed ^ 0x5eed,
         ..Default::default()
     };
@@ -114,6 +121,7 @@ fn zero_cross_traffic_matches_single_engine_with_payments_and_churn() {
         ShardConfig {
             engine: cfg.clone(),
             lease_fraction: 0.5,
+            ..Default::default()
         },
     );
     let mut single = Engine::from_shared(Arc::clone(&graph), cfg);
@@ -171,6 +179,7 @@ fn single_shard_on_connected_graph_matches_single_engine() {
         ShardConfig {
             engine: cfg.clone(),
             lease_fraction: 0.5,
+            ..Default::default()
         },
     );
     let mut single = Engine::from_shared(Arc::clone(&graph), cfg);
@@ -183,17 +192,23 @@ fn single_shard_on_connected_graph_matches_single_engine() {
 
 #[test]
 fn guard_pressure_truncates_exactly_like_a_single_engine() {
-    // Tight capacities: the per-epoch guard trips. With payments off,
-    // the merge's global-guard truncation must reproduce the single
-    // engine's stop point bit for bit.
+    // Tight capacities: the per-epoch guard trips. The merge's
+    // global-guard truncation must reproduce the single engine's stop
+    // point bit for bit — and with critical-value payments ON, the
+    // global payment pass must price every survivor identically even
+    // though many of its bisection probes themselves stop on the guard
+    // (the regime the old per-shard pass documented as divergent).
+    // Capacities sized so e^{ε(B−1)} sits a little above the initial
+    // dual mass (= edge count): epochs admit a handful of requests and
+    // then guard-stop mid-epoch rather than at iteration zero.
     let mut rng = StdRng::seed_from_u64(21);
     let graph = Arc::new(generators::community_digraph(
         3,
         8,
         30,
         0,
-        (6.0, 9.0),
-        (6.0, 9.0),
+        (10.0, 14.0),
+        (10.0, 14.0),
         &mut rng,
     ));
     let map = block_shard_map(graph.num_nodes(), 3);
@@ -204,12 +219,15 @@ fn guard_pressure_truncates_exactly_like_a_single_engine() {
             epochs: 6,
             process: ArrivalProcess::Poisson { mean: 40.0 },
             cross_fraction: 0.0,
-            hotspot_pairs: Some(2),
+            // One hotspot pair per shard: every request in a shard
+            // competes for the same path, so critical values are real
+            // (losing bidders displace winners at lower declarations).
+            hotspot_pairs: Some(1),
             seed: 7,
             ..Default::default()
         },
     );
-    let cfg = engine_config(PaymentPolicy::None);
+    let cfg = engine_config(PaymentPolicy::critical_value());
     let plan = NodeBlocks.partition(&graph, 3);
     let mut sharded = ShardedEngine::new(
         Arc::clone(&graph),
@@ -217,6 +235,7 @@ fn guard_pressure_truncates_exactly_like_a_single_engine() {
         ShardConfig {
             engine: cfg.clone(),
             lease_fraction: 0.5,
+            ..Default::default()
         },
     );
     let mut single = Engine::from_shared(Arc::clone(&graph), cfg);
@@ -226,10 +245,69 @@ fn guard_pressure_truncates_exactly_like_a_single_engine() {
         let ro = single.submit_batch(batch);
         assert_eq!(rs.stop, ro.stop, "epoch {} stop reason", rs.epoch);
         assert_eq!(rs.accepted, ro.accepted, "epoch {} accepted", rs.epoch);
+        assert_eq!(
+            rs.revenue.to_bits(),
+            ro.revenue.to_bits(),
+            "epoch {} revenue",
+            rs.epoch
+        );
         guard_seen |= rs.stop == ufp_core::StopReason::Guard;
     }
     assert!(guard_seen, "fixture must actually trip the guard");
+    assert!(
+        !sharded.admissions().is_empty(),
+        "fixture must actually admit someone before the guard trips"
+    );
+    assert!(
+        sharded.admissions().iter().any(|a| a.payment > 0.0),
+        "fixture must actually charge someone"
+    );
     assert_bit_identical(&sharded, &single);
+}
+
+#[test]
+fn unroutable_cross_paid_traffic_matches_single_engine() {
+    // Disconnected communities with a 30% cross fraction sampled in the
+    // unroutable mode: both engines must reject every cross arrival and
+    // stay bit-identical — admissions AND critical-value payments —
+    // because the merged-trace payment pass replays the same global
+    // probe schedule either way.
+    let (graph, map, trace) = community_scenario(0, 0.3, 8, 17);
+    let cross = trace
+        .iter()
+        .flatten()
+        .filter(|a| ufp_workloads::sharded::shard_label(&map, a).is_none())
+        .count();
+    assert!(cross > 0, "scenario must contain cross-shard arrivals");
+    let cfg = engine_config(PaymentPolicy::critical_value());
+    let mut sharded = ShardedEngine::new(
+        Arc::clone(&graph),
+        NodeBlocks.partition(&graph, 4),
+        ShardConfig {
+            engine: cfg.clone(),
+            lease_fraction: 0.5,
+            ..Default::default()
+        },
+    );
+    let mut single = Engine::from_shared(Arc::clone(&graph), cfg);
+    for batch in &trace {
+        let rs = sharded.submit_batch(batch);
+        let ro = single.submit_batch(batch);
+        assert_eq!(rs.accepted, ro.accepted, "epoch {} accepted", rs.epoch);
+        assert_eq!(rs.stop, ro.stop, "epoch {} stop", rs.epoch);
+        assert_eq!(
+            rs.revenue.to_bits(),
+            ro.revenue.to_bits(),
+            "epoch {} revenue",
+            rs.epoch
+        );
+    }
+    assert_bit_identical(&sharded, &single);
+    // The cross arrivals reached the reconciler and were all rejected
+    // (nothing can route between disconnected components).
+    let stats = sharded.shard_stats();
+    assert_eq!(stats[4].requests, cross, "reconciler saw the cross load");
+    assert_eq!(stats[4].admissions, 0, "unroutable traffic must not land");
 }
 
 #[test]
@@ -243,6 +321,7 @@ fn cross_traffic_is_feasible_deterministic_and_leased() {
             ShardConfig {
                 engine: cfg.clone(),
                 lease_fraction: 0.6,
+                ..Default::default()
             },
         )
     };
@@ -297,6 +376,7 @@ fn zero_lease_fraction_starves_shards_of_boundary_edges() {
         ShardConfig {
             engine: cfg,
             lease_fraction: 0.0,
+            ..Default::default()
         },
     );
     for batch in &trace {
@@ -327,6 +407,7 @@ fn snapshot_restores_and_continues_in_lockstep() {
     let shard_config = ShardConfig {
         engine: cfg,
         lease_fraction: 0.5,
+        ..Default::default()
     };
     let plan = NodeBlocks.partition(&graph, 4);
     let mut unbroken = ShardedEngine::new(Arc::clone(&graph), plan.clone(), shard_config.clone());
@@ -381,6 +462,7 @@ fn snapshot_refuses_changed_layout_or_lease() {
     let shard_config = ShardConfig {
         engine: cfg,
         lease_fraction: 0.5,
+        ..Default::default()
     };
     let plan = NodeBlocks.partition(&graph, 4);
     let mut engine = ShardedEngine::new(Arc::clone(&graph), plan.clone(), shard_config.clone());
@@ -440,6 +522,7 @@ fn event_log_shape_matches_engine_contract() {
         ShardConfig {
             engine: cfg,
             lease_fraction: 0.5,
+            ..Default::default()
         },
     );
     for batch in &trace {

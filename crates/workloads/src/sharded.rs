@@ -44,6 +44,13 @@ pub struct ShardedTraceConfig {
     pub values: ValueModel,
     /// Churn: `Some((lo, hi))` draws each TTL uniformly from `lo..=hi`.
     pub ttl_range: Option<(u32, u32)>,
+    /// When set, cross-shard endpoints are sampled **without** the
+    /// connectivity filter: any `(src, dst)` pair spanning two shards
+    /// qualifies, reachable or not. This is how cross traffic is
+    /// injected over *disconnected* communities — every engine
+    /// (sharded or single) rejects the unroutable requests identically,
+    /// which keeps such traces inside the bit-equivalence regime.
+    pub allow_unroutable_cross: bool,
     /// RNG seed.
     pub seed: u64,
 }
@@ -58,6 +65,7 @@ impl Default for ShardedTraceConfig {
             demand_range: (0.2, 1.0),
             values: ValueModel::Uniform(0.5, 2.0),
             ttl_range: None,
+            allow_unroutable_cross: false,
             seed: 1,
         }
     }
@@ -82,10 +90,16 @@ struct ShardSampler<'a> {
     /// Fixed hotspot pools: one per shard plus one cross pool at the end.
     pools: Vec<Vec<(NodeId, NodeId)>>,
     pool_target: usize,
+    allow_unroutable_cross: bool,
 }
 
 impl<'a> ShardSampler<'a> {
-    fn new(graph: &Graph, node_shard: &'a [u32], hotspot_pairs: Option<usize>) -> Self {
+    fn new(
+        graph: &Graph,
+        node_shard: &'a [u32],
+        hotspot_pairs: Option<usize>,
+        allow_unroutable_cross: bool,
+    ) -> Self {
         assert_eq!(node_shard.len(), graph.num_nodes(), "shard map length");
         let shards = node_shard
             .iter()
@@ -107,6 +121,7 @@ impl<'a> ShardSampler<'a> {
             reach_cache: vec![None; graph.num_nodes()],
             pools: vec![Vec::new(); shards + 1],
             pool_target: hotspot_pairs.unwrap_or(0),
+            allow_unroutable_cross,
         }
     }
 
@@ -124,7 +139,8 @@ impl<'a> ShardSampler<'a> {
     /// Draw one pair: intra-shard within `Some(shard)`, cross-shard for
     /// `None`. Panics when the graph cannot supply such a pair within a
     /// generous retry budget (e.g. cross traffic requested over
-    /// disconnected communities).
+    /// disconnected communities) — unless `allow_unroutable_cross`
+    /// lifts the connectivity requirement for the cross pool.
     fn sample<R: Rng>(
         &mut self,
         graph: &Graph,
@@ -135,6 +151,21 @@ impl<'a> ShardSampler<'a> {
         if self.pool_target > 0 && self.pools[pool_idx].len() >= self.pool_target {
             let pool = &self.pools[pool_idx];
             return pool[rng.random_range(0..pool.len())];
+        }
+        if shard.is_none() && self.allow_unroutable_cross {
+            assert!(self.shards >= 2, "cross traffic needs at least two shards");
+            let src = NodeId(rng.random_range(0..graph.num_nodes() as u32));
+            let src_shard = self.node_shard[src.index()] as usize;
+            let mut other = rng.random_range(0..self.shards - 1);
+            if other >= src_shard {
+                other += 1;
+            }
+            let m = &self.members[other];
+            let dst = NodeId(m[rng.random_range(0..m.len())]);
+            if self.pool_target > 0 {
+                self.pools[pool_idx].push((src, dst));
+            }
+            return (src, dst);
         }
         let mut attempts = 0usize;
         loop {
@@ -199,7 +230,12 @@ pub fn sharded_arrival_trace(
         assert!(1 <= lo && lo <= hi, "ttl range must be 1 <= lo <= hi");
     }
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut sampler = ShardSampler::new(graph, node_shard, config.hotspot_pairs);
+    let mut sampler = ShardSampler::new(
+        graph,
+        node_shard,
+        config.hotspot_pairs,
+        config.allow_unroutable_cross,
+    );
     let shards = sampler.shards;
     let mut trace = Vec::with_capacity(config.epochs);
     for t in 0..config.epochs {
@@ -345,6 +381,43 @@ mod tests {
             "expected ≤ 3 cross hotspot pairs, got {}",
             cross_pairs.len()
         );
+    }
+
+    #[test]
+    fn unroutable_cross_samples_over_disconnected_communities() {
+        // inter = 0: communities are disconnected, so the reachability
+        // filter can never supply a cross pair — the lifted mode must.
+        let (g, map) = community(0, 5);
+        let cfg = ShardedTraceConfig {
+            epochs: 8,
+            process: ArrivalProcess::Poisson { mean: 60.0 },
+            cross_fraction: 0.25,
+            allow_unroutable_cross: true,
+            ..Default::default()
+        };
+        let trace = sharded_arrival_trace(&g, &map, &cfg);
+        let total: usize = trace.iter().map(Vec::len).sum();
+        let cross = trace
+            .iter()
+            .flatten()
+            .filter(|a| shard_label(&map, a).is_none())
+            .count();
+        assert!(
+            cross > 0 && cross < total,
+            "expected a mix of cross and local arrivals ({cross}/{total})"
+        );
+        // Every cross pair really does span two disconnected
+        // communities: no path can exist.
+        for a in trace.iter().flatten() {
+            if shard_label(&map, a).is_none() {
+                let d = bfs::hop_distances(&g, a.request.src);
+                assert_eq!(
+                    d[a.request.dst.index()],
+                    usize::MAX,
+                    "cross pair unexpectedly routable"
+                );
+            }
+        }
     }
 
     #[test]
