@@ -41,6 +41,20 @@
 //! crash-and-restore run's deterministic output (`--json` minus the
 //! `"timing"` object) is **byte-identical** to the unbroken run's.
 //!
+//! Failure injection: `--fail-trace SEED` generates a deterministic
+//! per-epoch [`TopologyEvent`] stream (`--flap-rate` independent link
+//! flaps, `--resize-rate` capacity rescales, `--outage-rate` correlated
+//! regional outages, repeatable `--drain NODE,START,DURATION` planned
+//! maintenance windows) and applies each epoch's batch through the
+//! engine's repair pass before that epoch's arrivals: evictions are
+//! priced and refunded through the event log, and re-admission
+//! candidates rejoin the arrival stream ahead of the next scheduled
+//! batch. The snapshot's own topology event log is the restore-time
+//! authority: a snapshot whose log is an ancestor of the regenerated
+//! trace is migrated forward (typed migration, reported on stderr); a
+//! divergent log is refused with the typed `GraphMismatch` error and a
+//! nonzero exit code.
+//!
 //! ```text
 //! cargo run -p ufp-bench --release --bin engine_sim
 //! cargo run -p ufp-bench --release --bin engine_sim -- \
@@ -60,16 +74,18 @@ use ufp_core::StopReason;
 use ufp_engine::codec::{CodecError, Fnv64, Reader, Writer};
 use ufp_engine::{
     Arrival, Engine, EngineConfig, EpochReport, EventLevel, PaymentPolicy, SelectionStrategy,
-    SnapshotStore,
+    SnapshotStore, Topology, TopologyError, TopologyEvent, TopologyReport,
 };
 use ufp_netgraph::generators;
 use ufp_netgraph::graph::Graph;
+use ufp_netgraph::ids::NodeId;
 use ufp_par::Pool;
 use ufp_shard::{
     EdgeCut, HotspotPairs, NodeBlocks, Partitioner, PaymentScope, ShardConfig, ShardStats,
     ShardedEngine,
 };
 use ufp_workloads::arrivals::{arrival_trace, ArrivalProcess, ArrivalTraceConfig};
+use ufp_workloads::failures::{failure_trace, DrainWindow, FailureTraceConfig};
 use ufp_workloads::random_ufp::required_b;
 use ufp_workloads::sharded::{block_shard_map, sharded_arrival_trace, ShardedTraceConfig};
 
@@ -103,6 +119,11 @@ struct Options {
     trace_chrome: Option<String>,
     metrics_out: Option<String>,
     profile: bool,
+    fail_seed: Option<u64>,
+    flap_rate: f64,
+    resize_rate: f64,
+    outage_rate: f64,
+    drains: Vec<DrainWindow>,
 }
 
 impl Default for Options {
@@ -137,6 +158,11 @@ impl Default for Options {
             trace_chrome: None,
             metrics_out: None,
             profile: false,
+            fail_seed: None,
+            flap_rate: 0.0,
+            resize_rate: 0.0,
+            outage_rate: 0.0,
+            drains: Vec::new(),
         }
     }
 }
@@ -154,6 +180,30 @@ impl Sim {
         match self {
             Sim::Single(e) => e.submit_batch(batch),
             Sim::Sharded(e) => e.submit_batch(batch),
+        }
+    }
+
+    fn apply_topology(
+        &mut self,
+        events: &[TopologyEvent],
+    ) -> Result<TopologyReport, TopologyError> {
+        match self {
+            Sim::Single(e) => e.apply_topology(events),
+            Sim::Sharded(e) => e.apply_topology(events),
+        }
+    }
+
+    fn drain_readmissions(&mut self) -> Vec<Arrival> {
+        match self {
+            Sim::Single(e) => e.drain_readmissions(),
+            Sim::Sharded(e) => e.drain_readmissions(),
+        }
+    }
+
+    fn topology(&self) -> &Topology {
+        match self {
+            Sim::Single(e) => e.topology(),
+            Sim::Sharded(e) => e.topology(),
         }
     }
 
@@ -210,6 +260,17 @@ impl Sim {
     }
 
     fn feasibility(&self, check_cumulative: bool) -> (bool, Option<bool>) {
+        // On a mutated topology the base-capacity instance no longer
+        // describes the network: audit the active admissions against the
+        // *effective* capacities instead, and skip the cumulative check
+        // (evictions release capacity, like churn).
+        if !self.topology().is_pristine() {
+            let active_ok = match self {
+                Sim::Single(e) => e.verify_active_feasibility().is_ok(),
+                Sim::Sharded(e) => e.verify_active_feasibility().is_ok(),
+            };
+            return (active_ok, None);
+        }
         let (instance, active, cumulative) = match self {
             Sim::Single(e) => (e.instance(), e.active_solution(), e.cumulative_solution()),
             Sim::Sharded(e) => (e.instance(), e.active_solution(), e.cumulative_solution()),
@@ -232,7 +293,13 @@ impl Sim {
 /// section (bumped independently of the engine codec version).
 /// v2: community/cross-traffic trace flags joined the fingerprint.
 /// v3: the unroutable-cross sampling mode joined (it changes the trace).
-const DRIVER_VERSION: u8 = 3;
+/// v4: dynamic-topology runs (engine codec v2). The failure-trace flags
+/// are deliberately *not* part of the blob: the snapshot's own topology
+/// event log is the restore-time authority, checked against the
+/// regenerated trace by [`Engine::restore_with_topology`]'s
+/// ancestor/fingerprint test (divergence is the typed `GraphMismatch`;
+/// a shorter stored log is migrated forward explicitly).
+const DRIVER_VERSION: u8 = 4;
 
 /// Digest of the full arrival trace: proof that a restore run's flags
 /// regenerate byte-for-byte the stream the snapshot was taken from. The
@@ -484,12 +551,65 @@ fn parse_options() -> Result<Options, String> {
                     return Err("--lease-fraction must lie in [0, 1]".to_string());
                 }
             }
+            "--fail-trace" => {
+                options.fail_seed =
+                    Some(value("--fail-trace")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--flap-rate" => {
+                options.flap_rate = value("--flap-rate")?.parse().map_err(|e| format!("{e}"))?;
+                if !(options.flap_rate >= 0.0 && options.flap_rate.is_finite()) {
+                    return Err("--flap-rate must be finite and non-negative".to_string());
+                }
+            }
+            "--resize-rate" => {
+                options.resize_rate = value("--resize-rate")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                if !(options.resize_rate >= 0.0 && options.resize_rate.is_finite()) {
+                    return Err("--resize-rate must be finite and non-negative".to_string());
+                }
+            }
+            "--outage-rate" => {
+                options.outage_rate = value("--outage-rate")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                if !(0.0..=1.0).contains(&options.outage_rate) {
+                    return Err("--outage-rate must lie in [0, 1]".to_string());
+                }
+            }
+            "--drain" => {
+                let spec = value("--drain")?;
+                let parts: Vec<&str> = spec.split(',').collect();
+                let [node, start, duration] = parts[..] else {
+                    return Err(format!("--drain wants node,start,duration, got {spec}"));
+                };
+                let window = DrainWindow {
+                    node: NodeId(node.parse().map_err(|e| format!("{e}"))?),
+                    start: start.parse().map_err(|e| format!("{e}"))?,
+                    duration: duration.parse().map_err(|e| format!("{e}"))?,
+                };
+                if window.duration == 0 {
+                    return Err("--drain duration must be at least 1".to_string());
+                }
+                options.drains.push(window);
+            }
             "--trace-out" => options.trace_out = Some(value("--trace-out")?),
             "--trace-chrome" => options.trace_chrome = Some(value("--trace-chrome")?),
             "--metrics-out" => options.metrics_out = Some(value("--metrics-out")?),
             "--profile" => options.profile = true,
             other => return Err(format!("unknown flag {other}")),
         }
+    }
+    if options.fail_seed.is_none()
+        && (options.flap_rate > 0.0
+            || options.resize_rate > 0.0
+            || options.outage_rate > 0.0
+            || !options.drains.is_empty())
+    {
+        return Err(
+            "--flap-rate / --resize-rate / --outage-rate / --drain require --fail-trace"
+                .to_string(),
+        );
     }
     Ok(options)
 }
@@ -591,6 +711,26 @@ fn main() -> ExitCode {
         )
     };
     let total_requests: usize = trace.iter().map(Vec::len).sum();
+
+    // Infrastructure-side trace: one TopologyEvent batch per epoch,
+    // deterministic in its own seed so demand and failures can vary
+    // independently. Empty when failure injection is off.
+    let fail_trace: Vec<Vec<TopologyEvent>> = match options.fail_seed {
+        None => Vec::new(),
+        Some(seed) => failure_trace(
+            &graph,
+            &FailureTraceConfig {
+                epochs: options.epochs as u32,
+                seed,
+                flap_rate: options.flap_rate,
+                resize_rate: options.resize_rate,
+                outage_rate: options.outage_rate,
+                drains: options.drains.clone(),
+                ..FailureTraceConfig::default()
+            },
+        ),
+    };
+    let total_topology_events: usize = fail_trace.iter().map(Vec::len).sum();
 
     // Replay.
     let payment_policy = match options.payments.as_str() {
@@ -745,12 +885,58 @@ fn main() -> ExitCode {
                             return ExitCode::FAILURE;
                         }
                     };
+                    // Topology authority check: the snapshot carries its
+                    // own overlay event log, which must be an ancestor of
+                    // the topology this run's failure trace implies at the
+                    // snapshot's watermark. A shorter stored log is
+                    // migrated forward (evictions priced and refunded); a
+                    // divergent one has no reconciling delta and is
+                    // refused with the typed `GraphMismatch`.
+                    let watermark = (recovered.epoch as usize).min(fail_trace.len());
+                    let target_events: Vec<TopologyEvent> =
+                        fail_trace[..watermark].iter().flatten().copied().collect();
+                    let target = match Topology::replay(&graph, &target_events) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            eprintln!("engine_sim: failure trace does not apply to the graph: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    let bytes = match std::fs::read(&recovered.path) {
+                        Ok(b) => b,
+                        Err(e) => {
+                            eprintln!(
+                                "engine_sim: cannot reread snapshot {}: {e}",
+                                recovered.path.display()
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    let (engine, migration) = match Engine::restore_with_topology(
+                        &bytes,
+                        Arc::clone(&graph),
+                        engine_config.clone(),
+                        &target,
+                    ) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            eprintln!("engine_sim: restore refused: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    if let Some(m) = migration {
+                        eprintln!(
+                            "engine_sim: topology migration v{} -> v{}: {} evicted, \
+                             {:.6} refunded, {} re-admission(s) queued",
+                            m.from_version, m.to_version, m.evicted, m.refunded, m.readmissions
+                        );
+                    }
                     eprintln!(
                         "engine_sim: restored epoch {} from {}",
                         recovered.epoch,
                         recovered.path.display()
                     );
-                    (Sim::Single(Box::new(recovered.engine)), stop_counts)
+                    (Sim::Single(Box::new(engine)), stop_counts)
                 }
             }
         }
@@ -776,6 +962,33 @@ fn main() -> ExitCode {
     let sample_every = (options.epochs / 10).max(1);
     let replay_started = Instant::now();
     for (t, batch) in trace.iter().enumerate().skip(start_epoch) {
+        // Infrastructure first: epoch `t`'s topology events run the
+        // repair pass (evictions priced and refunded, re-admission
+        // candidates queued), then survivors of past repairs rejoin the
+        // arrival stream ahead of the scheduled batch.
+        let merged: Vec<Arrival>;
+        let batch: &[Arrival] = if fail_trace.is_empty() {
+            batch
+        } else {
+            if let Some(events) = fail_trace.get(t) {
+                if !events.is_empty() {
+                    if let Err(e) = engine.apply_topology(events) {
+                        eprintln!("engine_sim: topology event refused at epoch {t}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let readmitted = engine.drain_readmissions();
+            if readmitted.is_empty() {
+                batch
+            } else {
+                merged = readmitted
+                    .into_iter()
+                    .chain(batch.iter().cloned())
+                    .collect();
+                &merged
+            }
+        };
         let report = engine.submit_batch(batch);
         stop_counts[match report.stop {
             StopReason::Exhausted => 0,
@@ -882,7 +1095,8 @@ fn main() -> ExitCode {
              \"shards\": {}, \"partitioner\": \"{}\", \"communities\": {}, \
              \"inter_edges\": {}, \"cross_fraction\": {}, \"cross_unroutable\": {}, \
              \"lease_fraction\": {}, \"payment_scope\": \"{}\", \
-             \"selection_strategy\": \"{:?}\"}},",
+             \"selection_strategy\": \"{:?}\", \"fail_seed\": {}, \"flap_rate\": {}, \
+             \"resize_rate\": {}, \"outage_rate\": {}, \"drains\": {}}},",
             options.nodes,
             options.edges,
             options.epochs,
@@ -903,22 +1117,35 @@ fn main() -> ExitCode {
             options.cross_unroutable,
             options.lease_fraction,
             options.payment_scope,
-            selection
+            selection,
+            options
+                .fail_seed
+                .map_or("null".to_string(), |s| s.to_string()),
+            options.flap_rate,
+            options.resize_rate,
+            options.outage_rate,
+            options.drains.len()
         );
         println!(
             "  \"totals\": {{\"requests\": {}, \"accepted\": {}, \"rejected\": {}, \
-             \"released\": {}, \"acceptance_rate\": {:.6}, \"value_admitted\": {:.6}, \
+             \"released\": {}, \"evicted\": {}, \"refunded\": {:.6}, \
+             \"acceptance_rate\": {:.6}, \"value_admitted\": {:.6}, \
              \"revenue\": {:.6}, \"utilization\": {:.6}, \"events_dropped\": {}, \
+             \"topology_events\": {}, \"links_down\": {}, \
              \"stops\": {{\"exhausted\": {}, \"guard\": {}, \"nopath\": {}, \"cap\": {}}}}},",
             total_requests,
             metrics.accepted,
             metrics.rejected,
             metrics.released,
+            metrics.evicted,
+            metrics.refunded,
             metrics.acceptance_rate(),
             metrics.value_admitted,
             metrics.revenue,
             engine.total_utilization(),
             engine.events_dropped(),
+            total_topology_events,
+            engine.topology().links_down(),
             stop_counts[0],
             stop_counts[1],
             stop_counts[2],
@@ -1029,6 +1256,19 @@ fn main() -> ExitCode {
     kv(&mut summary, "accepted", metrics.accepted.to_string());
     kv(&mut summary, "rejected", metrics.rejected.to_string());
     kv(&mut summary, "released", metrics.released.to_string());
+    kv(&mut summary, "evicted", metrics.evicted.to_string());
+    kv(&mut summary, "refunded", f2(metrics.refunded));
+    if options.fail_seed.is_some() {
+        kv(
+            &mut summary,
+            "topology events / links down",
+            format!(
+                "{}/{}",
+                total_topology_events,
+                engine.topology().links_down()
+            ),
+        );
+    }
     kv(
         &mut summary,
         "acceptance rate %",
@@ -1085,14 +1325,22 @@ fn main() -> ExitCode {
         ),
     );
 
-    if active_ok {
-        summary.note("active solution: check_feasible PASS");
+    let active_audit = if engine.topology().is_pristine() {
+        "check_feasible"
     } else {
-        summary.note("active solution: check_feasible FAIL");
+        "effective-capacity audit"
+    };
+    if active_ok {
+        summary.note(format!("active solution: {active_audit} PASS"));
+    } else {
+        summary.note(format!("active solution: {active_audit} FAIL"));
     }
     match cumulative_ok {
         Some(true) => summary.note("cumulative solution: check_feasible PASS"),
         Some(false) => summary.note("cumulative solution: check_feasible FAIL"),
+        None if options.fail_seed.is_some() => {
+            summary.note("cumulative feasibility skipped (evictions/churn release capacity)")
+        }
         None => summary.note("cumulative feasibility skipped (churn releases capacity)"),
     }
     print!("{}", summary.render());

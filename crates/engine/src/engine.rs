@@ -10,7 +10,9 @@ use ufp_core::{
 };
 use ufp_mechanism::{critical_value, critical_value_from_probe};
 use ufp_netgraph::graph::Graph;
+use ufp_netgraph::ids::EdgeId;
 use ufp_netgraph::residual::ResidualCaps;
+use ufp_netgraph::topology::{Topology, TopologyError, TopologyEvent};
 use ufp_obs::Phase;
 
 use crate::allocator::EpochAllocator;
@@ -18,6 +20,7 @@ use crate::codec::CodecError;
 use crate::config::{EngineConfig, EventLevel, PaymentPolicy};
 use crate::event::EngineEvent;
 use crate::metrics::EngineMetrics;
+use crate::snapshot::TopologyMigration;
 
 /// One arriving request, optionally with a lifetime.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -60,6 +63,27 @@ pub struct Admission {
     pub payment: f64,
     /// Whether the admission has been released.
     pub released: bool,
+    /// Whether the release was a topology-repair eviction (the payment
+    /// was refunded through the event log). Evicted implies released.
+    pub evicted: bool,
+}
+
+/// Summary of one [`Engine::apply_topology`] repair pass.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TopologyReport {
+    /// Topology version before the pass.
+    pub from_version: u64,
+    /// Topology version after the pass (`from_version` + events applied).
+    pub to_version: u64,
+    /// Admissions evicted by the pass.
+    pub evicted: usize,
+    /// Payments refunded to evicted admissions.
+    pub refunded: f64,
+    /// Evicted flows queued for re-admission in the next epoch (those
+    /// whose TTL has not already lapsed).
+    pub readmissions: usize,
+    /// Links down after the pass.
+    pub links_down: usize,
 }
 
 /// Externally supplied epoch context for [`Engine::plan_epoch`]: a
@@ -186,6 +210,13 @@ pub struct Engine {
     /// Resolved residual floor (see [`crate::config::ResidualFloor`]).
     pub(crate) floor: f64,
     pub(crate) residual: ResidualCaps,
+    /// Dynamic-topology overlay: effective capacities, link state, node
+    /// drains, and the event log that produced them. Pristine (version
+    /// 0) engines behave exactly as before the overlay existed.
+    pub(crate) topology: Topology,
+    /// Flows evicted by a topology repair, queued for re-admission:
+    /// drained by the driver into the next epoch's batch.
+    pub(crate) readmit_queue: Vec<Arrival>,
     /// Wall-clock cost of the most recent [`Engine::open_epoch`]'s TTL
     /// releases, folded into the next plan's latency sample so churn
     /// work keeps counting toward batch latency across the open/plan
@@ -225,6 +256,7 @@ impl Engine {
             .residual_floor
             .resolve(graph.num_edges(), config.epsilon);
         let residual = ResidualCaps::new(&graph);
+        let topology = Topology::new(&graph);
         let carry = vec![0.0; graph.num_edges()];
         Engine {
             graph,
@@ -232,6 +264,8 @@ impl Engine {
             allocator_config,
             floor,
             residual,
+            topology,
+            readmit_queue: Vec::new(),
             pending_release_cost: std::time::Duration::ZERO,
             carry,
             requests: Vec::new(),
@@ -384,7 +418,18 @@ impl Engine {
                     *k *= self.config.carry_decay;
                 }
                 let capacities = self.residual.residuals();
-                let usable = self.residual.usable_mask(self.floor);
+                let mut usable = self.residual.usable_mask(self.floor);
+                // Dynamic topology: down links and drained endpoints
+                // accept no *new* admissions. The residual tracker
+                // already carries effective capacities (a down link's
+                // residual is 0), but the usable mask's empty-edge
+                // clause would re-open an unloaded down link without
+                // this AND.
+                if !self.topology.is_pristine() {
+                    for (e, u) in usable.iter_mut().enumerate() {
+                        *u = *u && self.topology.available(EdgeId(e as u32));
+                    }
+                }
                 (capacities, usable, None, self.carry.clone())
             }
         };
@@ -553,6 +598,7 @@ impl Engine {
                 expires_at,
                 payment,
                 released: false,
+                evicted: false,
             });
             admitted_local[local.index()] = true;
             accepted += 1;
@@ -584,12 +630,23 @@ impl Engine {
         // proptest suite covers the property at every epoch boundary.
         #[cfg(debug_assertions)]
         if self.admissions.len() <= 10_000 {
-            assert!(
-                self.active_solution()
-                    .check_feasible(&self.instance(), false)
-                    .is_ok(),
-                "epoch {epoch} violated cumulative feasibility"
-            );
+            if self.topology.is_pristine() {
+                assert!(
+                    self.active_solution()
+                        .check_feasible(&self.instance(), false)
+                        .is_ok(),
+                    "epoch {epoch} violated cumulative feasibility"
+                );
+            } else {
+                // The base-graph check is wrong under mutation (a raise
+                // legitimately exceeds the base capacity; a lower must
+                // bound tighter): audit against effective capacities.
+                assert!(
+                    self.verify_active_feasibility().is_ok(),
+                    "epoch {epoch} violated effective-capacity feasibility: {:?}",
+                    self.verify_active_feasibility()
+                );
+            }
         }
 
         let released = released.len();
@@ -697,6 +754,280 @@ impl Engine {
             }
         }
         released
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic topology: mutation + deterministic repair.
+    // ------------------------------------------------------------------
+
+    /// Apply a batch of topology mutations between epochs and repair the
+    /// engine deterministically:
+    ///
+    /// 1. every event is validated, then applied to the overlay (all or
+    ///    nothing — a rejected event leaves the engine untouched);
+    /// 2. edges whose committed load now exceeds their effective
+    ///    capacity (a lowered link, or a failed one at capacity zero)
+    ///    evict affected active admissions in **(admission-epoch,
+    ///    global-id) order** until every surviving edge is feasible —
+    ///    each eviction refunds the admission's critical-value payment
+    ///    through the event log ([`EngineEvent::Evicted`], recorded at
+    ///    every event level so the refund audit never depends on
+    ///    verbosity);
+    /// 3. evicted flows whose TTL has not lapsed are queued for
+    ///    re-admission ([`Engine::drain_readmissions`]) with their
+    ///    original absolute expiry preserved;
+    /// 4. the residual tracker is **rebuilt from scratch** over the
+    ///    effective capacities by re-committing every surviving active
+    ///    admission in admission order — so a repaired engine's residual
+    ///    state is bit-identical to a fresh tracker on the post-mutation
+    ///    network replaying the surviving admissions (no float residue
+    ///    from the evictions survives).
+    ///
+    /// An empty event slice is a strict no-op. Node drains never evict
+    /// (they only block new admissions); capacity raises never evict
+    /// (they only rebuild the tracker with more headroom).
+    pub fn apply_topology(
+        &mut self,
+        events: &[TopologyEvent],
+    ) -> Result<TopologyReport, TopologyError> {
+        let obs = self.config.obs.clone();
+        let _span = obs.span(Phase::TopologyApply);
+        let from_version = self.topology.version();
+        for &ev in events {
+            self.topology.validate(ev)?;
+        }
+        if events.is_empty() {
+            return Ok(TopologyReport {
+                from_version,
+                to_version: from_version,
+                evicted: 0,
+                refunded: 0.0,
+                readmissions: 0,
+                links_down: self.topology.links_down(),
+            });
+        }
+        for &ev in events {
+            self.topology
+                .apply(ev)
+                .expect("pre-validated event must apply");
+        }
+        let evict = self.select_evictions();
+        Ok(self.finish_repair(from_version, &evict, true))
+    }
+
+    /// [`Engine::apply_topology`] with the eviction decision supplied by
+    /// the caller instead of scanned locally — the sharded path, where
+    /// only the orchestrator sees the *global* per-edge loads (several
+    /// shards share a boundary edge) and directs each owner engine to
+    /// evict its share. `evict` holds local admission indices in
+    /// (admission-epoch, global-id) order; re-admission queueing is the
+    /// orchestrator's job (`queue_readmissions: false`) unless the
+    /// caller wants the engine-local queue filled.
+    pub fn apply_topology_directed(
+        &mut self,
+        events: &[TopologyEvent],
+        evict: &[usize],
+        queue_readmissions: bool,
+    ) -> Result<TopologyReport, TopologyError> {
+        let obs = self.config.obs.clone();
+        let _span = obs.span(Phase::TopologyApply);
+        let from_version = self.topology.version();
+        for &ev in events {
+            self.topology.validate(ev)?;
+        }
+        for &ev in events {
+            self.topology
+                .apply(ev)
+                .expect("pre-validated event must apply");
+        }
+        Ok(self.finish_repair(from_version, evict, queue_readmissions))
+    }
+
+    /// Deterministic eviction scan over the post-mutation overlay:
+    /// committed loads are re-derived from the active admissions (in
+    /// admission order, the same summation a fresh tracker would do),
+    /// then admissions are visited in (admission-epoch, global-id)
+    /// order and evicted while they touch a still-violating edge. The
+    /// violating set only shrinks as loads drop, so one ordered pass
+    /// suffices and the result is independent of scan bookkeeping.
+    fn select_evictions(&self) -> Vec<usize> {
+        let m = self.graph.num_edges();
+        let mut loads = vec![0.0f64; m];
+        for a in self.admissions.iter().filter(|a| !a.released) {
+            let d = self.requests[a.request.index()].demand;
+            for &e in a.path.edges() {
+                loads[e.index()] += d;
+            }
+        }
+        let over = |load: f64, cap: f64| load > cap * (1.0 + 1e-9) + 1e-9;
+        let mut violating: Vec<bool> = (0..m)
+            .map(|e| over(loads[e], self.topology.effective_capacity(EdgeId(e as u32))))
+            .collect();
+        let mut remaining = violating.iter().filter(|&&v| v).count();
+        if remaining == 0 {
+            return Vec::new();
+        }
+        let mut order: Vec<usize> = (0..self.admissions.len())
+            .filter(|&i| !self.admissions[i].released)
+            .collect();
+        order.sort_by_key(|&i| (self.admissions[i].epoch, self.admissions[i].request.0));
+        let mut evict = Vec::new();
+        for i in order {
+            if remaining == 0 {
+                break;
+            }
+            let adm = &self.admissions[i];
+            if !adm.path.edges().iter().any(|e| violating[e.index()]) {
+                continue;
+            }
+            let d = self.requests[adm.request.index()].demand;
+            for &e in adm.path.edges() {
+                loads[e.index()] -= d;
+                let was = violating[e.index()];
+                let now = over(loads[e.index()], self.topology.effective_capacity(e));
+                violating[e.index()] = now;
+                if was && !now {
+                    remaining -= 1;
+                }
+            }
+            evict.push(i);
+        }
+        evict
+    }
+
+    /// Shared tail of both repair entry points: evict + refund, queue
+    /// re-admissions, rebuild the residual tracker over the effective
+    /// capacities, refresh the repair gauges, and report.
+    fn finish_repair(
+        &mut self,
+        from_version: u64,
+        evict: &[usize],
+        queue_readmissions: bool,
+    ) -> TopologyReport {
+        let obs = self.config.obs.clone();
+        let epoch = self.epoch;
+        let mut refunded = 0.0f64;
+        {
+            let _span = obs.span_attr(Phase::RepairEvict, "evictions", evict.len() as u64);
+            for &i in evict {
+                let adm = &mut self.admissions[i];
+                debug_assert!(!adm.released, "directed eviction of a released admission");
+                adm.released = true;
+                adm.evicted = true;
+                // Purge the expiry index, or `release_expired` would
+                // double-release the slot when the TTL lapses.
+                if let Some(exp) = adm.expires_at {
+                    if let Some(slots) = self.expiry_index.get_mut(&exp) {
+                        slots.retain(|&j| j != i);
+                        if slots.is_empty() {
+                            self.expiry_index.remove(&exp);
+                        }
+                    }
+                }
+                let request = self.admissions[i].request;
+                let refund = self.admissions[i].payment;
+                refunded += refund;
+                self.metrics.evicted += 1;
+                self.metrics.refunded += refund;
+                // Always logged (not gated on EventLevel::Request): the
+                // refund audit must hold at every verbosity.
+                self.push_event(EngineEvent::Evicted {
+                    epoch,
+                    request,
+                    refund,
+                });
+            }
+            obs.counter_add("engine.evictions_total", evict.len() as u64);
+        }
+
+        let mut readmissions = 0usize;
+        if queue_readmissions {
+            let _span = obs.span(Phase::RepairReadmit);
+            let next_epoch = epoch + 1;
+            for &i in evict {
+                let adm = &self.admissions[i];
+                let request = self.requests[adm.request.index()];
+                let arrival = match adm.expires_at {
+                    None => Some(Arrival::permanent(request)),
+                    // Preserve the absolute expiry epoch; a flow whose
+                    // TTL lapses by the next epoch is not re-queued (it
+                    // would be released on arrival).
+                    Some(exp) if exp > next_epoch => {
+                        Some(Arrival::with_ttl(request, (exp - next_epoch) as u32))
+                    }
+                    Some(_) => None,
+                };
+                if let Some(a) = arrival {
+                    self.readmit_queue.push(a);
+                    readmissions += 1;
+                }
+            }
+        }
+
+        self.rebuild_residual();
+        obs.gauge_set("engine.links_down", self.topology.links_down() as f64);
+        TopologyReport {
+            from_version,
+            to_version: self.topology.version(),
+            evicted: evict.len(),
+            refunded,
+            readmissions,
+            links_down: self.topology.links_down(),
+        }
+    }
+
+    /// Rebuild the residual tracker from scratch: effective capacities,
+    /// then every surviving active admission committed in admission
+    /// order — exactly the additions a fresh engine on the post-mutation
+    /// network would perform replaying the surviving admissions, so the
+    /// repaired loads are bit-identical to that fresh run by
+    /// construction.
+    fn rebuild_residual(&mut self) {
+        let mut residual = ResidualCaps::with_caps(self.topology.effective_capacities())
+            .expect("validated topology capacities are finite and non-negative");
+        for a in self.admissions.iter().filter(|a| !a.released) {
+            residual.commit(&a.path, self.requests[a.request.index()].demand);
+        }
+        self.residual = residual;
+    }
+
+    /// Drain the re-admission queue: flows evicted by topology repairs,
+    /// as arrivals for the next batch (original request, TTL shortened
+    /// to preserve the absolute expiry). The driver merges these ahead
+    /// of the epoch's scheduled arrivals.
+    pub fn drain_readmissions(&mut self) -> Vec<Arrival> {
+        std::mem::take(&mut self.readmit_queue)
+    }
+
+    /// The dynamic-topology overlay (version, event log, fingerprint,
+    /// effective capacities).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Audit the active admissions against the **effective** (topology-
+    /// aware) capacities: recompute per-edge loads and check every edge
+    /// within the feasibility tolerance. This is the post-mutation
+    /// replacement for `active_solution().check_feasible(..)`, whose
+    /// base-graph capacities are wrong once links have been resized.
+    pub fn verify_active_feasibility(&self) -> Result<(), String> {
+        let m = self.graph.num_edges();
+        let mut loads = vec![0.0f64; m];
+        for a in self.admissions.iter().filter(|a| !a.released) {
+            let d = self.requests[a.request.index()].demand;
+            for &e in a.path.edges() {
+                loads[e.index()] += d;
+            }
+        }
+        for (e, &load) in loads.iter().enumerate() {
+            let cap = self.topology.effective_capacity(EdgeId(e as u32));
+            if load > cap * (1.0 + 1e-9) + 1e-9 {
+                return Err(format!(
+                    "edge {e} overloaded: load {load} > effective capacity {cap}"
+                ));
+            }
+        }
+        Ok(())
     }
 
     fn compute_payments(
@@ -936,6 +1267,62 @@ impl Engine {
         config: EngineConfig,
     ) -> Result<(Engine, Vec<u8>), CodecError> {
         crate::snapshot::decode_engine(bytes, graph, config)
+    }
+
+    /// Restore onto a possibly **mutated** topology: the explicit, typed
+    /// migration path for snapshots taken before further topology
+    /// events were applied.
+    ///
+    /// The snapshot's stored overlay event log must be a *prefix* of
+    /// `target`'s — i.e. the live topology must descend from the
+    /// snapshot's by appending events. If it is:
+    ///
+    /// - identical log → plain restore, `None` migration;
+    /// - proper prefix → the missing event delta
+    ///   ([`ufp_netgraph::Topology::events_since`]) is replayed through
+    ///   the normal repair pass ([`Engine::apply_topology`]) — evicting
+    ///   newly infeasible admissions with refunds, queueing
+    ///   re-admissions — and the [`TopologyMigration`] report is
+    ///   returned.
+    ///
+    /// Any divergence (the target rewrote history, or belongs to a
+    /// different base graph) is a typed [`CodecError::GraphMismatch`] —
+    /// never a silent reinterpretation of loads over the wrong
+    /// capacities, never a panic.
+    pub fn restore_with_topology(
+        bytes: &[u8],
+        graph: Arc<Graph>,
+        config: EngineConfig,
+        target: &Topology,
+    ) -> Result<(Engine, Option<TopologyMigration>), CodecError> {
+        let (mut engine, _) = crate::snapshot::decode_engine(bytes, graph, config)?;
+        let stored = engine.topology.log();
+        let live = target.log();
+        if stored.len() > live.len() || stored != &live[..stored.len()] {
+            return Err(CodecError::GraphMismatch {
+                context: "snapshot topology is not an ancestor of the live topology",
+            });
+        }
+        if stored.len() == live.len() {
+            return Ok((engine, None));
+        }
+        let delta = target.events_since(engine.topology.version()).to_vec();
+        let report = engine
+            .apply_topology(&delta)
+            .map_err(|_| CodecError::GraphMismatch {
+                context: "topology migration delta does not apply to the restored graph",
+            })?;
+        debug_assert_eq!(engine.topology.fingerprint(), target.fingerprint());
+        Ok((
+            engine,
+            Some(TopologyMigration {
+                from_version: report.from_version,
+                to_version: report.to_version,
+                evicted: report.evicted,
+                refunded: report.refunded,
+                readmissions: report.readmissions,
+            }),
+        ))
     }
 
     // ------------------------------------------------------------------

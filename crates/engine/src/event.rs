@@ -40,6 +40,20 @@ pub enum EngineEvent {
         /// Global request id.
         request: RequestId,
     },
+    /// An admission was evicted by a topology repair (link failure or
+    /// capacity lower) and its payment refunded. Unlike the per-request
+    /// admission events, evictions are logged at **every** event level:
+    /// the refund audit — Σ refunds == Σ payments of evicted admissions
+    /// — must hold regardless of verbosity.
+    Evicted {
+        /// Epoch the repair ran after (the eviction takes effect before
+        /// epoch `epoch + 1` plans).
+        epoch: u64,
+        /// Global request id.
+        request: RequestId,
+        /// Refunded payment (exactly the payment charged at admission).
+        refund: f64,
+    },
     /// The epoch's allocation run finished.
     EpochCompleted {
         /// Epoch number.
@@ -67,6 +81,7 @@ impl EngineEvent {
             | EngineEvent::Admitted { epoch, .. }
             | EngineEvent::Rejected { epoch, .. }
             | EngineEvent::Released { epoch, .. }
+            | EngineEvent::Evicted { epoch, .. }
             | EngineEvent::EpochCompleted { epoch, .. } => epoch,
         }
     }

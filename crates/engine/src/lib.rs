@@ -113,8 +113,11 @@ pub mod snapshot;
 pub use allocator::EpochAllocator;
 pub use codec::CodecError;
 pub use config::{EngineConfig, EventLevel, PaymentPolicy, ResidualFloor};
-pub use engine::{Admission, Arrival, Engine, EpochOverride, EpochPlan, EpochReport};
+pub use engine::{
+    Admission, Arrival, Engine, EpochOverride, EpochPlan, EpochReport, TopologyReport,
+};
 pub use event::EngineEvent;
 pub use metrics::EngineMetrics;
-pub use snapshot::{Recovered, SnapshotStore};
+pub use snapshot::{Recovered, SnapshotStore, TopologyMigration};
 pub use ufp_core::SelectionStrategy;
+pub use ufp_netgraph::topology::{Topology, TopologyError, TopologyEvent};

@@ -17,10 +17,19 @@ pub struct EngineMetrics {
     pub rejected: u64,
     /// Admissions released by TTL expiry.
     pub released: u64,
+    /// Admissions evicted by topology repairs (link failures, capacity
+    /// lowers). Evictions are not TTL releases and not rejections —
+    /// `accepted + rejected == arrivals` still holds.
+    pub evicted: u64,
     /// Total declared value admitted.
     pub value_admitted: f64,
     /// Total payments charged.
     pub revenue: f64,
+    /// Total payments refunded to evicted admissions. Net collected
+    /// revenue is `revenue - refunded`; the two are kept separate so
+    /// the refund audit (Σ refunds == Σ evicted payments, through the
+    /// event log) stays checkable.
+    pub refunded: f64,
     /// Ring buffer of recent per-batch wall-clock latencies (µs) in
     /// arrival order — bounded so a long-lived engine's metrics stay
     /// O(1) memory; percentiles describe the most recent
@@ -91,8 +100,10 @@ impl EngineMetrics {
         accepted: u64,
         rejected: u64,
         released: u64,
+        evicted: u64,
         value_admitted: f64,
         revenue: f64,
+        refunded: f64,
         total_latency_us: u64,
         latency_cursor: usize,
         batch_latency_us: Vec<u64>,
@@ -112,7 +123,7 @@ impl EngineMetrics {
         if !cursor_ok {
             return None;
         }
-        if !value_admitted.is_finite() || !revenue.is_finite() {
+        if !value_admitted.is_finite() || !revenue.is_finite() || !refunded.is_finite() {
             return None;
         }
         let mut sorted_latency_us = batch_latency_us.clone();
@@ -123,8 +134,10 @@ impl EngineMetrics {
             accepted,
             rejected,
             released,
+            evicted,
             value_admitted,
             revenue,
+            refunded,
             batch_latency_us,
             latency_cursor,
             sorted_latency_us,
@@ -278,8 +291,10 @@ mod tests {
             m.accepted,
             m.rejected,
             m.released,
+            m.evicted,
             m.value_admitted,
             m.revenue,
+            m.refunded,
             m.total_latency_us,
             m.latency_cursor,
             m.batch_latency_us.clone(),
@@ -311,9 +326,15 @@ mod tests {
     #[test]
     fn snapshot_rejects_inconsistent_fields() {
         // accepted + rejected must equal arrivals.
-        assert!(EngineMetrics::from_snapshot(1, 5, 3, 1, 0, 0.0, 0.0, 10, 1, vec![10]).is_none());
+        assert!(
+            EngineMetrics::from_snapshot(1, 5, 3, 1, 0, 0, 0.0, 0.0, 0.0, 10, 1, vec![10])
+                .is_none()
+        );
         // Cursor must trail the ring while it is filling.
-        assert!(EngineMetrics::from_snapshot(1, 1, 1, 0, 0, 0.0, 0.0, 10, 5, vec![10]).is_none());
+        assert!(
+            EngineMetrics::from_snapshot(1, 1, 1, 0, 0, 0, 0.0, 0.0, 0.0, 10, 5, vec![10])
+                .is_none()
+        );
         // Over-full window.
         assert!(EngineMetrics::from_snapshot(
             1,
@@ -321,6 +342,8 @@ mod tests {
             1,
             0,
             0,
+            0,
+            0.0,
             0.0,
             0.0,
             0,
@@ -329,10 +352,40 @@ mod tests {
         )
         .is_none());
         // Non-finite accounting.
+        assert!(EngineMetrics::from_snapshot(
+            1,
+            1,
+            1,
+            0,
+            0,
+            0,
+            f64::NAN,
+            0.0,
+            0.0,
+            10,
+            1,
+            vec![10]
+        )
+        .is_none());
+        assert!(EngineMetrics::from_snapshot(
+            1,
+            1,
+            1,
+            0,
+            0,
+            0,
+            0.0,
+            0.0,
+            f64::INFINITY,
+            10,
+            1,
+            vec![10]
+        )
+        .is_none());
         assert!(
-            EngineMetrics::from_snapshot(1, 1, 1, 0, 0, f64::NAN, 0.0, 10, 1, vec![10]).is_none()
+            EngineMetrics::from_snapshot(1, 1, 1, 0, 0, 0, 0.0, 0.0, 0.0, 10, 1, vec![10])
+                .is_some()
         );
-        assert!(EngineMetrics::from_snapshot(1, 1, 1, 0, 0, 0.0, 0.0, 10, 1, vec![10]).is_some());
     }
 
     #[test]
@@ -404,8 +457,10 @@ mod tests {
             m.accepted,
             m.rejected,
             m.released,
+            m.evicted,
             m.value_admitted,
             m.revenue,
+            m.refunded,
             m.total_latency_us,
             m.latency_cursor,
             m.batch_latency_us.clone(),

@@ -15,13 +15,22 @@
 //! | 5   | admissions | every admission (path, payment, TTL, released flag) |
 //! | 6   | events     | retained event log + dropped-event cursor           |
 //! | 7   | metrics    | counters and the latency ring buffer                |
+//! | 9   | topology   | dynamic-topology overlay: version, fingerprint, event log |
+//! | 10  | readmit    | evicted flows queued for re-admission               |
 //! | 8   | driver     | opaque caller blob (RNG stream position, trace cursor, …) |
 //!
-//! The graph itself is **not** serialized — it is immutable, typically
-//! large, and already owned by the caller; restore takes the graph (and
-//! config) and verifies both against the stored fingerprints, failing
-//! with [`CodecError::GraphMismatch`] / [`CodecError::ConfigMismatch`]
-//! rather than continuing over the wrong network. Every float travels as
+//! The *base* graph itself is **not** serialized — it is immutable,
+//! typically large, and already owned by the caller; restore takes the
+//! graph (and config) and verifies both against the stored
+//! fingerprints, failing with [`CodecError::GraphMismatch`] /
+//! [`CodecError::ConfigMismatch`] rather than continuing over the wrong
+//! network. The *dynamic* overlay (capacity resizes, link failures,
+//! node drains) **is** serialized, as its full event log plus the
+//! (version, state-fingerprint) pair: restore replays the log over the
+//! base graph and cross-checks both, so a snapshot pins exactly the
+//! topology it was taken on. Restoring onto a *mutated* topology is an
+//! explicit typed migration — see [`Engine::restore_with_topology`] and
+//! [`TopologyMigration`] — never a silent reinterpretation. Every float travels as
 //! its exact IEEE-754 bit pattern, so a restored engine's subsequent
 //! epochs, critical-value payments, and metrics are **byte-identical**
 //! to an uninterrupted run (asserted by `tests/snapshot_recovery.rs`).
@@ -58,10 +67,11 @@ use ufp_core::{Request, RequestId, StopReason};
 use ufp_netgraph::graph::{Graph, GraphKind};
 use ufp_netgraph::ids::{EdgeId, NodeId};
 use ufp_netgraph::residual::ResidualCaps;
+use ufp_netgraph::topology::{Topology, TopologyEvent};
 
 use crate::codec::{self, CodecError, Fnv64, Reader, Writer};
 use crate::config::EngineConfig;
-use crate::engine::{Admission, Engine};
+use crate::engine::{Admission, Arrival, Engine};
 use crate::event::EngineEvent;
 use crate::metrics::EngineMetrics;
 
@@ -73,6 +83,10 @@ const SEC_REQUESTS: u8 = 4;
 const SEC_ADMISSIONS: u8 = 5;
 const SEC_EVENTS: u8 = 6;
 const SEC_METRICS: u8 = 7;
+const SEC_TOPOLOGY: u8 = 9;
+const SEC_READMIT: u8 = 10;
+// The opaque driver blob stays last so its `rest()`-style consumers
+// keep working; tags 9/10 were assigned after 8 shipped.
 const SEC_DRIVER: u8 = 8;
 
 /// Fingerprint of a graph: enough to refuse restoring over a different
@@ -212,6 +226,7 @@ pub fn encode_engine(engine: &Engine, driver: &[u8]) -> Vec<u8> {
         }
         s.put_f64(a.payment);
         s.put_bool(a.released);
+        s.put_bool(a.evicted);
         s.put_u64(a.path.nodes().len() as u64);
         for n in a.path.nodes() {
             s.put_u32(n.0);
@@ -241,12 +256,46 @@ pub fn encode_engine(engine: &Engine, driver: &[u8]) -> Vec<u8> {
     s.put_u64(m.accepted);
     s.put_u64(m.rejected);
     s.put_u64(m.released);
+    s.put_u64(m.evicted);
     s.put_f64(m.value_admitted);
     s.put_f64(m.revenue);
+    s.put_f64(m.refunded);
     s.put_u64(m.total_latency_us);
     s.put_u64(m.latency_cursor as u64);
     s.put_u64_slice(&m.batch_latency_us);
     begin_section(&mut w, SEC_METRICS, s);
+
+    // Dynamic-topology overlay: the full event log plus the (version,
+    // state-fingerprint) pair it must replay to. Both are redundant with
+    // the log — deliberately: restore replays and cross-checks them, so
+    // a snapshot can never be reinterpreted over a different topology.
+    let mut s = Writer::new();
+    let topo = engine.topology();
+    s.put_u64(topo.version());
+    s.put_u64(topo.fingerprint());
+    s.put_u64(topo.log().len() as u64);
+    for e in topo.log() {
+        encode_topology_event(&mut s, e);
+    }
+    begin_section(&mut w, SEC_TOPOLOGY, s);
+
+    // Re-admission queue: evicted flows waiting for the next batch.
+    let mut s = Writer::new();
+    s.put_u64(engine.readmit_queue.len() as u64);
+    for a in &engine.readmit_queue {
+        s.put_u32(a.request.src.0);
+        s.put_u32(a.request.dst.0);
+        s.put_f64(a.request.demand);
+        s.put_f64(a.request.value);
+        match a.ttl {
+            None => s.put_bool(false),
+            Some(t) => {
+                s.put_bool(true);
+                s.put_u32(t);
+            }
+        }
+    }
+    begin_section(&mut w, SEC_READMIT, s);
 
     // Opaque driver blob — raw: the section frame already delimits it.
     let mut s = Writer::new();
@@ -288,6 +337,16 @@ pub fn encode_event(w: &mut Writer, e: &EngineEvent) {
             w.put_u64(epoch);
             w.put_u32(request.0);
         }
+        EngineEvent::Evicted {
+            epoch,
+            request,
+            refund,
+        } => {
+            w.put_u8(5);
+            w.put_u64(epoch);
+            w.put_u32(request.0);
+            w.put_f64(refund);
+        }
         EngineEvent::EpochCompleted {
             epoch,
             accepted,
@@ -307,6 +366,63 @@ pub fn encode_event(w: &mut Writer, e: &EngineEvent) {
             w.put_u8(encode_stop(stop));
         }
     }
+}
+
+/// Serialize one [`TopologyEvent`] in the snapshot wire format (shared
+/// with the sharded snapshot layer, like [`encode_event`]).
+pub fn encode_topology_event(w: &mut Writer, e: &TopologyEvent) {
+    match *e {
+        TopologyEvent::SetCapacity { edge, capacity } => {
+            w.put_u8(0);
+            w.put_u32(edge.0);
+            w.put_f64(capacity);
+        }
+        TopologyEvent::LinkDown { edge } => {
+            w.put_u8(1);
+            w.put_u32(edge.0);
+        }
+        TopologyEvent::LinkUp { edge } => {
+            w.put_u8(2);
+            w.put_u32(edge.0);
+        }
+        TopologyEvent::DrainNode { node } => {
+            w.put_u8(3);
+            w.put_u32(node.0);
+        }
+        TopologyEvent::UndrainNode { node } => {
+            w.put_u8(4);
+            w.put_u32(node.0);
+        }
+    }
+}
+
+/// Inverse of [`encode_topology_event`]. Range and value validation is
+/// left to [`Topology::replay`], which checks every event against the
+/// live base graph.
+pub fn decode_topology_event(s: &mut Reader<'_>) -> Result<TopologyEvent, CodecError> {
+    Ok(match s.get_u8("topology event tag")? {
+        0 => TopologyEvent::SetCapacity {
+            edge: EdgeId(s.get_u32("topology event edge")?),
+            capacity: s.get_f64("topology event capacity")?,
+        },
+        1 => TopologyEvent::LinkDown {
+            edge: EdgeId(s.get_u32("topology event edge")?),
+        },
+        2 => TopologyEvent::LinkUp {
+            edge: EdgeId(s.get_u32("topology event edge")?),
+        },
+        3 => TopologyEvent::DrainNode {
+            node: NodeId(s.get_u32("topology event node")?),
+        },
+        4 => TopologyEvent::UndrainNode {
+            node: NodeId(s.get_u32("topology event node")?),
+        },
+        _ => {
+            return Err(CodecError::Malformed {
+                context: "topology event tag",
+            })
+        }
+    })
 }
 
 fn encode_stop(s: StopReason) -> u8 {
@@ -432,9 +548,14 @@ pub fn decode_engine(
     let loads = s.get_f64_vec("residual loads")?;
     let carry = s.get_f64_vec("carried dual exponents")?;
     s.expect_exhausted()?;
-    let residual = ResidualCaps::import(&graph, loads).ok_or(CodecError::Malformed {
-        context: "residual loads (length or range)",
-    })?;
+    // The residual tracker is built only after the topology section is
+    // decoded: its capacities are the *effective* (overlay) ones, not
+    // the base graph's.
+    if loads.len() != graph.num_edges() {
+        return Err(CodecError::Malformed {
+            context: "residual loads (length or range)",
+        });
+    }
     if carry.len() != graph.num_edges() || carry.iter().any(|k| !k.is_finite() || *k < 0.0) {
         return Err(CodecError::Malformed {
             context: "carried dual exponents (length or range)",
@@ -498,6 +619,12 @@ pub fn decode_engine(
             });
         }
         let released = s.get_bool("admission released flag")?;
+        let evicted = s.get_bool("admission evicted flag")?;
+        if evicted && !released {
+            return Err(CodecError::Malformed {
+                context: "admission evicted but not released",
+            });
+        }
         let node_count = s.get_len("admission path nodes", 4)?;
         if node_count < 2 {
             return Err(CodecError::Malformed {
@@ -551,6 +678,7 @@ pub fn decode_engine(
             expires_at,
             payment,
             released,
+            evicted,
         });
     }
     s.expect_exhausted()?;
@@ -572,8 +700,10 @@ pub fn decode_engine(
     let m_accepted = s.get_u64("metrics accepted")?;
     let m_rejected = s.get_u64("metrics rejected")?;
     let m_released = s.get_u64("metrics released")?;
+    let m_evicted = s.get_u64("metrics evicted")?;
     let m_value = s.get_f64("metrics value")?;
     let m_revenue = s.get_f64("metrics revenue")?;
+    let m_refunded = s.get_f64("metrics refunded")?;
     let m_total_latency = s.get_u64("metrics total latency")?;
     let m_cursor = s.get_u64("metrics latency cursor")?;
     let m_window = s.get_u64_vec("metrics latency window")?;
@@ -587,8 +717,10 @@ pub fn decode_engine(
         m_accepted,
         m_rejected,
         m_released,
+        m_evicted,
         m_value,
         m_revenue,
+        m_refunded,
         m_total_latency,
         cursor,
         m_window,
@@ -596,6 +728,83 @@ pub fn decode_engine(
     .ok_or(CodecError::Malformed {
         context: "metrics invariants",
     })?;
+
+    // Dynamic-topology overlay: replay the stored event log over the
+    // base graph (every event re-validated against it), then cross-check
+    // the replayed state against the stored (version, fingerprint) pair.
+    // A forged log, a forged fingerprint, or a log that does not apply
+    // to this graph all fail typed here — the overlay can never restore
+    // to a state the snapshot did not pin.
+    let mut s = open_section(&mut r, SEC_TOPOLOGY, "topology section")?;
+    let topo_version = s.get_u64("topology version")?;
+    let topo_fingerprint = s.get_u64("topology fingerprint")?;
+    let n = s.get_len("topology event count", 5)?;
+    let mut topo_events = Vec::with_capacity(n);
+    for _ in 0..n {
+        topo_events.push(decode_topology_event(&mut s)?);
+    }
+    s.expect_exhausted()?;
+    let topology = Topology::replay(&graph, &topo_events).map_err(|_| CodecError::Malformed {
+        context: "topology event log does not apply to the graph",
+    })?;
+    if topology.version() != topo_version {
+        return Err(CodecError::Malformed {
+            context: "topology version disagrees with its event log",
+        });
+    }
+    if topology.fingerprint() != topo_fingerprint {
+        return Err(CodecError::Malformed {
+            context: "topology fingerprint disagrees with its event log",
+        });
+    }
+    // Now the effective capacities are known: restore the residual
+    // tracker over them (not the base capacities) so loads on resized
+    // or failed links validate against what the live engine saw.
+    let residual = ResidualCaps::import_with_caps(topology.effective_capacities(), loads).ok_or(
+        CodecError::Malformed {
+            context: "residual loads (length or range)",
+        },
+    )?;
+
+    // Re-admission queue.
+    let mut s = open_section(&mut r, SEC_READMIT, "readmit section")?;
+    let n = s.get_len("readmit count", 25)?;
+    let mut readmit_queue = Vec::with_capacity(n);
+    for _ in 0..n {
+        let src = s.get_u32("readmit src")?;
+        let dst = s.get_u32("readmit dst")?;
+        let demand = s.get_f64("readmit demand")?;
+        let value = s.get_f64("readmit value")?;
+        if src as usize >= graph.num_nodes() || dst as usize >= graph.num_nodes() || src == dst {
+            return Err(CodecError::Malformed {
+                context: "readmit endpoints",
+            });
+        }
+        if !(demand.is_finite() && demand > 0.0 && value.is_finite() && value > 0.0) {
+            return Err(CodecError::Malformed {
+                context: "readmit request (demand/value range)",
+            });
+        }
+        let request = Request {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            demand,
+            value,
+        };
+        let ttl = if s.get_bool("readmit ttl flag")? {
+            let t = s.get_u32("readmit ttl")?;
+            if t == 0 {
+                return Err(CodecError::Malformed {
+                    context: "readmit ttl must be at least one epoch",
+                });
+            }
+            Some(t)
+        } else {
+            None
+        };
+        readmit_queue.push(Arrival { request, ttl });
+    }
+    s.expect_exhausted()?;
 
     // Driver blob.
     let mut s = open_section(&mut r, SEC_DRIVER, "driver section")?;
@@ -619,9 +828,30 @@ pub fn decode_engine(
             events,
             events_dropped,
             metrics,
+            topology,
+            readmit_queue,
         },
         driver,
     ))
+}
+
+/// Report of a typed topology migration performed by
+/// [`Engine::restore_with_topology`]: the snapshot's overlay was an
+/// ancestor of the live one, and the missing event delta was replayed
+/// through the normal repair pass (evictions, refunds, re-admission
+/// queueing) to bring the restored engine onto the live topology.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TopologyMigration {
+    /// Overlay version stored in the snapshot.
+    pub from_version: u64,
+    /// Overlay version after replaying the delta (the live version).
+    pub to_version: u64,
+    /// Admissions evicted by the delta.
+    pub evicted: usize,
+    /// Payments refunded for those evictions.
+    pub refunded: f64,
+    /// Evicted flows queued for re-admission in the next epoch.
+    pub readmissions: usize,
 }
 
 fn check_bits(stored: f64, provided: f64, context: &'static str) -> Result<(), CodecError> {
@@ -651,6 +881,11 @@ pub fn decode_event(s: &mut Reader<'_>) -> Result<EngineEvent, CodecError> {
         3 => EngineEvent::Released {
             epoch: s.get_u64("event epoch")?,
             request: RequestId(s.get_u32("event request")?),
+        },
+        5 => EngineEvent::Evicted {
+            epoch: s.get_u64("event epoch")?,
+            request: RequestId(s.get_u32("event request")?),
+            refund: s.get_f64("event refund")?,
         },
         4 => EngineEvent::EpochCompleted {
             epoch: s.get_u64("event epoch")?,

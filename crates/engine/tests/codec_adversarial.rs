@@ -170,6 +170,158 @@ fn checksum_guards_the_whole_container() {
     ));
 }
 
+// ---------------------------------------------------------------------
+// Dynamic-topology records (codec v2): the overlay event log and the
+// re-admission queue must survive the same hostility as the rest of the
+// container — truncation at every length, bit flips, forged
+// fingerprints — with typed errors, never a panic.
+// ---------------------------------------------------------------------
+
+/// A populated engine whose snapshot carries a non-trivial topology
+/// section: mutations applied (evictions + refunds included) and
+/// re-admission candidates still queued.
+fn populated_with_topology() -> (Arc<Graph>, Vec<u8>) {
+    use ufp_netgraph::ids::EdgeId;
+    use ufp_netgraph::topology::TopologyEvent;
+    let graph = Arc::new(diamond());
+    let mut engine = Engine::from_shared(Arc::clone(&graph), config());
+    for e in 0..3 {
+        let arrivals: Vec<ufp_engine::Arrival> = (0..5)
+            .map(|i| {
+                let r = Request::new(
+                    n(0),
+                    n(3),
+                    0.4 + 0.1 * ((e + i) % 4) as f64,
+                    1.0 + ((2 * e + i) % 5) as f64,
+                );
+                if i % 2 == 0 {
+                    ufp_engine::Arrival::with_ttl(r, 2 + (i % 3) as u32)
+                } else {
+                    ufp_engine::Arrival::permanent(r)
+                }
+            })
+            .collect();
+        engine.submit_batch(&arrivals);
+    }
+    engine
+        .apply_topology(&[
+            TopologyEvent::SetCapacity {
+                edge: EdgeId(0),
+                capacity: 1.5,
+            },
+            TopologyEvent::LinkDown { edge: EdgeId(2) },
+            TopologyEvent::DrainNode { node: n(1) },
+        ])
+        .expect("valid mutation burst");
+    assert!(
+        !engine.topology().is_pristine(),
+        "topology section must be non-trivial"
+    );
+    let bytes = engine.snapshot_bytes_with(b"driver-blob");
+    (graph, bytes)
+}
+
+#[test]
+fn topology_snapshot_restores_and_round_trips() {
+    let (graph, bytes) = populated_with_topology();
+    let engine = restore(&bytes, &graph).expect("control case must decode");
+    assert_eq!(engine.topology().version(), 3);
+    assert_eq!(engine.topology().links_down(), 1);
+    assert_eq!(engine.snapshot_bytes_with(b"driver-blob"), bytes);
+}
+
+#[test]
+fn topology_snapshot_truncation_at_every_length_is_a_typed_error() {
+    let (graph, bytes) = populated_with_topology();
+    for len in 0..bytes.len() {
+        let err = restore(&bytes[..len], &graph).expect_err("prefix must be rejected");
+        assert!(
+            matches!(
+                err,
+                CodecError::BadMagic { .. } | CodecError::Truncated { .. }
+            ),
+            "prefix of {len} bytes gave unexpected error {err}"
+        );
+    }
+}
+
+#[test]
+fn topology_snapshot_every_bit_flip_is_detected() {
+    let (graph, bytes) = populated_with_topology();
+    for pos in 0..bytes.len() {
+        let mut bad = bytes.clone();
+        bad[pos] ^= 1 << (pos % 8);
+        match restore(&bad, &graph) {
+            Err(_) => {}
+            Ok(_) => panic!("bit flip at byte {pos} restored successfully"),
+        }
+    }
+}
+
+#[test]
+fn forged_topology_fingerprint_is_malformed() {
+    // A hostile writer rewrites the stored topology fingerprint (and
+    // recomputes the container checksum, so the frame itself is valid):
+    // the decoder must cross-check the fingerprint against the replayed
+    // event log and refuse with a typed Malformed, never trust the
+    // stored value.
+    let (graph, bytes) = populated_with_topology();
+    let control = restore(&bytes, &graph).expect("control decodes");
+    let fingerprint = control.topology().fingerprint().to_le_bytes();
+    let body = codec::open_container(&bytes)
+        .expect("control decodes")
+        .to_vec();
+    let reframe = |body: &[u8]| {
+        let mut out = Vec::new();
+        out.extend_from_slice(&codec::MAGIC);
+        out.extend_from_slice(&codec::FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+        out.extend_from_slice(body);
+        let checksum = codec::fnv64(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    };
+    let positions: Vec<usize> = (0..body.len().saturating_sub(8))
+        .filter(|&i| body[i..i + 8] == fingerprint)
+        .collect();
+    assert!(
+        !positions.is_empty(),
+        "stored fingerprint not found in the body"
+    );
+    let mut malformed = 0usize;
+    for pos in positions {
+        let mut evil = body.clone();
+        // Flip the high byte: a syntactically valid but wrong u64.
+        evil[pos + 7] ^= 0xFF;
+        match restore(&reframe(&evil), &graph) {
+            Err(CodecError::Malformed { .. }) => malformed += 1,
+            Err(_) => {}
+            Ok(_) => panic!("forged fingerprint at byte {pos} restored successfully"),
+        }
+    }
+    assert!(
+        malformed > 0,
+        "fingerprint cross-check never fired on a forged value"
+    );
+}
+
+#[test]
+fn version_one_snapshots_are_refused_not_partially_read() {
+    // Codec v2 added the topology overlay + re-admission sections; a v1
+    // snapshot cannot be partially understood and must be refused with
+    // the typed version error, not misparsed.
+    let (graph, bytes) = populated_with_topology();
+    let mut bad = bytes.clone();
+    bad[8..12].copy_from_slice(&1u32.to_le_bytes());
+    match restore(&bad, &graph) {
+        Err(CodecError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, 1);
+            assert_eq!(supported, codec::FORMAT_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
 #[test]
 fn forged_checksum_still_hits_structural_validation() {
     // A hostile writer can recompute the checksum after corrupting the

@@ -24,6 +24,10 @@
 //! * [`residual`] — committed-load tracking over a graph's edges, the
 //!   residual-capacity view the streaming admission engine allocates
 //!   against.
+//! * [`topology`] — a versioned dynamic overlay over the immutable
+//!   graph: typed mutation events (capacity resize, link down/up, node
+//!   drain) with an event log and a state fingerprint, the substrate
+//!   for mid-run failures and maintenance.
 //!
 //! All node/edge handles are `u32` newtypes ([`NodeId`], [`EdgeId`]); dense
 //! `Vec` indexing everywhere, no hashing on the hot path.
@@ -41,6 +45,7 @@ pub mod ordered;
 pub mod path;
 pub mod pathcache;
 pub mod residual;
+pub mod topology;
 
 pub use dijkstra::{Dijkstra, HeapKind, ShortestPathResult};
 pub use graph::{Edge, Graph, GraphBuilder, GraphKind};
@@ -50,3 +55,4 @@ pub use ordered::OrderedF64;
 pub use path::Path;
 pub use pathcache::PathCache;
 pub use residual::ResidualCaps;
+pub use topology::{Topology, TopologyError, TopologyEvent};

@@ -36,6 +36,18 @@ impl ResidualCaps {
         }
     }
 
+    /// Fresh tracker over an explicit capacity vector — the dynamic-
+    /// topology path, where the effective capacities (resized links,
+    /// zero for failed ones) differ from the base graph's. Returns
+    /// `None` on a non-finite or negative capacity.
+    pub fn with_caps(caps: Vec<f64>) -> Option<Self> {
+        if caps.iter().any(|&c| !c.is_finite() || c < 0.0) {
+            return None;
+        }
+        let load = vec![0.0; caps.len()];
+        Some(ResidualCaps { caps, load })
+    }
+
     /// Number of tracked edges.
     pub fn len(&self) -> usize {
         self.caps.len()
@@ -90,10 +102,21 @@ impl ResidualCaps {
     /// callers restoring persisted state turn the `None` into their own
     /// typed error instead of panicking.
     pub fn import(graph: &Graph, loads: Vec<f64>) -> Option<Self> {
-        if loads.len() != graph.num_edges() {
+        let caps: Vec<f64> = graph.edges().iter().map(|e| e.capacity).collect();
+        Self::import_with_caps(caps, loads)
+    }
+
+    /// [`ResidualCaps::import`] against an explicit capacity vector —
+    /// restoring persisted loads onto a *mutated* topology, where the
+    /// feasibility bound is the effective capacity, not the base
+    /// graph's. Same validation and `None` semantics.
+    pub fn import_with_caps(caps: Vec<f64>, loads: Vec<f64>) -> Option<Self> {
+        if loads.len() != caps.len() {
             return None;
         }
-        let caps: Vec<f64> = graph.edges().iter().map(|e| e.capacity).collect();
+        if caps.iter().any(|&c| !c.is_finite() || c < 0.0) {
+            return None;
+        }
         let feasible = |l: f64, c: f64| l.is_finite() && l >= 0.0 && l <= c * (1.0 + 1e-9) + 1e-9;
         if loads.iter().zip(&caps).any(|(&l, &c)| !feasible(l, c)) {
             return None;
@@ -258,6 +281,29 @@ mod tests {
         );
         assert!(ResidualCaps::import(&g, vec![4.0 + 1e-12, 8.0]).is_some());
         assert!(ResidualCaps::import(&g, vec![1.0, 2.0]).is_some());
+    }
+
+    #[test]
+    fn explicit_caps_track_effective_topology() {
+        let (_, p) = chain(&[4.0, 8.0]);
+        // Edge 0 resized down to 1.0, edge 1 failed (capacity 0).
+        let mut r = ResidualCaps::with_caps(vec![1.0, 0.0]).expect("valid caps");
+        assert_eq!(r.capacity(EdgeId(0)), 1.0);
+        assert_eq!(r.residual(EdgeId(1)), 0.0);
+        r.commit(&p, 0.5);
+        assert_eq!(r.residual(EdgeId(0)), 0.5);
+        assert!(ResidualCaps::with_caps(vec![1.0, f64::NAN]).is_none());
+        assert!(ResidualCaps::with_caps(vec![-1.0]).is_none());
+        // import_with_caps bounds loads by the effective capacities.
+        assert!(ResidualCaps::import_with_caps(vec![1.0, 0.0], vec![0.5, 0.0]).is_some());
+        assert!(
+            ResidualCaps::import_with_caps(vec![1.0, 0.0], vec![0.5, 0.1]).is_none(),
+            "load on a failed edge"
+        );
+        assert!(
+            ResidualCaps::import_with_caps(vec![1.0], vec![0.5, 0.0]).is_none(),
+            "length mismatch"
+        );
     }
 
     #[test]

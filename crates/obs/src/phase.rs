@@ -12,11 +12,17 @@
 //! | `payment.*`  | `ufp_engine` | one critical-value bisection probe       |
 //! | `shard.*`    | `ufp_shard`  | the sharded pipeline's own stages        |
 //! | `par.*`      | `ufp_par`    | pool fan-out and help-first stealing     |
+//! | `topology.*` | `ufp_engine` | one between-epochs topology repair pass  |
+//! | `repair.*`   | `ufp_engine` | eviction / re-admission inside a repair  |
 //!
 //! `epoch.open/plan/commit` partition an engine epoch end to end (the
 //! other phases nest inside them or, for `shard.*`, run between per-
 //! shard epochs), so `Σ epoch.* ≈ epoch wall time` is the profile
-//! invariant `engine_sim --profile` reports against.
+//! invariant `engine_sim --profile` reports against. The `topology.*` /
+//! `repair.*` phases run strictly *between* epoch brackets (a repair
+//! pass is not part of any epoch), so they are deliberately excluded
+//! from [`Phase::is_epoch_stage`] and the coverage invariant survives
+//! failure injection unchanged.
 
 /// One pipeline phase. `as usize` is a dense index into per-phase
 /// accumulator arrays.
@@ -47,10 +53,17 @@ pub enum Phase {
     ParDispatch,
     /// One job executed by a waiter via help-first stealing.
     ParSteal,
+    /// One between-epochs topology repair pass (event application,
+    /// violation scan, residual rebuild).
+    TopologyApply,
+    /// Evicting the admissions a mutation displaced (refund + events).
+    RepairEvict,
+    /// Queueing evicted flows for re-admission in the next epoch.
+    RepairReadmit,
 }
 
 /// Number of phases (size of the dense accumulator arrays).
-pub const PHASE_COUNT: usize = 12;
+pub const PHASE_COUNT: usize = 15;
 
 impl Phase {
     /// Every phase, in dense-index order.
@@ -67,6 +80,9 @@ impl Phase {
         Phase::ShardCrossRoute,
         Phase::ParDispatch,
         Phase::ParSteal,
+        Phase::TopologyApply,
+        Phase::RepairEvict,
+        Phase::RepairReadmit,
     ];
 
     /// Dense index (0-based, stable across a build).
@@ -90,6 +106,9 @@ impl Phase {
             Phase::ShardCrossRoute => "shard.cross_route",
             Phase::ParDispatch => "par.dispatch",
             Phase::ParSteal => "par.steal",
+            Phase::TopologyApply => "topology.apply",
+            Phase::RepairEvict => "repair.evict",
+            Phase::RepairReadmit => "repair.readmit",
         }
     }
 
@@ -123,5 +142,21 @@ mod tests {
             assert!(p.name().contains('.'), "{}", p.name());
             assert!(seen.insert(p.name()), "duplicate name {}", p.name());
         }
+    }
+
+    #[test]
+    fn repair_phases_stay_outside_the_epoch_coverage_trio() {
+        // The profile-coverage invariant sums exactly the epoch trio;
+        // topology repair runs between epoch brackets and must never
+        // join it, or Σ epoch.* would overshoot the epoch wall time
+        // whenever failures are injected.
+        for p in [
+            Phase::TopologyApply,
+            Phase::RepairEvict,
+            Phase::RepairReadmit,
+        ] {
+            assert!(!p.is_epoch_stage(), "{}", p.name());
+        }
+        assert_eq!(Phase::ALL.iter().filter(|p| p.is_epoch_stage()).count(), 3);
     }
 }

@@ -46,12 +46,13 @@ use ufp_core::{
 };
 use ufp_engine::{
     Admission, Arrival, Engine, EngineConfig, EngineEvent, EngineMetrics, EpochOverride, EpochPlan,
-    EpochReport, EventLevel, PaymentPolicy,
+    EpochReport, EventLevel, PaymentPolicy, TopologyReport,
 };
 use ufp_netgraph::graph::Graph;
 use ufp_netgraph::ids::EdgeId;
 use ufp_netgraph::path::Path;
 use ufp_netgraph::residual::ResidualCaps;
+use ufp_netgraph::topology::{Topology, TopologyError, TopologyEvent};
 use ufp_obs::Phase;
 
 use crate::ledger::LeaseLedger;
@@ -209,6 +210,16 @@ pub struct ShardedEngine {
     pub(crate) events_dropped: u64,
     pub(crate) metrics: EngineMetrics,
     pub(crate) ledger: LeaseLedger,
+    /// Dynamic-topology overlay, the orchestrator's authority. Every
+    /// owned engine mirrors the identical overlay (events are applied
+    /// to all of them in [`ShardedEngine::apply_topology`]), but the
+    /// *eviction decision* is made here, against the global loads —
+    /// several shards share a boundary edge, so a per-shard scan would
+    /// under-account.
+    pub(crate) topology: Topology,
+    /// Flows evicted by a topology repair, queued for re-admission in
+    /// the next batch (drained by the driver).
+    pub(crate) readmit_queue: Vec<Arrival>,
     /// Wall-clock spent in each engine's *own* plan + commit phases
     /// (µs; index `shards` = the reconciler). Accumulated around the
     /// per-engine calls, so unlike the engines' internal latency
@@ -236,6 +247,7 @@ impl ShardedEngine {
         let reconciler = Engine::from_shared(Arc::clone(&graph), config.engine.clone());
         let residual = ResidualCaps::new(&graph);
         let carry = vec![0.0; graph.num_edges()];
+        let topology = Topology::new(&graph);
         ShardedEngine {
             config,
             plan,
@@ -253,6 +265,8 @@ impl ShardedEngine {
             events_dropped: 0,
             metrics: EngineMetrics::default(),
             ledger: LeaseLedger::new(shards),
+            topology,
+            readmit_queue: Vec::new(),
             shard_epoch_us: vec![0; shards + 1],
             lease_gauge_names: lease_gauge_names(shards),
             graph,
@@ -290,6 +304,21 @@ impl ShardedEngine {
         } else {
             &self.engines[owner as usize]
         }
+    }
+
+    /// The global usable mask: the single engine's rule exactly —
+    /// `ResidualCaps::usable_mask` over the global residuals, ANDed
+    /// with topology availability (down links and drained endpoints
+    /// accept no new admissions; the mask's empty-edge clause would
+    /// otherwise re-open an unloaded down link).
+    fn global_usable(&self) -> Vec<bool> {
+        let mut usable = self.residual.usable_mask(self.floor);
+        if !self.topology.is_pristine() {
+            for (e, u) in usable.iter_mut().enumerate() {
+                *u = *u && self.topology.available(EdgeId(e as u32));
+            }
+        }
+        usable
     }
 
     /// Process one batch of arrivals as a new epoch (see the module
@@ -352,9 +381,9 @@ impl ShardedEngine {
         }
         let capacities = self.residual.residuals();
         // The identical usable rule as the single engine's — centralized
-        // in ResidualCaps::usable_mask, which the bit-identity contract
-        // depends on.
-        let usable = self.residual.usable_mask(self.floor);
+        // in ResidualCaps::usable_mask (plus the same topology
+        // availability AND), which the bit-identity contract depends on.
+        let usable = self.global_usable();
         let carry_in = self.carry.clone();
         let mut lease_granted = vec![0.0f64; shards];
         let contexts: Vec<(Vec<f64>, Vec<bool>, Vec<bool>)> = (0..shards)
@@ -673,6 +702,258 @@ impl ShardedEngine {
         self.submit_batch(&arrivals)
     }
 
+    // ------------------------------------------------------------------
+    // Dynamic topology: mutation + deterministic repair.
+    // ------------------------------------------------------------------
+
+    /// Apply a batch of topology mutations between epochs across the
+    /// whole deployment — the sharded analogue of
+    /// [`Engine::apply_topology`], bit-identical to it on the same
+    /// stream (the zero-cross contract extends through mutations).
+    ///
+    /// The orchestrator owns the decision: it applies the events to its
+    /// own overlay, scans the **global** admissions for violated edges
+    /// (several shards share a boundary edge, so a per-shard scan would
+    /// under-account the load), selects evictions in (admission-epoch,
+    /// global-id) order, then *directs* every owned engine — which
+    /// mirrors the identical overlay — to evict exactly its share
+    /// ([`Engine::apply_topology_directed`]). Refunds, `Evicted` events
+    /// (global ids, every event level), re-admission queueing, and the
+    /// global residual rebuild over the effective capacities all happen
+    /// here, in the same order a single engine would produce them.
+    ///
+    /// Boundary leases need no explicit invalidation: they are cut
+    /// fresh each epoch from the global residual tracker, which this
+    /// pass rebuilds over the post-mutation effective capacities — so
+    /// the next epoch's grants are automatically regrants against the
+    /// new residuals (Σ leases ≤ `lease_fraction` × residual per edge).
+    pub fn apply_topology(
+        &mut self,
+        events: &[TopologyEvent],
+    ) -> Result<TopologyReport, TopologyError> {
+        let obs = self.config.engine.obs.clone();
+        let _span = obs.span(Phase::TopologyApply);
+        let from_version = self.topology.version();
+        for &ev in events {
+            self.topology.validate(ev)?;
+        }
+        if events.is_empty() {
+            return Ok(TopologyReport {
+                from_version,
+                to_version: from_version,
+                evicted: 0,
+                refunded: 0.0,
+                readmissions: 0,
+                links_down: self.topology.links_down(),
+            });
+        }
+        for &ev in events {
+            self.topology
+                .apply(ev)
+                .expect("pre-validated event must apply");
+        }
+
+        // Global eviction decision against the post-mutation overlay.
+        let evict = self.select_evictions();
+        // Authoritative per-eviction details, captured before the owner
+        // engines mutate their ledgers.
+        let details: Vec<(RequestId, f64, Option<u64>)> = evict
+            .iter()
+            .map(|&g| {
+                let sa = self.admissions[g];
+                let adm = &self.engine(sa.owner).admissions()[sa.local_index as usize];
+                (sa.request, adm.payment, adm.expires_at)
+            })
+            .collect();
+
+        // Direct every engine: same events everywhere (the overlays stay
+        // mirrored), plus its own slice of the global eviction list
+        // (order within a slice follows the global order). Re-admission
+        // queueing stays up here — the owner engines' local queues would
+        // re-submit through the wrong entry point.
+        let shards = self.shards();
+        let mut per_owner: Vec<Vec<usize>> = vec![Vec::new(); shards + 1];
+        for &g in &evict {
+            let sa = self.admissions[g];
+            per_owner[sa.owner as usize].push(sa.local_index as usize);
+        }
+        for (owner, local) in per_owner.iter().enumerate() {
+            let engine = if owner == shards {
+                &mut self.reconciler
+            } else {
+                &mut self.engines[owner]
+            };
+            engine
+                .apply_topology_directed(events, local, false)
+                .expect("orchestrator-validated events apply to every mirrored engine");
+        }
+
+        // Refunds + global Evicted events, in global eviction order —
+        // the order (and float accumulation) a single engine produces.
+        let epoch = self.epoch;
+        let mut refunded = 0.0f64;
+        {
+            let _span = obs.span_attr(Phase::RepairEvict, "evictions", evict.len() as u64);
+            for &(request, refund, _) in &details {
+                refunded += refund;
+                self.metrics.evicted += 1;
+                self.metrics.refunded += refund;
+                // Always logged (not gated on EventLevel::Request): the
+                // refund audit must hold at every verbosity.
+                self.push_event(EngineEvent::Evicted {
+                    epoch,
+                    request,
+                    refund,
+                });
+            }
+            obs.counter_add("engine.evictions_total", evict.len() as u64);
+        }
+
+        // Re-admission queue (original absolute expiry preserved; flows
+        // whose TTL lapses by the next epoch are not re-queued).
+        let mut readmissions = 0usize;
+        {
+            let _span = obs.span(Phase::RepairReadmit);
+            let next_epoch = epoch + 1;
+            for &(request, _, expires_at) in &details {
+                let request = self.requests[request.index()];
+                let arrival = match expires_at {
+                    None => Some(Arrival::permanent(request)),
+                    Some(exp) if exp > next_epoch => {
+                        Some(Arrival::with_ttl(request, (exp - next_epoch) as u32))
+                    }
+                    Some(_) => None,
+                };
+                if let Some(a) = arrival {
+                    self.readmit_queue.push(a);
+                    readmissions += 1;
+                }
+            }
+        }
+
+        // Rebuild the global residual tracker from scratch over the
+        // effective capacities, committing every surviving admission in
+        // global admission order — the identical summation a single
+        // engine's rebuild performs.
+        let mut residual = ResidualCaps::with_caps(self.topology.effective_capacities())
+            .expect("validated topology capacities are finite and non-negative");
+        for sa in &self.admissions {
+            let adm = &self.engine(sa.owner).admissions()[sa.local_index as usize];
+            if !adm.released {
+                residual.commit(&adm.path, self.requests[sa.request.index()].demand);
+            }
+        }
+        self.residual = residual;
+
+        obs.gauge_set("engine.links_down", self.topology.links_down() as f64);
+        Ok(TopologyReport {
+            from_version,
+            to_version: self.topology.version(),
+            evicted: evict.len(),
+            refunded,
+            readmissions,
+            links_down: self.topology.links_down(),
+        })
+    }
+
+    /// Deterministic global eviction scan — the sharded mirror of the
+    /// single engine's: loads summed over the global admissions in
+    /// admission order, candidates visited in (admission-epoch,
+    /// global-id) order, evicted while touching a still-violating edge.
+    fn select_evictions(&self) -> Vec<usize> {
+        let m = self.graph.num_edges();
+        let mut loads = vec![0.0f64; m];
+        for sa in &self.admissions {
+            let adm = &self.engine(sa.owner).admissions()[sa.local_index as usize];
+            if adm.released {
+                continue;
+            }
+            let d = self.requests[sa.request.index()].demand;
+            for &e in adm.path.edges() {
+                loads[e.index()] += d;
+            }
+        }
+        let over = |load: f64, cap: f64| load > cap * (1.0 + 1e-9) + 1e-9;
+        let mut violating: Vec<bool> = (0..m)
+            .map(|e| over(loads[e], self.topology.effective_capacity(EdgeId(e as u32))))
+            .collect();
+        let mut remaining = violating.iter().filter(|&&v| v).count();
+        if remaining == 0 {
+            return Vec::new();
+        }
+        let active = |i: usize| {
+            let sa = self.admissions[i];
+            !self.engine(sa.owner).admissions()[sa.local_index as usize].released
+        };
+        let mut order: Vec<usize> = (0..self.admissions.len()).filter(|&i| active(i)).collect();
+        order.sort_by_key(|&i| {
+            let sa = self.admissions[i];
+            let adm = &self.engine(sa.owner).admissions()[sa.local_index as usize];
+            (adm.epoch, sa.request.0)
+        });
+        let mut evict = Vec::new();
+        for i in order {
+            if remaining == 0 {
+                break;
+            }
+            let sa = self.admissions[i];
+            let adm = &self.engine(sa.owner).admissions()[sa.local_index as usize];
+            if !adm.path.edges().iter().any(|e| violating[e.index()]) {
+                continue;
+            }
+            let d = self.requests[sa.request.index()].demand;
+            for &e in adm.path.edges() {
+                loads[e.index()] -= d;
+                let was = violating[e.index()];
+                let now = over(loads[e.index()], self.topology.effective_capacity(e));
+                violating[e.index()] = now;
+                if was && !now {
+                    remaining -= 1;
+                }
+            }
+            evict.push(i);
+        }
+        evict
+    }
+
+    /// Drain the re-admission queue (see [`Engine::drain_readmissions`]).
+    pub fn drain_readmissions(&mut self) -> Vec<Arrival> {
+        std::mem::take(&mut self.readmit_queue)
+    }
+
+    /// The dynamic-topology overlay (orchestrator authority; every
+    /// owned engine mirrors it).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Audit the global active admissions against the **effective**
+    /// (topology-aware) capacities (see
+    /// [`Engine::verify_active_feasibility`]).
+    pub fn verify_active_feasibility(&self) -> Result<(), String> {
+        let m = self.graph.num_edges();
+        let mut loads = vec![0.0f64; m];
+        for sa in &self.admissions {
+            let adm = &self.engine(sa.owner).admissions()[sa.local_index as usize];
+            if adm.released {
+                continue;
+            }
+            let d = self.requests[sa.request.index()].demand;
+            for &e in adm.path.edges() {
+                loads[e.index()] += d;
+            }
+        }
+        for (e, &load) in loads.iter().enumerate() {
+            let cap = self.topology.effective_capacity(EdgeId(e as u32));
+            if load > cap * (1.0 + 1e-9) + 1e-9 {
+                return Err(format!(
+                    "edge {e} overloaded: load {load} > effective capacity {cap}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Mirror this epoch's per-engine TTL releases into the global
     /// residual tracker, in the deterministic order a single engine
     /// would release them (ascending expiry epoch, then global
@@ -728,7 +1009,7 @@ impl ShardedEngine {
         admitted_global: &mut [bool],
     ) -> StopReason {
         let capacities = self.residual.residuals();
-        let usable = self.residual.usable_mask(self.floor);
+        let usable = self.global_usable();
         let carry_in = self.carry.clone();
         let ov = EpochOverride {
             capacities: &capacities,
@@ -861,6 +1142,7 @@ impl ShardedEngine {
             expires_at: adm.expires_at,
             payment: adm.payment,
             released: adm.released,
+            evicted: adm.evicted,
         }
     }
 
@@ -893,8 +1175,9 @@ impl ShardedEngine {
     }
 
     /// Currently-held admissions, as a solution over
-    /// [`ShardedEngine::instance`]. Always feasible against the base
-    /// capacities.
+    /// [`ShardedEngine::instance`]. Always feasible against the
+    /// effective (topology-aware) capacities — and against the base
+    /// capacities whenever the overlay is pristine.
     pub fn active_solution(&self) -> ufp_core::UfpSolution {
         ufp_core::UfpSolution {
             routed: self

@@ -19,12 +19,16 @@
 
 use std::sync::Arc;
 
-use ufp_core::RequestId;
+use ufp_core::{Request, RequestId};
 use ufp_engine::codec::{fnv64, CodecError, Reader, Writer};
-use ufp_engine::snapshot::{decode_event, encode_event};
-use ufp_engine::{Engine, EngineMetrics};
+use ufp_engine::snapshot::{
+    decode_event, decode_topology_event, encode_event, encode_topology_event,
+};
+use ufp_engine::{Arrival, Engine, EngineMetrics};
 use ufp_netgraph::graph::Graph;
+use ufp_netgraph::ids::NodeId;
 use ufp_netgraph::residual::ResidualCaps;
+use ufp_netgraph::topology::Topology;
 
 use crate::engine::{lease_gauge_names, PaymentScope, ShardAdmission, ShardConfig, ShardedEngine};
 use crate::ledger::LeaseLedger;
@@ -34,7 +38,11 @@ use crate::partition::ShardPlan;
 const MAGIC: &[u8; 8] = b"UFPSHRD\0";
 /// Bump on any change to the orchestrator section layout.
 /// v2: the payment scope joined the pinned shard layout.
-const FORMAT_VERSION: u32 = 2;
+/// v3: the dynamic-topology overlay (version + fingerprint + event
+/// log) and the re-admission queue joined the orchestrator section;
+/// global loads now validate against the *effective* capacities, and
+/// restoring onto a mutated topology is a typed refusal.
+const FORMAT_VERSION: u32 = 3;
 
 /// Wire tag for [`PaymentScope`] (pinned like the lease fraction: a
 /// snapshot restored under a different pricing mode would silently
@@ -55,6 +63,30 @@ pub fn encode_sharded(engine: &ShardedEngine) -> Vec<u8> {
     w.put_u64(engine.plan.digest());
     w.put_f64(engine.config.lease_fraction);
     w.put_u8(payment_scope_tag(engine.config.payment_scope));
+    // Dynamic-topology overlay: full event log plus the (version,
+    // fingerprint) pair restore replays to and cross-checks — same
+    // scheme as the engine snapshot's topology section.
+    w.put_u64(engine.topology.version());
+    w.put_u64(engine.topology.fingerprint());
+    w.put_u64(engine.topology.log().len() as u64);
+    for e in engine.topology.log() {
+        encode_topology_event(&mut w, e);
+    }
+    // Orchestrator re-admission queue.
+    w.put_u64(engine.readmit_queue.len() as u64);
+    for a in &engine.readmit_queue {
+        w.put_u32(a.request.src.0);
+        w.put_u32(a.request.dst.0);
+        w.put_f64(a.request.demand);
+        w.put_f64(a.request.value);
+        match a.ttl {
+            None => w.put_bool(false),
+            Some(t) => {
+                w.put_bool(true);
+                w.put_u32(t);
+            }
+        }
+    }
     w.put_u64(engine.epoch);
     w.put_f64_slice(&engine.carry);
     w.put_f64_slice(engine.residual.loads());
@@ -80,8 +112,10 @@ pub fn encode_sharded(engine: &ShardedEngine) -> Vec<u8> {
     w.put_u64(m.accepted);
     w.put_u64(m.rejected);
     w.put_u64(m.released);
+    w.put_u64(m.evicted);
     w.put_f64(m.value_admitted);
     w.put_f64(m.revenue);
+    w.put_f64(m.refunded);
     w.put_u64(m.total_latency_us());
     let (ring, cursor) = m.latency_ring();
     w.put_u64(cursor as u64);
@@ -175,14 +209,67 @@ pub fn decode_sharded(
             context: "payment scope",
         });
     }
+    // Dynamic-topology overlay: replay the stored log over the base
+    // graph and cross-check the pinned (version, fingerprint) pair —
+    // same validation as the engine snapshot's topology section.
+    let topo_version = r.get_u64("topology version")?;
+    let topo_fingerprint = r.get_u64("topology fingerprint")?;
+    let n = r.get_len("topology event count", 5)?;
+    let mut topo_events = Vec::with_capacity(n);
+    for _ in 0..n {
+        topo_events.push(decode_topology_event(&mut r)?);
+    }
+    let topology = Topology::replay(&graph, &topo_events)
+        .map_err(|_| malformed("topology event log does not apply to the graph"))?;
+    if topology.version() != topo_version {
+        return Err(malformed("topology version disagrees with its event log"));
+    }
+    if topology.fingerprint() != topo_fingerprint {
+        return Err(malformed(
+            "topology fingerprint disagrees with its event log",
+        ));
+    }
+    let n = r.get_len("readmit count", 25)?;
+    let mut readmit_queue = Vec::with_capacity(n);
+    for _ in 0..n {
+        let src = r.get_u32("readmit src")?;
+        let dst = r.get_u32("readmit dst")?;
+        let demand = r.get_f64("readmit demand")?;
+        let value = r.get_f64("readmit value")?;
+        if src as usize >= graph.num_nodes() || dst as usize >= graph.num_nodes() || src == dst {
+            return Err(malformed("readmit endpoints"));
+        }
+        if !(demand.is_finite() && demand > 0.0 && value.is_finite() && value > 0.0) {
+            return Err(malformed("readmit request (demand/value range)"));
+        }
+        let request = Request {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            demand,
+            value,
+        };
+        let ttl = if r.get_bool("readmit ttl flag")? {
+            let t = r.get_u32("readmit ttl")?;
+            if t == 0 {
+                return Err(malformed("readmit ttl must be at least one epoch"));
+            }
+            Some(t)
+        } else {
+            None
+        };
+        readmit_queue.push(Arrival { request, ttl });
+    }
     let epoch = r.get_u64("epoch counter")?;
     let carry = r.get_f64_vec("global carry")?;
     if carry.len() != graph.num_edges() || carry.iter().any(|k| !k.is_finite() || *k < 0.0) {
         return Err(malformed("global carry (length or range)"));
     }
     let loads = r.get_f64_vec("global loads")?;
-    let residual =
-        ResidualCaps::import(&graph, loads).ok_or(malformed("global loads (length or range)"))?;
+    // Loads validate against the *effective* (overlay) capacities, not
+    // the base graph's — a resized or failed link carries different
+    // headroom than the base capacity suggests.
+    let residual = ResidualCaps::import_with_caps(topology.effective_capacities(), loads)
+        .ok_or(malformed("global loads (length or range)"))?;
     let n = r.get_len("request map length", 8)?;
     let mut request_map = Vec::with_capacity(n);
     for _ in 0..n {
@@ -216,8 +303,10 @@ pub fn decode_sharded(
     let m_accepted = r.get_u64("metrics accepted")?;
     let m_rejected = r.get_u64("metrics rejected")?;
     let m_released = r.get_u64("metrics released")?;
+    let m_evicted = r.get_u64("metrics evicted")?;
     let m_value = r.get_f64("metrics value")?;
     let m_revenue = r.get_f64("metrics revenue")?;
+    let m_refunded = r.get_f64("metrics refunded")?;
     let m_total_latency = r.get_u64("metrics total latency")?;
     let m_cursor = r.get_u64("metrics latency cursor")? as usize;
     let m_window = r.get_u64_vec("metrics latency window")?;
@@ -227,8 +316,10 @@ pub fn decode_sharded(
         m_accepted,
         m_rejected,
         m_released,
+        m_evicted,
         m_value,
         m_revenue,
+        m_refunded,
         m_total_latency,
         m_cursor,
         m_window,
@@ -254,6 +345,17 @@ pub fn decode_sharded(
     let blob = r.get_bytes("reconciler snapshot")?;
     let reconciler = Engine::restore_from_bytes(blob, Arc::clone(&graph), config.engine.clone())?;
     r.expect_exhausted()?;
+
+    // Every owned engine's mirrored overlay must agree with the
+    // orchestrator's — a spliced snapshot mixing engines from different
+    // topology histories would desynchronize the eviction authority.
+    for e in engines.iter().chain(std::iter::once(&reconciler)) {
+        if e.topology().fingerprint() != topology.fingerprint() {
+            return Err(malformed(
+                "engine topology diverges from the orchestrator's",
+            ));
+        }
+    }
 
     // Cross-validate the global view against the restored engines: every
     // map entry must point at a real request / admission.
@@ -309,6 +411,8 @@ pub fn decode_sharded(
         events_dropped,
         metrics,
         ledger,
+        topology,
+        readmit_queue,
         shard_epoch_us,
         lease_gauge_names: lease_gauge_names(shards),
     })

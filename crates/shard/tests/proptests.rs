@@ -15,6 +15,13 @@
 //!   traffic, leases, and the deferred global-payment pass in play)
 //!   restore and continue bit-identically per shard and globally, from
 //!   any epoch boundary.
+//! * **Dynamic topology** — the same contracts survive link failures,
+//!   capacity resizes, outages, and drains: zero-cross runs stay
+//!   bit-identical to a single engine through arbitrary mutation
+//!   sequences; lowering a boundary edge's capacity mid-run never
+//!   oversubscribes it (the next epoch's leases are cut from the
+//!   repaired residual); and snapshots taken mid-mutation round-trip
+//!   and continue in lockstep.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -22,11 +29,12 @@ use rand::SeedableRng;
 
 use std::sync::Arc;
 
-use ufp_engine::{Arrival, Engine, EngineConfig, EventLevel, PaymentPolicy};
+use ufp_engine::{Arrival, Engine, EngineConfig, EventLevel, PaymentPolicy, TopologyEvent};
 use ufp_netgraph::generators;
 use ufp_netgraph::graph::Graph;
 use ufp_shard::{NodeBlocks, Partitioner, ShardConfig, ShardedEngine};
 use ufp_workloads::arrivals::ArrivalProcess;
+use ufp_workloads::failures::{failure_trace, FailureTraceConfig};
 use ufp_workloads::sharded::{block_shard_map, sharded_arrival_trace, ShardedTraceConfig};
 
 /// Random sharded scenario: a community digraph (`inter_edges` zero or
@@ -232,5 +240,217 @@ proptest! {
         }
         prop_assert_eq!(unbroken.events(), restored.events());
         prop_assert_eq!(unbroken.ledger(), restored.ledger());
+    }
+
+    /// Zero-cross runs stay bit-identical to a single engine through
+    /// arbitrary mutation sequences: every repair pass (eviction set,
+    /// refund bits, re-admission queue) and every subsequent epoch.
+    #[test]
+    fn mutated_runs_stay_bit_identical_to_single_engine(
+        (graph, shards, trace, epsilon) in arb_scenario(0..1, false, false, (12.0, 24.0), 14.0),
+        fail_seed in proptest::prelude::any::<u64>(),
+    ) {
+        let cfg = engine_config(epsilon);
+        let plan = NodeBlocks.partition(&graph, shards);
+        let mut sharded = ShardedEngine::new(
+            Arc::clone(&graph),
+            plan,
+            ShardConfig {
+                engine: cfg.clone(),
+                lease_fraction: 0.5,
+                ..Default::default()
+            },
+        );
+        let mut single = Engine::from_shared(Arc::clone(&graph), cfg);
+        let mutations = failure_trace(
+            &graph,
+            &FailureTraceConfig {
+                epochs: trace.len() as u32,
+                seed: fail_seed,
+                flap_rate: 0.6,
+                resize_rate: 0.6,
+                resize_range: (0.3, 1.2),
+                outage_rate: 0.15,
+                ..FailureTraceConfig::default()
+            },
+        );
+        for (events, batch) in mutations.iter().zip(&trace) {
+            if !events.is_empty() {
+                let rs = sharded.apply_topology(events).expect("trace applies");
+                let ro = single.apply_topology(events).expect("trace applies");
+                prop_assert_eq!(rs.evicted, ro.evicted, "eviction counts diverged");
+                prop_assert_eq!(
+                    rs.refunded.to_bits(), ro.refunded.to_bits(),
+                    "refunds diverged: {} vs {}", rs.refunded, ro.refunded
+                );
+                prop_assert_eq!(rs.readmissions, ro.readmissions);
+                prop_assert_eq!(rs.links_down, ro.links_down);
+            }
+            let ra = sharded.drain_readmissions();
+            let rb = single.drain_readmissions();
+            prop_assert_eq!(ra.len(), rb.len(), "re-admission queues diverged");
+            let mut merged = ra;
+            merged.extend(batch.iter().cloned());
+            let rs = sharded.submit_batch(&merged);
+            let ro = single.submit_batch(&merged);
+            prop_assert_eq!(rs.accepted, ro.accepted, "epoch {} accepted", rs.epoch);
+            prop_assert_eq!(rs.released, ro.released, "epoch {} released", rs.epoch);
+            prop_assert_eq!(rs.stop, ro.stop, "epoch {} stop", rs.epoch);
+            prop_assert_eq!(rs.revenue.to_bits(), ro.revenue.to_bits());
+            prop_assert_eq!(rs.min_residual.to_bits(), ro.min_residual.to_bits());
+        }
+        // Records, events, loads, and the eviction/refund counters.
+        let (sh, si) = (sharded.admissions(), single.admissions());
+        prop_assert_eq!(sh.len(), si.len());
+        for (a, b) in sh.iter().zip(si) {
+            prop_assert_eq!(a.request, b.request);
+            prop_assert_eq!(a.path.nodes(), b.path.nodes());
+            prop_assert_eq!(a.released, b.released);
+            prop_assert_eq!(a.evicted, b.evicted);
+            prop_assert_eq!(a.payment.to_bits(), b.payment.to_bits());
+        }
+        prop_assert_eq!(sharded.events(), single.events());
+        for (a, b) in sharded
+            .residual()
+            .loads()
+            .iter()
+            .zip(single.residual().loads())
+        {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let (ms, mo) = (sharded.metrics(), single.metrics());
+        prop_assert_eq!(ms.evicted, mo.evicted);
+        prop_assert_eq!(ms.refunded.to_bits(), mo.refunded.to_bits());
+        prop_assert_eq!(sharded.topology().fingerprint(), single.topology().fingerprint());
+    }
+
+    /// Lowering a boundary edge's capacity mid-run never oversubscribes
+    /// it: the repair pass trims the committed load under the new
+    /// effective capacity, and every later epoch's leases are cut from
+    /// the repaired residual — the load never creeps back over.
+    #[test]
+    fn boundary_capacity_lower_never_oversubscribes(
+        (graph, shards, trace, epsilon) in arb_scenario(8..20, true, false, (20.0, 40.0), 20.0),
+        cut_frac in 0.05f64..0.6,
+    ) {
+        let cfg = engine_config(epsilon);
+        let plan = NodeBlocks.partition(&graph, shards);
+        if plan.boundary_edges().is_empty() {
+            return Ok(());
+        }
+        let edge = plan.boundary_edges()[0];
+        let mut sharded = ShardedEngine::new(
+            Arc::clone(&graph),
+            plan,
+            ShardConfig {
+                engine: cfg,
+                lease_fraction: 0.5,
+                ..Default::default()
+            },
+        );
+        let split = (trace.len() / 2).max(1);
+        for batch in &trace[..split] {
+            sharded.submit_batch(batch);
+        }
+        // Lower the boundary edge under its committed load (or to a
+        // token capacity when it is idle): the repair pass must evict
+        // enough flows to fit.
+        let new_cap = (sharded.residual().load(edge) * cut_frac).max(0.25);
+        sharded
+            .apply_topology(&[TopologyEvent::SetCapacity {
+                edge,
+                capacity: new_cap,
+            }])
+            .expect("capacity lower applies");
+        let fits = |s: &ShardedEngine| {
+            s.residual().load(edge) <= new_cap * (1.0 + 1e-9) + 1e-9
+        };
+        prop_assert!(fits(&sharded), "repair left the edge oversubscribed");
+        prop_assert!(sharded.verify_active_feasibility().is_ok());
+        for batch in &trace[split..] {
+            let mut merged = sharded.drain_readmissions();
+            merged.extend(batch.iter().cloned());
+            sharded.submit_batch(&merged);
+            prop_assert!(
+                fits(&sharded),
+                "epoch {} re-oversubscribed the lowered edge: load {} > cap {}",
+                sharded.epoch(), sharded.residual().load(edge), new_cap
+            );
+            prop_assert!(sharded.verify_active_feasibility().is_ok());
+        }
+    }
+
+    /// Snapshots taken mid-mutation (non-pristine topology, re-admission
+    /// candidates still queued) round-trip exactly and continue in
+    /// lockstep with the unbroken run.
+    #[test]
+    fn mutated_snapshots_round_trip_and_continue(
+        (graph, shards, trace, epsilon) in arb_scenario(8..20, true, false, (12.0, 24.0), 14.0),
+        fail_seed in proptest::prelude::any::<u64>(),
+    ) {
+        let cfg = engine_config(epsilon);
+        let shard_config = ShardConfig {
+            engine: cfg,
+            lease_fraction: 0.5,
+            ..Default::default()
+        };
+        let plan = NodeBlocks.partition(&graph, shards);
+        let mut unbroken =
+            ShardedEngine::new(Arc::clone(&graph), plan.clone(), shard_config.clone());
+        let split = (trace.len() / 2).max(1);
+        for batch in &trace[..split] {
+            unbroken.submit_batch(batch);
+        }
+        let burst: Vec<TopologyEvent> = failure_trace(
+            &graph,
+            &FailureTraceConfig {
+                epochs: 3,
+                seed: fail_seed,
+                flap_rate: 0.8,
+                resize_rate: 0.8,
+                resize_range: (0.3, 1.2),
+                outage_rate: 0.2,
+                ..FailureTraceConfig::default()
+            },
+        )
+        .into_iter()
+        .flatten()
+        .collect();
+        if !burst.is_empty() {
+            unbroken.apply_topology(&burst).expect("trace applies");
+        }
+        // Snapshot right after the repair pass: the topology section is
+        // non-pristine and the re-admission queue may be non-empty.
+        let bytes = unbroken.snapshot_bytes();
+        let mut restored = ShardedEngine::restore_from_bytes(
+            &bytes,
+            Arc::clone(&graph),
+            plan,
+            shard_config,
+        ).expect("mutated snapshot must restore");
+        prop_assert_eq!(restored.snapshot_bytes(), bytes.clone());
+        prop_assert_eq!(
+            restored.topology().fingerprint(),
+            unbroken.topology().fingerprint()
+        );
+        for batch in &trace[split..] {
+            let mut mu = unbroken.drain_readmissions();
+            let mr = restored.drain_readmissions();
+            prop_assert_eq!(mu.len(), mr.len(), "restored re-admission queue diverged");
+            mu.extend(batch.iter().cloned());
+            let ru = unbroken.submit_batch(&mu);
+            let rr = restored.submit_batch(&mu);
+            prop_assert_eq!(ru.accepted, rr.accepted, "epoch {}", ru.epoch);
+            prop_assert_eq!(ru.released, rr.released);
+            prop_assert_eq!(ru.revenue.to_bits(), rr.revenue.to_bits());
+            prop_assert_eq!(ru.min_residual.to_bits(), rr.min_residual.to_bits());
+        }
+        prop_assert_eq!(unbroken.events(), restored.events());
+        let (mu, mr) = (unbroken.metrics(), restored.metrics());
+        prop_assert_eq!(mu.evicted, mr.evicted);
+        prop_assert_eq!(mu.refunded.to_bits(), mr.refunded.to_bits());
+        for (x, y) in unbroken.residual().loads().iter().zip(restored.residual().loads()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 }

@@ -19,6 +19,10 @@
 //! * [`sharded`] — community-structured, shard-labelled traces for the
 //!   `ufp_shard` sharded engine: per-shard hotspot clusters with a
 //!   tunable cross-shard traffic fraction.
+//! * [`failures`] — dynamic-topology failure traces for the repair
+//!   pass: random link flaps, capacity resizes, correlated regional
+//!   outages, and planned drain windows, as per-epoch
+//!   `TopologyEvent` batches.
 //!
 //! All generators are deterministic functions of their seed, so every
 //! number in EXPERIMENTS.md is reproducible.
@@ -26,6 +30,7 @@
 pub mod arrivals;
 pub mod auctions;
 pub(crate) mod endpoints;
+pub mod failures;
 pub mod figure2;
 pub mod figure3;
 pub mod figure4;
@@ -34,6 +39,7 @@ pub mod sharded;
 
 pub use arrivals::{arrival_trace, poisson_count, ArrivalProcess, ArrivalTraceConfig};
 pub use auctions::{random_auction, required_multiplicity, Popularity, RandomAuctionConfig};
+pub use failures::{failure_trace, DrainWindow, FailureTraceConfig};
 pub use figure2::{
     figure2, figure2_optimum, figure2_predicted_ratio, figure2_subdivided, Figure2Layout,
 };
