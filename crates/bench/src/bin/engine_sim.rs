@@ -32,6 +32,18 @@
 //! with tracing on or off (CI enforces the diff), and exports go to
 //! side files only.
 //!
+//! Auction health: `--regret-every K` runs the out-of-band regret
+//! oracle every K-th epoch (online value vs the offline fractional
+//! optimum of the same frozen epoch snapshot), `--slo-us T` accounts
+//! per-epoch admission latency against an SLO threshold, and
+//! `--health-out FILE` writes the whole registry — health gauges,
+//! regret samples, alerts — as Prometheus text exposition (and enables
+//! the starvation / eviction-storm watermarks). All three enable the
+//! recorder and are byte-invisible to the deterministic stdout document
+//! (same CI contract as tracing); under `--profile`, each epoch's
+//! stderr line additionally carries its regret verdict and any repair
+//! phases (`topology.apply` / `repair.evict` / `repair.readmit`).
+//!
 //! Durability: `--snapshot-every K --snapshot-dir DIR` persists the
 //! engine every `K` epochs; `--stop-after J` aborts the replay after
 //! epoch `J` (a simulated crash — snapshots already on disk survive);
@@ -123,7 +135,11 @@ struct Options {
     flap_rate: f64,
     resize_rate: f64,
     outage_rate: f64,
+    outage_radius: u32,
     drains: Vec<DrainWindow>,
+    health_out: Option<String>,
+    regret_every: u64,
+    slo_us: u64,
 }
 
 impl Default for Options {
@@ -162,7 +178,11 @@ impl Default for Options {
             flap_rate: 0.0,
             resize_rate: 0.0,
             outage_rate: 0.0,
+            outage_radius: 1,
             drains: Vec::new(),
+            health_out: None,
+            regret_every: 0,
+            slo_us: 0,
         }
     }
 }
@@ -593,10 +613,27 @@ fn parse_options() -> Result<Options, String> {
                 }
                 options.drains.push(window);
             }
+            "--outage-radius" => {
+                options.outage_radius = value("--outage-radius")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                if options.outage_radius == 0 {
+                    return Err("--outage-radius must be at least 1".to_string());
+                }
+            }
             "--trace-out" => options.trace_out = Some(value("--trace-out")?),
             "--trace-chrome" => options.trace_chrome = Some(value("--trace-chrome")?),
             "--metrics-out" => options.metrics_out = Some(value("--metrics-out")?),
             "--profile" => options.profile = true,
+            "--health-out" => options.health_out = Some(value("--health-out")?),
+            "--regret-every" => {
+                options.regret_every = value("--regret-every")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--slo-us" => {
+                options.slo_us = value("--slo-us")?.parse().map_err(|e| format!("{e}"))?
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -604,10 +641,12 @@ fn parse_options() -> Result<Options, String> {
         && (options.flap_rate > 0.0
             || options.resize_rate > 0.0
             || options.outage_rate > 0.0
+            || options.outage_radius != 1
             || !options.drains.is_empty())
     {
         return Err(
-            "--flap-rate / --resize-rate / --outage-rate / --drain require --fail-trace"
+            "--flap-rate / --resize-rate / --outage-rate / --outage-radius / --drain \
+             require --fail-trace"
                 .to_string(),
         );
     }
@@ -725,6 +764,7 @@ fn main() -> ExitCode {
                 flap_rate: options.flap_rate,
                 resize_rate: options.resize_rate,
                 outage_rate: options.outage_rate,
+                outage_radius: options.outage_radius,
                 drains: options.drains.clone(),
                 ..FailureTraceConfig::default()
             },
@@ -750,24 +790,43 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    // Observability: any of the export/profile flags turns the recorder
-    // on. Strictly out-of-band — the deterministic stdout document is
-    // byte-identical with it on or off (enforced in CI).
+    // Observability: any of the export/profile/health flags turns the
+    // recorder on. Strictly out-of-band — the deterministic stdout
+    // document is byte-identical with it on or off (enforced in CI).
+    // The health flags also stay out of the driver fingerprint: a
+    // snapshot taken without them restores under them, and vice versa.
+    let health_requested =
+        options.health_out.is_some() || options.regret_every > 0 || options.slo_us > 0;
     let obs = if options.trace_out.is_some()
         || options.trace_chrome.is_some()
         || options.metrics_out.is_some()
         || options.profile
+        || health_requested
     {
         ufp_obs::Recorder::enabled()
     } else {
         ufp_obs::Recorder::off()
     };
     ufp_par::set_recorder(obs.clone());
+    let health = ufp_engine::HealthConfig {
+        regret_every: options.regret_every,
+        slo_us: options.slo_us,
+        // Starvation / storm watermarks ride along whenever the health
+        // exporter is on (pure telemetry; thresholds are conservative).
+        starvation_epochs: if options.health_out.is_some() { 2 } else { 0 },
+        eviction_storm_threshold: if options.health_out.is_some() {
+            1.0
+        } else {
+            0.0
+        },
+        ..ufp_engine::HealthConfig::default()
+    };
     let engine_config = EngineConfig {
         events: EventLevel::Epoch,
         payments: payment_policy,
         selection,
         obs: obs.clone(),
+        health,
         ..EngineConfig::with_epsilon(options.epsilon).parallel(Pool::new(options.threads))
     };
     let digest = trace_digest(&trace);
@@ -960,6 +1019,12 @@ fn main() -> ExitCode {
     let start_epoch = engine.epoch() as usize;
     let mut sampled_rows: Vec<Vec<String>> = Vec::new();
     let sample_every = (options.epochs / 10).max(1);
+    // Per-epoch repair-phase wall-clock (µs): topology.apply,
+    // repair.evict, repair.readmit. The repair pass runs *before* the
+    // epoch bracket opens, so the profile table cannot see it through
+    // the bracket's own deltas — the driver diffs the recorder's
+    // lifetime phase totals around the pass instead.
+    let mut repair_us: std::collections::HashMap<u64, [u64; 3]> = std::collections::HashMap::new();
     let replay_started = Instant::now();
     for (t, batch) in trace.iter().enumerate().skip(start_epoch) {
         // Infrastructure first: epoch `t`'s topology events run the
@@ -972,9 +1037,25 @@ fn main() -> ExitCode {
         } else {
             if let Some(events) = fail_trace.get(t) {
                 if !events.is_empty() {
+                    let before = obs.phase_totals();
                     if let Err(e) = engine.apply_topology(events) {
                         eprintln!("engine_sim: topology event refused at epoch {t}: {e}");
                         return ExitCode::FAILURE;
+                    }
+                    if let (true, Some((b, _)), Some((a, _))) =
+                        (options.profile, before, obs.phase_totals())
+                    {
+                        let delta = |ph: ufp_obs::Phase| {
+                            a[ph.index()].saturating_sub(b[ph.index()]) / 1_000
+                        };
+                        repair_us.insert(
+                            t as u64 + 1,
+                            [
+                                delta(ufp_obs::Phase::TopologyApply),
+                                delta(ufp_obs::Phase::RepairEvict),
+                                delta(ufp_obs::Phase::RepairReadmit),
+                            ],
+                        );
                     }
                 }
             }
@@ -1073,6 +1154,13 @@ fn main() -> ExitCode {
                 &options.metrics_out,
                 "metrics",
                 ufp_obs::export::metrics_json(snap),
+            )
+        })
+        .and_then(|()| {
+            write(
+                &options.health_out,
+                "health exposition",
+                ufp_obs::export::prometheus_text(snap),
             )
         });
         if let Err(e) = wrote {
@@ -1204,15 +1292,43 @@ fn main() -> ExitCode {
             (Some(snap), true) => format!(", \"profile\": [{}]", profile_rows(snap).join(", ")),
             _ => String::new(),
         };
+        // Auction-health summary (regret ratios are deterministic, but
+        // SLO misses and alerts are wall-clock-derived, so the whole
+        // block lives inside "timing" with the other measured figures).
+        let health_json = match (&obs_snapshot, health_requested) {
+            (Some(snap), true) => {
+                let ratios: Vec<f64> = snap
+                    .profiles
+                    .iter()
+                    .filter_map(|p| p.regret.map(|s| s.ratio))
+                    .collect();
+                let worst = ratios.iter().copied().fold(1.0f64, f64::min);
+                let mean = if ratios.is_empty() {
+                    1.0
+                } else {
+                    ratios.iter().sum::<f64>() / ratios.len() as f64
+                };
+                format!(
+                    ", \"health\": {{\"regret_samples\": {}, \"regret_ratio_mean\": {:.6}, \
+                     \"regret_ratio_worst\": {:.6}, \"alerts\": {}}}",
+                    ratios.len(),
+                    mean,
+                    worst,
+                    snap.alerts.len()
+                )
+            }
+            _ => String::new(),
+        };
         println!(
             "  \"timing\": {{\"elapsed_s\": {:.3}, \"p50_us\": {}, \"p99_us\": {}, \
-             \"requests_per_s\": {:.1}{}{}}}",
+             \"requests_per_s\": {:.1}{}{}{}}}",
             replay_elapsed.as_secs_f64(),
             metrics.p50_latency_us().unwrap_or(0),
             metrics.p99_latency_us().unwrap_or(0),
             metrics.requests_per_second().unwrap_or(0.0),
             shard_timing,
-            profile_json
+            profile_json,
+            health_json
         );
         println!("}}");
         return if feasible {
@@ -1355,16 +1471,37 @@ fn main() -> ExitCode {
     if options.profile {
         if let Some(snap) = &obs_snapshot {
             for p in &snap.profiles {
-                eprintln!(
-                    "profile epoch {}: wall {} µs, open {} µs, plan {} µs, \
-                     commit {} µs, coverage {:.1}%",
+                let mut line = format!(
+                    "profile epoch {}: wall {} µs, open {} µs, plan {} µs, commit {} µs",
                     p.epoch,
                     p.wall_ns / 1_000,
                     p.phase_ns[ufp_obs::Phase::EpochOpen.index()] / 1_000,
                     p.phase_ns[ufp_obs::Phase::EpochPlan.index()] / 1_000,
                     p.phase_ns[ufp_obs::Phase::EpochCommit.index()] / 1_000,
-                    100.0 * p.coverage(),
                 );
+                if let Some([apply, evict, readmit]) = repair_us.get(&p.epoch) {
+                    line.push_str(&format!(
+                        ", topology.apply {apply} µs, repair.evict {evict} µs, \
+                         repair.readmit {readmit} µs"
+                    ));
+                }
+                line.push_str(&format!(", coverage {:.1}%", 100.0 * p.coverage()));
+                if let Some(s) = p.regret {
+                    line.push_str(&format!(
+                        ", regret {:.3} (online {:.2} / bound {:.2}, gap {:.2}, \
+                         {} commodities, {} iterations)",
+                        s.ratio,
+                        s.online_value,
+                        s.fractional_bound,
+                        s.duality_gap,
+                        s.commodities,
+                        s.iterations
+                    ));
+                }
+                eprintln!("{line}");
+            }
+            for a in &snap.alerts {
+                eprintln!("health alert at epoch {}: {:?}", a.epoch(), a);
             }
         }
     }

@@ -96,6 +96,88 @@ impl ResidualFloor {
     }
 }
 
+/// Auction-health accounting knobs: the out-of-band regret oracle,
+/// admission-latency SLO, readmission starvation, and eviction-storm
+/// watermarks. Everything here is observability — it reads frozen
+/// copies and writes only to the [`ufp_obs`] registry — so the engine's
+/// deterministic outputs (admissions, payments, residuals, events,
+/// snapshots) are bit-identical with any health configuration,
+/// including all-off. Health knobs are deliberately **excluded from the
+/// snapshot config fingerprint** for the same reason the recorder is.
+///
+/// Each subsystem is off at `0`; the whole layer is also inert while
+/// the engine's [`ufp_obs::Recorder`] is off (health telemetry without
+/// a sink would be wasted work).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HealthConfig {
+    /// Run the fractional-UFP regret oracle on every `k`-th epoch
+    /// (`0` = never). The oracle solves the epoch's frozen snapshot
+    /// (pre-epoch residuals + the arrival batch) for the offline
+    /// fractional optimum and reports the online/offline ratio into the
+    /// epoch profile — strictly after the epoch bracket closes.
+    pub regret_every: u64,
+    /// Packing-solver accuracy for oracle runs (certified `(1+ε)`
+    /// bracket).
+    pub regret_epsilon: f64,
+    /// Packing-solver iteration cap for oracle runs.
+    pub regret_max_iterations: usize,
+    /// Admission-latency SLO threshold in microseconds (`0` = no SLO):
+    /// an epoch whose wall-clock exceeds it counts a miss and fires a
+    /// [`ufp_obs::HealthAlert::SloMiss`].
+    pub slo_us: u64,
+    /// Readmission age (epochs spent in the queue) at which a flow
+    /// counts as starved (`0` = no starvation tracking).
+    pub starvation_epochs: u64,
+    /// Rolling window (epochs) over which the eviction rate is averaged.
+    pub eviction_window: usize,
+    /// Evictions-per-epoch (averaged over the window) that trips an
+    /// [`ufp_obs::HealthAlert::EvictionStorm`] (`0.0` = never).
+    pub eviction_storm_threshold: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            regret_every: 0,
+            regret_epsilon: 0.05,
+            regret_max_iterations: 200_000,
+            slo_us: 0,
+            starvation_epochs: 0,
+            eviction_window: 8,
+            eviction_storm_threshold: 0.0,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// True when any health subsystem is switched on.
+    pub fn any_enabled(&self) -> bool {
+        self.regret_every > 0
+            || self.slo_us > 0
+            || self.starvation_epochs > 0
+            || self.eviction_storm_threshold > 0.0
+    }
+
+    /// Validate field ranges (called by [`EngineConfig::validate`]).
+    pub fn validate(&self) {
+        assert!(
+            self.regret_epsilon > 0.0 && self.regret_epsilon <= 0.5,
+            "regret_epsilon must lie in (0, 0.5], got {}",
+            self.regret_epsilon
+        );
+        assert!(
+            self.eviction_window >= 1,
+            "eviction_window must be at least 1, got {}",
+            self.eviction_window
+        );
+        assert!(
+            self.eviction_storm_threshold >= 0.0 && self.eviction_storm_threshold.is_finite(),
+            "eviction_storm_threshold must be finite and non-negative, got {}",
+            self.eviction_storm_threshold
+        );
+    }
+}
+
 /// Event-log granularity.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EventLevel {
@@ -155,6 +237,10 @@ pub struct EngineConfig {
     /// snapshot config fingerprint** — a snapshot taken while traced
     /// restores under an untraced engine and vice versa.
     pub obs: Recorder,
+    /// Auction-health accounting (regret oracle, SLO, starvation,
+    /// eviction storms). Inert unless `obs` is enabled; excluded from
+    /// the snapshot config fingerprint like `obs` itself.
+    pub health: HealthConfig,
 }
 
 impl Default for EngineConfig {
@@ -169,6 +255,7 @@ impl Default for EngineConfig {
             events: EventLevel::Epoch,
             event_capacity: 1 << 16,
             obs: Recorder::off(),
+            health: HealthConfig::default(),
         }
     }
 }
@@ -210,6 +297,12 @@ impl EngineConfig {
         self
     }
 
+    /// Same configuration with the given health accounting knobs.
+    pub fn with_health(mut self, health: HealthConfig) -> Self {
+        self.health = health;
+        self
+    }
+
     /// The per-epoch allocator configuration this engine drives.
     pub fn allocator_config(&self) -> BoundedUfpConfig {
         let mut cfg = BoundedUfpConfig::with_epsilon(self.epsilon);
@@ -241,6 +334,7 @@ impl EngineConfig {
             "event_capacity must be at least 16, got {}",
             self.event_capacity
         );
+        self.health.validate();
     }
 }
 
@@ -279,6 +373,57 @@ mod tests {
     fn tiny_event_capacity_rejected() {
         let cfg = EngineConfig {
             event_capacity: 2,
+            ..Default::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn health_defaults_are_all_off_and_validate() {
+        let h = HealthConfig::default();
+        assert!(!h.any_enabled());
+        h.validate();
+        for on in [
+            HealthConfig {
+                regret_every: 4,
+                ..h
+            },
+            HealthConfig { slo_us: 500, ..h },
+            HealthConfig {
+                starvation_epochs: 3,
+                ..h
+            },
+            HealthConfig {
+                eviction_storm_threshold: 2.0,
+                ..h
+            },
+        ] {
+            assert!(on.any_enabled());
+            on.validate();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "regret_epsilon")]
+    fn bad_regret_epsilon_rejected() {
+        let cfg = EngineConfig {
+            health: HealthConfig {
+                regret_epsilon: 0.0,
+                ..HealthConfig::default()
+            },
+            ..Default::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "eviction_window")]
+    fn zero_eviction_window_rejected() {
+        let cfg = EngineConfig {
+            health: HealthConfig {
+                eviction_window: 0,
+                ..HealthConfig::default()
+            },
             ..Default::default()
         };
         cfg.validate();

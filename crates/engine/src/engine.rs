@@ -19,6 +19,7 @@ use crate::allocator::EpochAllocator;
 use crate::codec::CodecError;
 use crate::config::{EngineConfig, EventLevel, PaymentPolicy};
 use crate::event::EngineEvent;
+use crate::health::{run_regret_oracle, HealthState, RegretContext};
 use crate::metrics::EngineMetrics;
 use crate::snapshot::TopologyMigration;
 
@@ -237,6 +238,9 @@ pub struct Engine {
     /// [`EngineConfig::event_capacity`]).
     pub(crate) events_dropped: u64,
     pub(crate) metrics: EngineMetrics,
+    /// Auction-health bookkeeping ([`crate::config::HealthConfig`]).
+    /// Pure telemetry: never snapshotted, never read by allocation.
+    pub(crate) health: HealthState,
 }
 
 impl Engine {
@@ -275,6 +279,7 @@ impl Engine {
             events: Vec::new(),
             events_dropped: 0,
             metrics: EngineMetrics::default(),
+            health: HealthState::default(),
         }
     }
 
@@ -307,8 +312,37 @@ impl Engine {
         let obs = self.config.obs.clone();
         obs.epoch_begin(self.epoch + 1);
         let plan = self.plan_epoch(arrivals, None);
+        // Freeze the regret-oracle inputs (clones of the plan's epoch
+        // context) before commit consumes the plan; the oracle itself
+        // runs strictly after the epoch bracket closes, so its cost
+        // lands under `health.regret_oracle`, not the epoch phases.
+        let regret_ctx = RegretContext::capture(
+            &self.config.health,
+            &obs,
+            plan.epoch,
+            &plan.ctx_capacities,
+            &plan.ctx_usable,
+            &plan.arrivals,
+        );
         let report = self.commit_epoch(plan, None);
         obs.epoch_end(report.epoch);
+        if let Some(ctx) = regret_ctx {
+            run_regret_oracle(
+                &self.graph,
+                &self.config.pool,
+                &obs,
+                &self.config.health,
+                ctx,
+                report.value_admitted,
+            );
+        }
+        self.health.epoch_tick(
+            &self.config.health,
+            &obs,
+            report.epoch,
+            report.elapsed.as_micros() as u64,
+            self.metrics.evicted,
+        );
         report
     }
 
@@ -962,6 +996,7 @@ impl Engine {
                     readmissions += 1;
                 }
             }
+            self.health.note_readmissions(readmissions, epoch);
         }
 
         self.rebuild_residual();
@@ -996,6 +1031,7 @@ impl Engine {
     /// to preserve the absolute expiry). The driver merges these ahead
     /// of the epoch's scheduled arrivals.
     pub fn drain_readmissions(&mut self) -> Vec<Arrival> {
+        self.health.note_drain();
         std::mem::take(&mut self.readmit_queue)
     }
 

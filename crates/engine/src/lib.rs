@@ -83,6 +83,15 @@
 //! that need every event call [`engine::Engine::drain_events`] at least
 //! every `event_capacity / 2` events.
 //!
+//! When an enabled [`ufp_obs::Recorder`] is attached, [`HealthConfig`]
+//! additionally turns on **auction-health telemetry** (see the `health`
+//! module): a sampled out-of-band regret oracle that bounds each epoch's
+//! online value against the offline fractional optimum of the same
+//! frozen snapshot, plus SLO, readmission-starvation, and
+//! eviction-storm accounting. All of it is observational — a health-on
+//! run is bit-identical to a health-off run in admissions, payments,
+//! and residual state (`tests/obs_transparency.rs`).
+//!
 //! ## Durability: snapshot / restore
 //!
 //! A long-lived deployment must be able to die and come back without
@@ -107,12 +116,13 @@ pub mod codec;
 pub mod config;
 pub mod engine;
 pub mod event;
+pub mod health;
 pub mod metrics;
 pub mod snapshot;
 
 pub use allocator::EpochAllocator;
 pub use codec::CodecError;
-pub use config::{EngineConfig, EventLevel, PaymentPolicy, ResidualFloor};
+pub use config::{EngineConfig, EventLevel, HealthConfig, PaymentPolicy, ResidualFloor};
 pub use engine::{
     Admission, Arrival, Engine, EpochOverride, EpochPlan, EpochReport, TopologyReport,
 };

@@ -812,6 +812,10 @@ pub fn decode_engine(
     r.expect_exhausted()?;
 
     let allocator_config = config.allocator_config();
+    // Health watermarks are telemetry about a single process's run and
+    // are deliberately not in the snapshot: readmission ages restart at
+    // the restore epoch, eviction windows start empty.
+    let health = crate::health::HealthState::restored(readmit_queue.len(), epoch);
     Ok((
         Engine {
             graph,
@@ -830,6 +834,7 @@ pub fn decode_engine(
             metrics,
             topology,
             readmit_queue,
+            health,
         },
         driver,
     ))

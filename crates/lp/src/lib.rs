@@ -24,7 +24,10 @@ pub mod packing;
 pub mod simplex;
 pub mod ufp_lp;
 
-pub use mcf::{solve_fractional_ufp, Commodity, FracFlow, FracUfpSolution};
+pub use mcf::{
+    certified_duality_gap, sanitize_commodities, solve_fractional_ufp,
+    solve_fractional_ufp_with_caps, Commodity, FracFlow, FracUfpSolution,
+};
 pub use packing::{solve_packing, Column, ColumnOracle, PackingConfig, PackingSolution};
 pub use simplex::{solve, LpOutcome, LpProblem, LpSolution, Relation};
 pub use ufp_lp::{

@@ -79,6 +79,13 @@ pub struct PackingSolution {
     pub columns: Vec<(Column, f64)>,
     /// Oracle calls performed.
     pub iterations: usize,
+    /// The dual certificate behind `dual_bound`: the per-row weights
+    /// `y/α` of the iteration that realized the best bound. Feasible
+    /// for *every* column the oracle can produce (α is the global
+    /// minimum ratio when the oracle minimizes exactly), so
+    /// `Σ b_i · duals[i] == dual_bound` is a mechanical weak-duality
+    /// witness. Empty when the oracle never returned a column.
+    pub duals: Vec<f64>,
 }
 
 impl PackingSolution {
@@ -101,6 +108,7 @@ pub fn solve_packing<O: ColumnOracle>(oracle: &O, config: PackingConfig) -> Pack
     let mut loads = vec![0.0f64; rows];
     let mut raw_value = 0.0f64;
     let mut best_dual = f64::INFINITY;
+    let mut best_duals: Vec<f64> = Vec::new();
     let mut iterations = 0;
 
     loop {
@@ -123,7 +131,13 @@ pub fn solve_packing<O: ColumnOracle>(oracle: &O, config: PackingConfig) -> Pack
                 .enumerate()
                 .map(|(i, &yi)| oracle.row_limit(i) * yi)
                 .sum();
-            best_dual = best_dual.min(dual_sum / alpha);
+            let bound = dual_sum / alpha;
+            if bound < best_dual {
+                best_dual = bound;
+                // Snapshot the feasible dual y/α behind this bound; the
+                // clone is immune to the renormalization below.
+                best_duals = y.iter().map(|&yi| yi / alpha).collect();
+            }
         } else {
             // Zero-weight column: unbounded growth direction would mean
             // the LP is unbounded, impossible for positive y. Defensive:
@@ -185,6 +199,7 @@ pub fn solve_packing<O: ColumnOracle>(oracle: &O, config: PackingConfig) -> Pack
         dual_bound: best_dual,
         columns,
         iterations,
+        duals: best_duals,
     }
 }
 
@@ -295,6 +310,43 @@ mod tests {
         let sol = solve_packing(&oracle, PackingConfig::default());
         assert_eq!(sol.primal_value, 0.0);
         assert_eq!(sol.iterations, 0);
+        assert!(sol.duals.is_empty(), "no iteration, no certificate");
+    }
+
+    #[test]
+    fn returned_duals_certify_the_dual_bound() {
+        let oracle = Explicit {
+            b: vec![4.0, 2.0, 5.0],
+            cols: vec![
+                col(1.0, vec![(0, 1.0), (2, 1.0)], 0),
+                col(1.0, vec![(1, 1.0), (2, 1.0)], 1),
+            ],
+        };
+        let sol = solve_packing(&oracle, PackingConfig::default());
+        assert_eq!(sol.duals.len(), 3);
+        // b·y reproduces the reported bound exactly (same arithmetic).
+        let objective: f64 = sol
+            .duals
+            .iter()
+            .enumerate()
+            .map(|(i, &y)| oracle.b[i] * y)
+            .sum();
+        assert!(
+            (objective - sol.dual_bound).abs() <= 1e-9 * sol.dual_bound.abs(),
+            "b·y = {objective} vs dual_bound = {}",
+            sol.dual_bound
+        );
+        // Dual feasibility: y ≥ 0 and every column is covered.
+        assert!(sol.duals.iter().all(|&y| y >= 0.0));
+        for c in &oracle.cols {
+            let covered: f64 = c.entries.iter().map(|&(i, a)| a * sol.duals[i]).sum();
+            assert!(
+                covered >= c.value - 1e-9,
+                "column {} uncovered: {covered} < {}",
+                c.tag,
+                c.value
+            );
+        }
     }
 
     #[test]

@@ -84,6 +84,25 @@ impl ResidualCaps {
             .collect()
     }
 
+    /// Residual capacities masked for an out-of-band solver: the
+    /// residual of every edge whose `usable` flag is set, `0.0`
+    /// elsewhere — the frozen "effective network" view a regret oracle
+    /// prices against (`ufp_lp::solve_fractional_ufp_with_caps` treats
+    /// zero-capacity edges as absent). Purely a read-out; the tracker
+    /// itself is never touched by oracle runs.
+    pub fn oracle_caps(&self, usable: &[bool]) -> Vec<f64> {
+        assert_eq!(usable.len(), self.caps.len(), "one flag per edge");
+        (0..self.caps.len())
+            .map(|e| {
+                if usable[e] {
+                    self.residual(EdgeId(e as u32))
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
     /// Committed per-edge loads in edge-id order — the serializable half
     /// of the tracker (capacities are derivable from the graph). Feed the
     /// exact values back through [`ResidualCaps::import`] to reconstruct
@@ -304,6 +323,17 @@ mod tests {
             ResidualCaps::import_with_caps(vec![1.0], vec![0.5, 0.0]).is_none(),
             "length mismatch"
         );
+    }
+
+    #[test]
+    fn oracle_caps_mask_unusable_edges() {
+        let (g, p) = chain(&[4.0, 8.0, 2.0]);
+        let mut r = ResidualCaps::new(&g);
+        r.commit(&p, 1.0);
+        let caps = r.oracle_caps(&[true, false, true]);
+        assert_eq!(caps, vec![3.0, 0.0, 1.0]);
+        // Read-out only: the tracker is unchanged.
+        assert_eq!(r.loads(), &[1.0, 1.0, 1.0]);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod trace;
 
 pub use phase::{Phase, PHASE_COUNT};
 pub use registry::{Counter, Gauge, Histogram, HistogramRow, Registry};
-pub use trace::{EpochProfile, SpanRecord};
+pub use trace::{EpochProfile, RegretSample, SpanRecord};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -54,6 +54,61 @@ fn current_tid() -> u64 {
     })
 }
 
+/// A typed auction-health alert: a watched health signal crossed its
+/// configured threshold in some epoch. Alerts are observability output
+/// only — they are stored in the recorder, rendered by the exporters,
+/// and never read back by the pipeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum HealthAlert {
+    /// The rolling-window eviction rate crossed its watermark.
+    EvictionStorm {
+        /// Epoch the window closed on.
+        epoch: u64,
+        /// Evictions per epoch observed over the window.
+        observed: f64,
+        /// Configured watermark the observation crossed.
+        threshold: f64,
+    },
+    /// An epoch's admission latency missed the configured SLO.
+    SloMiss {
+        /// The offending epoch.
+        epoch: u64,
+        /// Epoch admission latency in microseconds.
+        observed_us: u64,
+        /// Configured SLO threshold in microseconds.
+        threshold_us: u64,
+    },
+    /// A readmission candidate aged past the starvation bound.
+    Starvation {
+        /// Epoch the queue was measured at.
+        epoch: u64,
+        /// Oldest queue age in epochs.
+        observed_epochs: u64,
+        /// Configured starvation bound in epochs.
+        threshold_epochs: u64,
+    },
+}
+
+impl HealthAlert {
+    /// Stable kind label used by the exporters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HealthAlert::EvictionStorm { .. } => "eviction_storm",
+            HealthAlert::SloMiss { .. } => "slo_miss",
+            HealthAlert::Starvation { .. } => "starvation",
+        }
+    }
+
+    /// The epoch the alert fired on.
+    pub fn epoch(&self) -> u64 {
+        match *self {
+            HealthAlert::EvictionStorm { epoch, .. }
+            | HealthAlert::SloMiss { epoch, .. }
+            | HealthAlert::Starvation { epoch, .. } => epoch,
+        }
+    }
+}
+
 /// A begin-marker for one epoch bracket: wall start plus a snapshot of
 /// the phase accumulators, so `epoch_end` can diff.
 #[derive(Debug)]
@@ -76,6 +131,7 @@ pub struct ObsCore {
     spans_dropped: AtomicU64,
     profiles: Mutex<Vec<EpochProfile>>,
     open_epoch: Mutex<Option<EpochMark>>,
+    alerts: Mutex<Vec<HealthAlert>>,
 }
 
 impl ObsCore {
@@ -90,6 +146,7 @@ impl ObsCore {
             spans_dropped: AtomicU64::new(0),
             profiles: Mutex::new(Vec::new()),
             open_epoch: Mutex::new(None),
+            alerts: Mutex::new(Vec::new()),
         }
     }
 
@@ -145,6 +202,8 @@ pub struct ObsSnapshot {
     pub phase_hits: [u64; PHASE_COUNT],
     /// Completed epoch brackets in order.
     pub profiles: Vec<EpochProfile>,
+    /// Auction-health alerts in firing order.
+    pub alerts: Vec<HealthAlert>,
 }
 
 /// The observability handle threaded through the stack. `Default` (and
@@ -286,9 +345,39 @@ impl Recorder {
                 wall_ns,
                 phase_ns: std::array::from_fn(|i| now_ns[i].saturating_sub(mark.phase_ns[i])),
                 phase_hits: std::array::from_fn(|i| now_hits[i].saturating_sub(mark.phase_hits[i])),
+                regret: None,
             };
             core.profiles.lock().unwrap().push(profile);
         }
+    }
+
+    /// Attach a regret-oracle verdict to the already-stored profile of
+    /// `epoch` (the oracle runs strictly after the bracket closed).
+    /// Unknown epochs are ignored — observability never panics.
+    pub fn profile_set_regret(&self, epoch: u64, sample: RegretSample) {
+        if let Some(core) = &self.core {
+            let mut profiles = core.profiles.lock().unwrap();
+            if let Some(p) = profiles.iter_mut().rev().find(|p| p.epoch == epoch) {
+                p.regret = Some(sample);
+            }
+        }
+    }
+
+    /// Record a typed auction-health alert.
+    pub fn alert(&self, alert: HealthAlert) {
+        if let Some(core) = &self.core {
+            core.alerts.lock().unwrap().push(alert);
+        }
+    }
+
+    /// Lifetime per-phase totals `(ns, hits)` — the same accumulators
+    /// the epoch profiles diff. Cheap (atomic loads only), so drivers
+    /// can diff across scopes the epoch bracket does not cover (e.g.
+    /// the pre-epoch topology repair pass). `None` when off.
+    pub fn phase_totals(&self) -> Option<([u64; PHASE_COUNT], [u64; PHASE_COUNT])> {
+        self.core
+            .as_ref()
+            .map(|c| (c.load_phase_ns(), c.load_phase_hits()))
     }
 
     /// Spans discarded so far (0 when off).
@@ -315,6 +404,7 @@ impl Recorder {
             phase_ns: core.load_phase_ns(),
             phase_hits: core.load_phase_hits(),
             profiles: core.profiles.lock().unwrap().clone(),
+            alerts: core.alerts.lock().unwrap().clone(),
         })
     }
 }
@@ -361,6 +451,22 @@ mod tests {
         r.histogram_record("h", 3);
         r.epoch_begin(0);
         r.epoch_end(0);
+        r.profile_set_regret(
+            0,
+            RegretSample {
+                online_value: 1.0,
+                fractional_bound: 2.0,
+                ratio: 0.5,
+                duality_gap: 0.0,
+                commodities: 1,
+                iterations: 1,
+            },
+        );
+        r.alert(HealthAlert::SloMiss {
+            epoch: 0,
+            observed_us: 1,
+            threshold_us: 1,
+        });
         assert!(r.counter_handle("c").is_none());
         assert_eq!(r.spans_dropped(), 0);
         // Nothing observable exists: no registry, no snapshot.
@@ -438,6 +544,57 @@ mod tests {
         // Mismatched end is ignored, not fatal.
         r.epoch_end(99);
         assert_eq!(r.snapshot().unwrap().profiles.len(), 1);
+    }
+
+    #[test]
+    fn regret_attaches_to_its_epoch_profile() {
+        let r = Recorder::enabled();
+        r.epoch_begin(4);
+        r.epoch_end(4);
+        r.epoch_begin(5);
+        r.epoch_end(5);
+        let sample = RegretSample {
+            online_value: 3.0,
+            fractional_bound: 4.0,
+            ratio: 0.75,
+            duality_gap: 0.1,
+            commodities: 7,
+            iterations: 12,
+        };
+        r.profile_set_regret(5, sample);
+        // Unknown epoch: ignored, never fatal.
+        r.profile_set_regret(99, sample);
+        let snap = r.snapshot().unwrap();
+        assert_eq!(snap.profiles[0].regret, None);
+        assert_eq!(snap.profiles[1].regret, Some(sample));
+    }
+
+    #[test]
+    fn alerts_accumulate_in_firing_order() {
+        let r = Recorder::enabled();
+        r.alert(HealthAlert::EvictionStorm {
+            epoch: 2,
+            observed: 9.5,
+            threshold: 4.0,
+        });
+        r.alert(HealthAlert::Starvation {
+            epoch: 3,
+            observed_epochs: 11,
+            threshold_epochs: 8,
+        });
+        let snap = r.snapshot().unwrap();
+        assert_eq!(snap.alerts.len(), 2);
+        assert_eq!(snap.alerts[0].kind(), "eviction_storm");
+        assert_eq!(snap.alerts[0].epoch(), 2);
+        assert_eq!(snap.alerts[1].kind(), "starvation");
+        // Clones share the alert stream like every other channel.
+        let r2 = r.clone();
+        r2.alert(HealthAlert::SloMiss {
+            epoch: 4,
+            observed_us: 900,
+            threshold_us: 500,
+        });
+        assert_eq!(r.snapshot().unwrap().alerts.len(), 3);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | `par.*`      | `ufp_par`    | pool fan-out and help-first stealing     |
 //! | `topology.*` | `ufp_engine` | one between-epochs topology repair pass  |
 //! | `repair.*`   | `ufp_engine` | eviction / re-admission inside a repair  |
+//! | `health.*`   | `ufp_engine` | out-of-band auction-health work          |
 //!
 //! `epoch.open/plan/commit` partition an engine epoch end to end (the
 //! other phases nest inside them or, for `shard.*`, run between per-
@@ -60,10 +61,13 @@ pub enum Phase {
     RepairEvict,
     /// Queueing evicted flows for re-admission in the next epoch.
     RepairReadmit,
+    /// One fractional-UFP regret-oracle solve over a frozen epoch
+    /// snapshot (runs strictly after the epoch bracket closes).
+    HealthRegretOracle,
 }
 
 /// Number of phases (size of the dense accumulator arrays).
-pub const PHASE_COUNT: usize = 15;
+pub const PHASE_COUNT: usize = 16;
 
 impl Phase {
     /// Every phase, in dense-index order.
@@ -83,6 +87,7 @@ impl Phase {
         Phase::TopologyApply,
         Phase::RepairEvict,
         Phase::RepairReadmit,
+        Phase::HealthRegretOracle,
     ];
 
     /// Dense index (0-based, stable across a build).
@@ -109,6 +114,7 @@ impl Phase {
             Phase::TopologyApply => "topology.apply",
             Phase::RepairEvict => "repair.evict",
             Phase::RepairReadmit => "repair.readmit",
+            Phase::HealthRegretOracle => "health.regret_oracle",
         }
     }
 
@@ -154,6 +160,7 @@ mod tests {
             Phase::TopologyApply,
             Phase::RepairEvict,
             Phase::RepairReadmit,
+            Phase::HealthRegretOracle,
         ] {
             assert!(!p.is_epoch_stage(), "{}", p.name());
         }

@@ -21,10 +21,33 @@ pub struct SpanRecord {
     pub attr: Option<(&'static str, u64)>,
 }
 
+/// One regret-oracle verdict attached to an epoch profile: how the
+/// online epoch's admitted value compares to the offline fractional
+/// optimum solved over the same frozen pre-epoch snapshot. The sample
+/// is produced strictly out-of-band (after the epoch bracket closes)
+/// and never feeds back into any allocation or payment decision.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RegretSample {
+    /// Value the online epoch actually admitted.
+    pub online_value: f64,
+    /// Fractional-UFP upper bound over the frozen snapshot (≥ online).
+    pub fractional_bound: f64,
+    /// `online_value / fractional_bound`, clamped to `[0, 1]`; defined
+    /// as `1.0` when the epoch was infeasible for everyone (bound 0).
+    pub ratio: f64,
+    /// Dual-certificate slack of the oracle solve (`upper − primal` of
+    /// the packing run; a mechanical weak-duality witness).
+    pub duality_gap: f64,
+    /// Commodities the snapshot contributed to the oracle LP.
+    pub commodities: usize,
+    /// Packing-solver iterations the oracle spent.
+    pub iterations: usize,
+}
+
 /// Aggregated phase activity between one `epoch_begin`/`epoch_end`
 /// pair: wall time of the bracket plus, per phase, the nanoseconds and
 /// span count accumulated inside it.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EpochProfile {
     /// The epoch index the caller passed to `epoch_begin`.
     pub epoch: u64,
@@ -35,6 +58,10 @@ pub struct EpochProfile {
     pub phase_ns: [u64; PHASE_COUNT],
     /// Per-phase span counts accumulated inside the bracket.
     pub phase_hits: [u64; PHASE_COUNT],
+    /// Regret-oracle verdict for this epoch, when one was sampled
+    /// (attached after the bracket closed via
+    /// [`crate::Recorder::profile_set_regret`]).
+    pub regret: Option<RegretSample>,
 }
 
 impl EpochProfile {
@@ -71,6 +98,7 @@ mod tests {
             wall_ns: 1_000,
             phase_ns: [0; PHASE_COUNT],
             phase_hits: [0; PHASE_COUNT],
+            regret: None,
         };
         p.phase_ns[Phase::EpochOpen.index()] = 100;
         p.phase_ns[Phase::EpochPlan.index()] = 600;
@@ -88,6 +116,7 @@ mod tests {
             wall_ns: 0,
             phase_ns: [0; PHASE_COUNT],
             phase_hits: [0; PHASE_COUNT],
+            regret: None,
         };
         assert_eq!(p.coverage(), 0.0);
     }

@@ -44,6 +44,7 @@ use std::time::Instant;
 use ufp_core::{
     DualWeights, EpochContext, EpochResumeTrace, Request, RequestId, StopReason, UfpInstance,
 };
+use ufp_engine::health::{run_regret_oracle, HealthState, RegretContext};
 use ufp_engine::{
     Admission, Arrival, Engine, EngineConfig, EngineEvent, EngineMetrics, EpochOverride, EpochPlan,
     EpochReport, EventLevel, PaymentPolicy, TopologyReport,
@@ -220,6 +221,10 @@ pub struct ShardedEngine {
     /// Flows evicted by a topology repair, queued for re-admission in
     /// the next batch (drained by the driver).
     pub(crate) readmit_queue: Vec<Arrival>,
+    /// Auction-health bookkeeping for the deployment as a whole (the
+    /// global readmission queue, global eviction counter, global
+    /// regret samples). Pure telemetry — see `ufp_engine::health`.
+    pub(crate) health: HealthState,
     /// Wall-clock spent in each engine's *own* plan + commit phases
     /// (µs; index `shards` = the reconciler). Accumulated around the
     /// per-engine calls, so unlike the engines' internal latency
@@ -267,6 +272,7 @@ impl ShardedEngine {
             ledger: LeaseLedger::new(shards),
             topology,
             readmit_queue: Vec::new(),
+            health: HealthState::default(),
             shard_epoch_us: vec![0; shards + 1],
             lease_gauge_names: lease_gauge_names(shards),
             graph,
@@ -385,6 +391,17 @@ impl ShardedEngine {
         // availability AND), which the bit-identity contract depends on.
         let usable = self.global_usable();
         let carry_in = self.carry.clone();
+        // Freeze the regret-oracle inputs from the same global residual
+        // view every shard plans against (the oracle itself runs after
+        // the epoch bracket closes, on clones only).
+        let regret_ctx = RegretContext::capture(
+            &self.config.engine.health,
+            &obs,
+            epoch,
+            &capacities,
+            &usable,
+            arrivals,
+        );
         let mut lease_granted = vec![0.0f64; shards];
         let contexts: Vec<(Vec<f64>, Vec<bool>, Vec<bool>)> = (0..shards)
             .map(|s| {
@@ -661,6 +678,26 @@ impl ShardedEngine {
             elapsed,
         );
         obs.epoch_end(epoch);
+        // Auction health, strictly after the epoch bracket: the sampled
+        // regret oracle over the frozen step-3 context, then the
+        // SLO / starvation / storm tick against deployment-wide totals.
+        if let Some(ctx) = regret_ctx {
+            run_regret_oracle(
+                &self.graph,
+                &pool,
+                &obs,
+                &self.config.engine.health,
+                ctx,
+                value_admitted,
+            );
+        }
+        self.health.epoch_tick(
+            &self.config.engine.health,
+            &obs,
+            epoch,
+            elapsed.as_micros() as u64,
+            self.metrics.evicted,
+        );
         EpochReport {
             epoch,
             arrivals: arrivals.len(),
@@ -829,6 +866,7 @@ impl ShardedEngine {
                     readmissions += 1;
                 }
             }
+            self.health.note_readmissions(readmissions, epoch);
         }
 
         // Rebuild the global residual tracker from scratch over the
@@ -918,6 +956,7 @@ impl ShardedEngine {
 
     /// Drain the re-admission queue (see [`Engine::drain_readmissions`]).
     pub fn drain_readmissions(&mut self) -> Vec<Arrival> {
+        self.health.note_drain();
         std::mem::take(&mut self.readmit_queue)
     }
 

@@ -412,6 +412,9 @@ pub fn decode_sharded(
         metrics,
         ledger,
         topology,
+        // Health watermarks are per-process telemetry, not snapshotted:
+        // readmission ages restart at the restore epoch.
+        health: ufp_engine::health::HealthState::restored(readmit_queue.len(), epoch),
         readmit_queue,
         shard_epoch_us,
         lease_gauge_names: lease_gauge_names(shards),

@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_PR10.json — the auction-health snapshot (PR 10:
+# per-epoch regret oracle, SLO/starvation accounting, Prometheus
+# exporter).
+#
+# Two sweeps on the churned paid fault-injected workload:
+#
+#   1. Outage radius 1/2/3: correlated regional outages of growing
+#      blast radius, with the regret oracle sampling every 2nd epoch.
+#      Records wall-clock, evictions, links down, and the mean/worst
+#      online-vs-offline regret ratio per radius — the health layer's
+#      own answer to "how much value do bigger outages cost us?".
+#   2. Threads 1/2/4/8 with the oracle on: the fractional solve is
+#      dispatched onto the engine's worker pool, so the sweep bounds
+#      what the out-of-band oracle does to wall-clock as the pool that
+#      also serves payments grows.
+#
+# In-script checks (all fatal):
+#   * every run exits feasible;
+#   * per radius, the health-on deterministic JSON is byte-identical to
+#     the health-off run (the PR 6 non-perturbation contract extended
+#     to the health layer);
+#   * every reported regret ratio lies in (0, 1].
+#
+# Usage: cargo build --release && scripts/bench_pr10.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BIN=./target/release/engine_sim
+COMMON="--nodes 200 --edges 800 --eps 0.6 --hotspots 8 --seed 7 \
+  --mean 120 --epochs 8 --churn 2,4 --payments critical"
+FAIL="--fail-trace 11 --flap-rate 0.5 --outage-rate 0.5"
+HEALTH="--regret-every 2 --slo-us 2000"
+REPS=3
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+elapsed() { grep -o '"elapsed_s": [0-9.]*' "$1" | grep -o '[0-9.]*'; }
+field() { grep -o "\"$2\": [0-9.]*" "$1" | head -1 | grep -o '[0-9.]*$'; }
+
+median() { # median <v1> <v2> ...
+  printf '%s\n' "$@" | sort -g | awk '{a[NR]=$1} END {
+    if (NR % 2) print a[(NR+1)/2];
+    else printf "%.6f\n", (a[NR/2] + a[NR/2+1]) / 2 }'
+}
+
+check_ratio() { # check_ratio <value> <context>
+  awk -v r="$1" 'BEGIN { exit !(r > 0.0 && r <= 1.0) }' || {
+    echo >&2 "bench_pr10: regret ratio $1 outside (0, 1] ($2)"
+    exit 1
+  }
+}
+
+# --- Sweep 1: outage radius, health on vs health off -----------------
+radius_rows=()
+for r in 1 2 3; do
+  echo >&2 "bench_pr10: outage radius $r (health on + off) ..."
+  $BIN $COMMON $FAIL --outage-radius "$r" $HEALTH \
+    --health-out "$tmp/health_r$r.prom" --json \
+    >"$tmp/radius_on_$r.json" 2>/dev/null
+  $BIN $COMMON $FAIL --outage-radius "$r" --json \
+    >"$tmp/radius_off_$r.json" 2>/dev/null
+  for f in on off; do
+    grep -q '"feasible": true' "$tmp/radius_${f}_$r.json" || {
+      echo >&2 "bench_pr10: infeasible output (radius $r, $f)"
+      exit 1
+    }
+  done
+  # Health must be byte-invisible to the deterministic document.
+  diff <(grep -v '"timing"' "$tmp/radius_on_$r.json") \
+       <(grep -v '"timing"' "$tmp/radius_off_$r.json") >/dev/null || {
+    echo >&2 "bench_pr10: health run perturbed deterministic output (radius $r)"
+    exit 1
+  }
+  mean=$(field "$tmp/radius_on_$r.json" regret_ratio_mean)
+  worst=$(field "$tmp/radius_on_$r.json" regret_ratio_worst)
+  check_ratio "$mean" "radius $r mean"
+  check_ratio "$worst" "radius $r worst"
+  grep -q '^health_regret_ratio' "$tmp/health_r$r.prom" || {
+    echo >&2 "bench_pr10: exposition missing health_regret_ratio (radius $r)"
+    exit 1
+  }
+  radius_rows+=("{\"outage_radius\": $r, \
+\"elapsed_s\": $(elapsed "$tmp/radius_on_$r.json"), \
+\"evicted\": $(field "$tmp/radius_on_$r.json" evicted), \
+\"links_down\": $(field "$tmp/radius_on_$r.json" links_down), \
+\"regret_samples\": $(field "$tmp/radius_on_$r.json" regret_samples), \
+\"regret_ratio_mean\": $mean, \
+\"regret_ratio_worst\": $worst, \
+\"alerts\": $(field "$tmp/radius_on_$r.json" alerts)}")
+done
+
+# --- Sweep 2: thread scaling with the oracle on ----------------------
+thread_rows=()
+for t in 1 2 4 8; do
+  declare -a runs=()
+  for i in $(seq 1 $REPS); do
+    echo >&2 "bench_pr10: threads $t rep $i/$REPS ..."
+    $BIN $COMMON $HEALTH --threads "$t" --json \
+      >"$tmp/threads_${t}_$i.json" 2>/dev/null
+    grep -q '"feasible": true' "$tmp/threads_${t}_$i.json" || {
+      echo >&2 "bench_pr10: infeasible output (threads $t rep $i)"
+      exit 1
+    }
+    runs+=("$(elapsed "$tmp/threads_${t}_$i.json")")
+  done
+  mean=$(field "$tmp/threads_${t}_1.json" regret_ratio_mean)
+  check_ratio "$mean" "threads $t"
+  thread_rows+=("{\"threads\": $t, \
+\"median_elapsed_s\": $(median "${runs[@]}"), \
+\"regret_ratio_mean\": $mean}")
+  unset runs
+done
+
+join_rows() { local IFS=,; echo "$*"; }
+
+{
+  echo '{'
+  echo '  "bench": "PR10: auction-health telemetry — regret oracle under growing outage radius, and thread scaling with the oracle on the worker pool",'
+  echo '  "network": "gnm_digraph, 200 nodes, 800 edges, eps 0.6, 8 hotspot pairs, seed 7",'
+  echo '  "workload": "Poisson mean 120/epoch x 8 epochs, TTL churn 2-4, critical-value payments; failure trace seed 11 (flap rate 0.5, outage rate 0.5) on the radius sweep",'
+  echo '  "health_flags": "--regret-every 2 --slo-us 2000 (--health-out adds starvation + storm watermarks)",'
+  echo '  "host": "'"$(uname -srm)"', '"$(nproc)"' core(s)",'
+  echo '  "note": "every radius row is byte-diffed health-on vs health-off (minus the timing object) before its numbers are trusted; every regret ratio is gated to (0, 1] — online value can never beat the offline fractional optimum of the same frozen epoch snapshot.",'
+  echo '  "radius_sweep": ['
+  echo "    $(join_rows "${radius_rows[@]}")"
+  echo '  ],'
+  echo '  "reps_per_thread_point": '"$REPS"','
+  echo '  "threads_sweep": ['
+  echo "    $(join_rows "${thread_rows[@]}")"
+  echo '  ],'
+  echo '  "sample_exposition_lines": ['
+  grep '^health_' "$tmp/health_r2.prom" | head -8 | sed 's/.*/    "&",/' | sed '$ s/,$//'
+  echo '  ]'
+  echo '}'
+} >BENCH_PR10.json
+echo >&2 "bench_pr10: wrote BENCH_PR10.json"
